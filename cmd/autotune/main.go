@@ -1,0 +1,109 @@
+// Command autotune runs the autotuner of §5 on one of the built-in
+// benchmark workloads: it enumerates every adequate decomposition of the
+// workload's relation up to a size bound, benchmarks each candidate, and
+// prints the candidates ranked by elapsed time.
+//
+// Usage:
+//
+//	autotune [-workload graph|ipcap|scheduler] [-maxedges N] [-timeout D]
+//	         [-assignments N] [-top N] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/autotuner"
+	"repro/internal/core"
+	"repro/internal/dstruct"
+	"repro/internal/experiments"
+	"repro/internal/systems/ipcap"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "graph", "workload: graph, ipcap, or scheduler")
+	maxEdges := flag.Int("maxedges", 3, "decomposition size bound (map edges)")
+	timeout := flag.Duration("timeout", time.Second, "per-candidate deadline")
+	assignments := flag.Int("assignments", 4, "data-structure assignments tried per shape")
+	top := flag.Int("top", 15, "ranked candidates to print")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	flag.Parse()
+
+	spec, bench, err := pick(*wl, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("autotuning relation %q on the %s workload (size ≤ %d, %d assignments/shape, %v deadline)\n",
+		spec.Name, *wl, *maxEdges, *assignments, *timeout)
+
+	results, err := autotuner.Tune(spec, autotuner.Options{
+		MaxEdges:       *maxEdges,
+		KeyArity:       1,
+		Palette:        []dstruct.Kind{dstruct.HTableKind, dstruct.AVLKind, dstruct.DListKind},
+		MaxAssignments: *assignments,
+		Timeout:        *timeout,
+	}, bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
+		os.Exit(1)
+	}
+
+	finished, failed := 0, 0
+	for _, r := range results {
+		if r.Failed {
+			failed++
+		} else {
+			finished++
+		}
+	}
+	fmt.Printf("%d decomposition shapes: %d finished, %d did not complete\n\n", len(results), finished, failed)
+	for i, r := range results {
+		if i >= *top || r.Failed {
+			break
+		}
+		fmt.Printf("#%d  %.4fs\n%s\n\n", i+1, r.Cost, indent(r.Decomp.String()))
+	}
+}
+
+func pick(wl string, scale int) (*core.Spec, autotuner.Benchmark, error) {
+	switch wl {
+	case "graph":
+		edges := workload.RoadNetwork(16*scale, 11)
+		nodes := workload.NodeCount(16 * scale)
+		return experiments.GraphSpec(), func(r *core.Relation, deadline time.Time) (float64, error) {
+			times, err := experiments.RunGraphBench(r, edges, nodes, deadline)
+			if err != nil {
+				return 0, err
+			}
+			return times.FBD, nil
+		}, nil
+	case "ipcap":
+		trace := workload.PacketTrace(20000*scale, 64, 1024, 13)
+		return ipcap.FlowSpec(), func(r *core.Relation, deadline time.Time) (float64, error) {
+			return experiments.RunIpcapBench(r, trace, 10000, deadline)
+		}, nil
+	case "scheduler":
+		ops := workload.SchedulerTrace(20000*scale, 8, 200, 17)
+		return experiments.SchedulerSpec(), func(r *core.Relation, deadline time.Time) (float64, error) {
+			secs, _, err := experiments.RunSchedulerBench(r, ops)
+			if err != nil {
+				return 0, err
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, autotuner.ErrTimeout
+			}
+			return secs, nil
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}

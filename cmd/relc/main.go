@@ -1,0 +1,94 @@
+// Command relc is the compiler of the paper (§6): it reads a .rel source
+// containing relational specifications, decompositions, and interface
+// blocks, and emits a self-contained Go package implementing each requested
+// relation, specialized to its decomposition.
+//
+// Usage:
+//
+//	relc [-o DIR] [-pkg NAME] [-decomp NAME] [-check] FILE.rel
+//
+// With -check the input is only validated (structure + adequacy + operation
+// planning); nothing is written. Without -decomp, every decomposition in
+// the file is compiled, each into its own package named after it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codegen"
+	"repro/internal/dsl"
+)
+
+func main() {
+	out := flag.String("o", ".", "output directory")
+	pkg := flag.String("pkg", "", "package name override (single-decomposition compiles only)")
+	which := flag.String("decomp", "", "compile only the named decomposition")
+	check := flag.Bool("check", false, "validate only; write nothing")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: relc [-o DIR] [-pkg NAME] [-decomp NAME] [-check] FILE.rel\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *pkg, *which, *check); err != nil {
+		fmt.Fprintf(os.Stderr, "relc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, out, pkg, which string, checkOnly bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := dsl.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("%s:%v", path, err)
+	}
+	if len(file.Decomps) == 0 {
+		return fmt.Errorf("%s declares no decompositions", path)
+	}
+	compiled := 0
+	for _, nd := range file.Decomps {
+		if which != "" && nd.Name != which {
+			continue
+		}
+		name := nd.Name
+		if pkg != "" {
+			if which == "" && len(file.Decomps) > 1 {
+				return fmt.Errorf("-pkg needs -decomp when the file declares several decompositions")
+			}
+			name = pkg
+		}
+		files, err := codegen.Generate(nd.For, nd.D, codegen.Options{Package: name, Ops: nd.Ops})
+		if err != nil {
+			return err
+		}
+		compiled++
+		if checkOnly {
+			fmt.Printf("%s: decomposition %q for relation %q OK (%d ops)\n", path, nd.Name, nd.For.Name, len(nd.Ops))
+			continue
+		}
+		dir := filepath.Join(out, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for fname, content := range files {
+			target := filepath.Join(dir, fname)
+			if err := os.WriteFile(target, content, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", target)
+		}
+	}
+	if compiled == 0 {
+		return fmt.Errorf("no decomposition named %q in %s", which, path)
+	}
+	return nil
+}

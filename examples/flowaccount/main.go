@@ -1,0 +1,71 @@
+// Flow accounting: the IpCap daemon of §6.2 over a synthetic packet trace,
+// with the flow table synthesized from a relation. The same daemon runs
+// over the hand-coded table, the interpreted engine, and the
+// relc-generated package; their logs are byte-identical.
+//
+// Run with:
+//
+//	go run ./examples/flowaccount
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/systems/ipcap"
+	"repro/internal/workload"
+)
+
+func main() {
+	const packets = 50_000
+	trace := workload.PacketTrace(packets, 32, 512, 42)
+	fmt.Printf("accounting %d synthetic packets (32 local hosts, 512 foreign)\n\n", packets)
+
+	synth, err := ipcap.NewSynthFlowTable(ipcap.DefaultFlowDecomp())
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants := []struct {
+		name  string
+		table ipcap.FlowTable
+	}{
+		{"hand-coded", ipcap.NewHandFlowTable()},
+		{"interpreted engine", synth},
+		{"relc-generated", ipcap.NewGenFlowTable()},
+	}
+
+	var logs []string
+	for _, v := range variants {
+		buf := &bytes.Buffer{}
+		d := ipcap.NewDaemon(v.table, buf, 20_000)
+		start := time.Now()
+		for _, p := range trace {
+			if err := d.HandlePacket(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := d.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		processed, ignored := d.Stats()
+		fmt.Printf("%-20s %8v  (%d packets, %d ignored, %d flow records logged)\n",
+			v.name, time.Since(start).Round(time.Millisecond), processed, ignored,
+			strings.Count(buf.String(), "\n"))
+		logs = append(logs, buf.String())
+	}
+
+	for i := 1; i < len(logs); i++ {
+		if logs[i] != logs[0] {
+			log.Fatalf("%s log diverges from hand-coded", variants[i].name)
+		}
+	}
+	fmt.Println("\nall three variants produced byte-identical flow logs")
+
+	first := logs[0]
+	if i := strings.IndexByte(first, '\n'); i > 0 {
+		fmt.Printf("sample record: %s\n", first[:i])
+	}
+}

@@ -1,0 +1,56 @@
+// Web cache: the thttpd experiment of §6.2 end to end — a small HTTP/1.0
+// server (built directly on net.Conn) whose mmap-result cache is a
+// synthesized relation. The example starts the server on a loopback port,
+// fires a Zipf-distributed request stream at it over real TCP connections,
+// and reports the cache behaviour.
+//
+// Run with:
+//
+//	go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/systems/thttpdcache"
+	"repro/internal/workload"
+)
+
+func main() {
+	cache := thttpdcache.NewGenCache() // the relc-generated mmap cache
+	store := thttpdcache.NewFileStore()
+	srv := thttpdcache.NewServer(cache, store, 128, 400)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("cannot listen on loopback: %v", err)
+	}
+	defer l.Close()
+	go func() { _ = srv.Serve(l) }()
+	addr := l.Addr().String()
+	fmt.Printf("thttpd-style server listening on %s (mmap cache = synthesized relation)\n", addr)
+
+	const requests = 400
+	reqs := workload.Zipf(requests, 300, 1.1, 33)
+	start := time.Now()
+	var bytesServed int
+	for _, rq := range reqs {
+		body, err := thttpdcache.Get(addr, fmt.Sprintf("/site/page-%d.html", rq))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bytesServed += len(body)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("served %d requests (%d bytes) in %v over real TCP\n", requests, bytesServed, elapsed.Round(time.Millisecond))
+	fmt.Printf("cache: %d hits, %d misses; file store: %d mmaps, %d munmaps, %d live\n",
+		srv.Hits, srv.Misses, store.Maps, store.Unmaps, store.LiveMappings())
+	if store.Maps != store.Unmaps+store.LiveMappings() {
+		log.Fatal("mapping leak detected")
+	}
+	fmt.Println("every mapping is either cached or unmapped — no leaks")
+}

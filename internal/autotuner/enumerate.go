@@ -1,0 +1,412 @@
+// Package autotuner implements §5 of the paper: given a relational
+// specification and a cost metric, it exhaustively constructs all adequate
+// decompositions of the relation up to a bound on the number of map edges,
+// benchmarks each (with data-structure assignments swept over a palette),
+// and returns candidates sorted by increasing cost.
+package autotuner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// shape is an intermediate decomposition skeleton used during enumeration:
+// the same structure as decomp.Primitive but with identity-bearing
+// variables so that sharing can be introduced by merging.
+type shape struct {
+	unit  bool
+	cols  relation.Cols // unit columns, or map key columns
+	child *shapeVar     // map target (nil for unit)
+	left  *shape        // join sides (nil otherwise)
+	right *shape
+}
+
+type shapeVar struct {
+	bound relation.Cols
+	def   *shape
+}
+
+func (s *shape) isJoin() bool { return s.left != nil }
+
+// structKey returns a canonical string for the *structure* of a subtree —
+// covers, keys and nesting, but not bounds — used to find sharing
+// candidates: two map targets with identical structure can be merged into
+// one shared variable.
+func (s *shape) structKey() string {
+	switch {
+	case s.unit:
+		return "u" + s.cols.Key()
+	case s.isJoin():
+		l, r := s.left.structKey(), s.right.structKey()
+		if r < l {
+			l, r = r, l
+		}
+		return "j(" + l + "," + r + ")"
+	default:
+		return "m[" + s.cols.Key() + "](" + s.child.def.structKey() + ")"
+	}
+}
+
+// clone deep-copies a shape with fresh variable identities.
+func (s *shape) clone() *shape {
+	switch {
+	case s == nil:
+		return nil
+	case s.unit:
+		return &shape{unit: true, cols: s.cols}
+	case s.isJoin():
+		return &shape{cols: s.cols, left: s.left.clone(), right: s.right.clone()}
+	default:
+		return &shape{cols: s.cols, child: &shapeVar{bound: s.child.bound, def: s.child.def.clone()}}
+	}
+}
+
+type cand struct {
+	def   *shape
+	edges int
+}
+
+// enumerator enumerates definition shapes for (bound, cover) pairs.
+type enumerator struct {
+	fds      fd.Set
+	keyArity int // 0 = unlimited
+	memo     map[string][]cand
+}
+
+// defs returns every definition shape covering exactly cover under bound
+// columns bound, using at most budget map edges. Results are deep-copied on
+// return so callers own variable identities.
+func (e *enumerator) defs(bound, cover relation.Cols, budget int) []cand {
+	key := fmt.Sprintf("%s|%s|%d", bound.Key(), cover.Key(), budget)
+	if cached, ok := e.memo[key]; ok {
+		return copyCands(cached)
+	}
+	var out []cand
+
+	// Unit: needs a nonempty bound (rule AUNIT) and the FDs must determine
+	// the covered columns from the bound ones.
+	if !bound.IsEmpty() && e.fds.Implies(bound, cover) {
+		out = append(out, cand{def: &shape{unit: true, cols: cover}})
+	}
+
+	// Map: pick nonempty key columns K ⊆ cover; the child covers the rest
+	// under bound ∪ K.
+	out = append(out, e.mapDefs(bound, cover, budget)...)
+
+	// Join: split cover into two (possibly overlapping) sides. The left
+	// side is always a map (this normal form terminates and loses nothing:
+	// join is commutative and the canonical dedup folds mirrors); the right
+	// side may be a unit, map, or another join. The left side consumes at
+	// least one edge, so the right side's budget strictly decreases and the
+	// recursion terminates.
+	if budget >= 1 && cover.Len() >= 1 {
+		for _, split := range coverSplits(cover) {
+			c1, c2 := split[0], split[1]
+			// Rule AJOIN's side condition, checked here to prune early;
+			// the authoritative adequacy check runs again on the result.
+			if !e.fds.Implies(bound.Union(c1.Intersect(c2)), c1.SymDiff(c2)) {
+				continue
+			}
+			for _, l := range e.mapDefs(bound, c1, budget) {
+				for _, r := range e.defs(bound, c2, budget-l.edges) {
+					out = append(out, cand{
+						def:   &shape{left: l.def, right: r.def},
+						edges: l.edges + r.edges,
+					})
+				}
+			}
+		}
+	}
+
+	e.memo[key] = out
+	return copyCands(out)
+}
+
+// mapDefs enumerates only map-rooted definition shapes for (bound, cover)
+// using at most budget edges.
+func (e *enumerator) mapDefs(bound, cover relation.Cols, budget int) []cand {
+	if budget < 1 || cover.IsEmpty() {
+		return nil
+	}
+	key := fmt.Sprintf("M%s|%s|%d", bound.Key(), cover.Key(), budget)
+	if cached, ok := e.memo[key]; ok {
+		return copyCands(cached)
+	}
+	var out []cand
+	for _, k := range nonEmptySubsets(cover) {
+		if e.keyArity > 0 && k.Len() > e.keyArity {
+			continue
+		}
+		rest := cover.Minus(k)
+		childBound := bound.Union(k)
+		for _, sub := range e.defs(childBound, rest, budget-1) {
+			out = append(out, cand{
+				def: &shape{cols: k, child: &shapeVar{
+					bound: childBound, def: sub.def,
+				}},
+				edges: sub.edges + 1,
+			})
+		}
+	}
+	e.memo[key] = out
+	return copyCands(out)
+}
+
+func copyCands(cs []cand) []cand {
+	out := make([]cand, len(cs))
+	for i, c := range cs {
+		out[i] = cand{def: c.def.clone(), edges: c.edges}
+	}
+	return out
+}
+
+// nonEmptySubsets returns every nonempty subset of c.
+func nonEmptySubsets(c relation.Cols) []relation.Cols {
+	names := c.Names()
+	var out []relation.Cols
+	for mask := 1; mask < 1<<len(names); mask++ {
+		var sub []string
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, n)
+			}
+		}
+		out = append(out, relation.NewCols(sub...))
+	}
+	return out
+}
+
+// coverSplits returns the pairs (C1, C2) with C1 ∪ C2 = c and both sides
+// nonempty: each column goes left, right, or both.
+func coverSplits(c relation.Cols) [][2]relation.Cols {
+	names := c.Names()
+	var out [][2]relation.Cols
+	total := 1
+	for range names {
+		total *= 3
+	}
+	for code := 0; code < total; code++ {
+		var l, r []string
+		x := code
+		for _, n := range names {
+			switch x % 3 {
+			case 0:
+				l = append(l, n)
+			case 1:
+				r = append(r, n)
+			default:
+				l = append(l, n)
+				r = append(r, n)
+			}
+			x /= 3
+		}
+		if len(l) == 0 || len(r) == 0 {
+			continue
+		}
+		out = append(out, [2]relation.Cols{relation.NewCols(l...), relation.NewCols(r...)})
+	}
+	return out
+}
+
+// EnumOptions configures shape enumeration.
+type EnumOptions struct {
+	// MaxEdges bounds the number of map edges (the paper's "size").
+	MaxEdges int
+	// KeyArity bounds the number of key columns per map edge; 0 means
+	// unlimited. The paper's autotuner-generated decompositions (Figures 11
+	// through 13) use single-column keys — KeyArity 1 reproduces its
+	// decomposition counts (82 here vs the paper's 84 for the graph
+	// relation at size ≤ 4); hand-written decompositions like Figure 2(a)
+	// may still use composite keys.
+	KeyArity int
+	// DefaultKind is the data structure placed on every edge of the
+	// returned shapes (assignments are swept separately).
+	DefaultKind dstruct.Kind
+}
+
+// EnumerateShapes returns every adequate decomposition shape for the
+// specification, de-duplicated up to isomorphism (including the choice of
+// data structures, which are all set to opts.DefaultKind). Sharing variants
+// — identical subtrees merged into one shared node, as in decomposition 5
+// of Figure 12 — are included.
+func EnumerateShapes(spec *core.Spec, opts EnumOptions) []*decomp.Decomp {
+	if opts.DefaultKind == "" {
+		opts.DefaultKind = dstruct.HTableKind
+	}
+	maxEdges := opts.MaxEdges
+	defaultKind := opts.DefaultKind
+	e := &enumerator{fds: spec.FDs, keyArity: opts.KeyArity, memo: make(map[string][]cand)}
+	cols := spec.Cols()
+	seen := make(map[string]bool)
+	var out []*decomp.Decomp
+	for _, c := range e.defs(relation.NewCols(), cols, maxEdges) {
+		for _, variant := range sharingVariants(c.def) {
+			d, err := buildDecomp(variant, cols, defaultKind)
+			if err != nil {
+				continue
+			}
+			if err := d.CheckAdequate(cols, spec.FDs); err != nil {
+				continue
+			}
+			key := d.CanonicalShape()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NumEdges() != out[j].NumEdges() {
+			return out[i].NumEdges() < out[j].NumEdges()
+		}
+		return out[i].CanonicalShape() < out[j].CanonicalShape()
+	})
+	return out
+}
+
+// sharingVariants returns the original shape plus variants in which groups
+// of structurally identical map targets are merged into shared variables.
+func sharingVariants(root *shape) []*shape {
+	// Collect the variables of the tree grouped by structure.
+	groups := make(map[string][]*shapeVar)
+	var walk func(s *shape)
+	walk = func(s *shape) {
+		switch {
+		case s == nil || s.unit:
+		case s.isJoin():
+			walk(s.left)
+			walk(s.right)
+		default:
+			groups[s.child.def.structKey()] = append(groups[s.child.def.structKey()], s.child)
+			walk(s.child.def)
+		}
+	}
+	walk(root)
+
+	var mergeable [][]*shapeVar
+	for _, g := range groups {
+		if len(g) >= 2 {
+			mergeable = append(mergeable, g)
+		}
+	}
+	sort.Slice(mergeable, func(i, j int) bool {
+		return mergeable[i][0].def.structKey() < mergeable[j][0].def.structKey()
+	})
+	if len(mergeable) == 0 || len(mergeable) > 4 {
+		return []*shape{root}
+	}
+
+	var out []*shape
+	for mask := 0; mask < 1<<len(mergeable); mask++ {
+		v := root.clone()
+		// Recompute groups on the clone (same traversal order).
+		cgroups := make(map[string][]*shapeVar)
+		var cwalk func(s *shape)
+		cwalk = func(s *shape) {
+			switch {
+			case s == nil || s.unit:
+			case s.isJoin():
+				cwalk(s.left)
+				cwalk(s.right)
+			default:
+				k := s.child.def.structKey()
+				cgroups[k] = append(cgroups[k], s.child)
+				cwalk(s.child.def)
+			}
+		}
+		cwalk(v)
+		for gi, g := range mergeable {
+			if mask&(1<<gi) == 0 {
+				continue
+			}
+			cg := cgroups[g[0].def.structKey()]
+			if len(cg) < 2 {
+				continue
+			}
+			// Merge: all members share the first member's definition, and
+			// the shared bound is the union of the members' bounds.
+			bound := cg[0].bound
+			for _, m := range cg[1:] {
+				bound = bound.Union(m.bound)
+			}
+			shared := &shapeVar{bound: bound, def: cg[0].def}
+			replaceVars(v, cg, shared)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// replaceVars rewires every map edge whose target is in olds to point at
+// shared instead.
+func replaceVars(s *shape, olds []*shapeVar, shared *shapeVar) {
+	switch {
+	case s == nil || s.unit:
+	case s.isJoin():
+		replaceVars(s.left, olds, shared)
+		replaceVars(s.right, olds, shared)
+	default:
+		for _, o := range olds {
+			if s.child == o {
+				s.child = shared
+			}
+		}
+		replaceVars(s.child.def, olds, shared)
+	}
+}
+
+// buildDecomp linearizes a shape into a decomp.Decomp, naming variables in
+// dependency order and computing each variable's cover.
+func buildDecomp(root *shape, cols relation.Cols, kind dstruct.Kind) (*decomp.Decomp, error) {
+	var bindings []decomp.Binding
+	names := make(map[*shapeVar]string)
+	var coverOf func(s *shape) relation.Cols
+	var emit func(v *shapeVar) string
+	var toPrim func(s *shape) decomp.Primitive
+
+	coverOf = func(s *shape) relation.Cols {
+		switch {
+		case s.unit:
+			return s.cols
+		case s.isJoin():
+			return coverOf(s.left).Union(coverOf(s.right))
+		default:
+			return s.cols.Union(coverOf(s.child.def))
+		}
+	}
+	toPrim = func(s *shape) decomp.Primitive {
+		switch {
+		case s.unit:
+			return &decomp.Unit{Cols: s.cols}
+		case s.isJoin():
+			return &decomp.Join{Left: toPrim(s.left), Right: toPrim(s.right)}
+		default:
+			return &decomp.MapEdge{Key: s.cols, DS: kind, Target: emit(s.child)}
+		}
+	}
+	emit = func(v *shapeVar) string {
+		if n, ok := names[v]; ok {
+			return n
+		}
+		prim := toPrim(v.def) // emits dependencies first
+		n := fmt.Sprintf("v%d", len(bindings))
+		names[v] = n
+		bindings = append(bindings, decomp.Binding{
+			Var: n, Bound: v.bound, Cover: coverOf(v.def), Def: prim,
+		})
+		return n
+	}
+
+	rootPrim := toPrim(root)
+	bindings = append(bindings, decomp.Binding{
+		Var: "root", Bound: relation.NewCols(), Cover: coverOf(root), Def: rootPrim,
+	})
+	return decomp.New(bindings, "root")
+}

@@ -1,0 +1,142 @@
+package autotuner_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/autotuner"
+	"repro/internal/core"
+	"repro/internal/dstruct"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func TestPredictPrefersIndexedLookups(t *testing.T) {
+	spec := graphSpec()
+	profile := []autotuner.ProfileOp{
+		{Kind: autotuner.ProfileQuery, In: []string{"src"}, Out: []string{"dst"}, Weight: 10},
+		{Kind: autotuner.ProfileInsert, Weight: 1},
+	}
+	// A hash-indexed chain must predict cheaper than an all-list chain for
+	// a lookup-heavy profile.
+	indexed, err := autotuner.Predict(spec, paperex.GraphDecomp1(), profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists, err := paperex.GraphDecomp1().WithKinds([]dstruct.Kind{dstruct.DListKind, dstruct.DListKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listCost, err := autotuner.Predict(spec, lists, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexed >= listCost {
+		t.Errorf("indexed decomposition (%.1f) not predicted cheaper than list chain (%.1f)", indexed, listCost)
+	}
+}
+
+func TestPredictRejectsImpossibleProfile(t *testing.T) {
+	spec := graphSpec()
+	if _, err := autotuner.Predict(spec, paperex.GraphDecomp1(),
+		[]autotuner.ProfileOp{{Kind: autotuner.ProfileQuery, In: []string{"src"}, Out: []string{"nonexistent"}}}, nil); err == nil {
+		t.Errorf("profile over unknown column accepted")
+	}
+}
+
+func TestPredictRankOrdersShapes(t *testing.T) {
+	spec := graphSpec()
+	profile := []autotuner.ProfileOp{
+		{Kind: autotuner.ProfileQuery, In: []string{"src"}, Out: []string{"dst"}, Weight: 5},
+		{Kind: autotuner.ProfileQuery, In: []string{"dst"}, Out: []string{"src"}, Weight: 5},
+		{Kind: autotuner.ProfileInsert, Weight: 1},
+	}
+	preds, err := autotuner.PredictRank(spec, autotuner.Options{
+		MaxEdges: 3, KeyArity: 1,
+		Palette:        []dstruct.Kind{dstruct.HTableKind, dstruct.DListKind},
+		MaxAssignments: 8,
+	}, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) < 5 {
+		t.Fatalf("only %d predictions", len(preds))
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Cost > preds[i].Cost {
+			t.Fatalf("predictions not sorted")
+		}
+	}
+}
+
+// TestPredictionAgreesWithMeasurement is the cost-model validation: on a
+// small bidirectional-traversal workload, the statically predicted best
+// shape must rank near the top of the measured order.
+func TestPredictionAgreesWithMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a measured sweep")
+	}
+	spec := graphSpec()
+	opts := autotuner.Options{
+		MaxEdges: 2, KeyArity: 1,
+		Palette:        []dstruct.Kind{dstruct.HTableKind, dstruct.DListKind},
+		MaxAssignments: 8,
+		Timeout:        2 * time.Second,
+	}
+	profile := []autotuner.ProfileOp{
+		{Kind: autotuner.ProfileQuery, In: []string{"src"}, Out: []string{"dst"}, Weight: 10},
+		{Kind: autotuner.ProfileInsert, Weight: 1},
+	}
+	edges := workload.RoadNetwork(10, 3)
+	var sample []relation.Tuple
+	for _, e := range edges[:min(len(edges), 400)] {
+		sample = append(sample, paperex.EdgeTuple(e.Src, e.Dst, e.Weight))
+	}
+	preds, err := autotuner.PredictRank(spec, opts, profile, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measured, err := autotuner.Tune(spec, opts, func(r *core.Relation, deadline time.Time) (float64, error) {
+		start := time.Now()
+		for _, e := range edges {
+			if err := r.Insert(paperex.EdgeTuple(e.Src, e.Dst, e.Weight)); err != nil {
+				return 0, err
+			}
+		}
+		for rep := 0; rep < 10; rep++ {
+			for v := int64(0); v < 100; v++ {
+				err := r.QueryFunc(relation.NewTuple(relation.BindInt("src", v)), []string{"dst"},
+					func(relation.Tuple) bool { return true })
+				if err != nil {
+					return 0, err
+				}
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, autotuner.ErrTimeout
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The predicted winner's shape must be within the top third of the
+	// measured ranking (the cost model is a heuristic, not an oracle).
+	predBest := preds[0].Decomp.CanonicalShape()
+	limit := len(measured)/3 + 1
+	for i, res := range measured {
+		if res.Failed {
+			break
+		}
+		if res.Decomp.CanonicalShape() == predBest {
+			if i >= limit {
+				t.Errorf("predicted best shape ranked %d of %d measured", i+1, len(measured))
+			}
+			return
+		}
+	}
+	t.Errorf("predicted best shape not found among measured results")
+}

@@ -1,0 +1,160 @@
+package autotuner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+)
+
+// A Benchmark measures one candidate representation: it receives a fresh
+// empty relation and a deadline, runs its workload, and returns the cost
+// (any metric — the autotuner makes no assumption; elapsed seconds is
+// typical). Long-running candidates should poll the deadline and return
+// ErrTimeout, mirroring the paper's cut-off for hopeless decompositions
+// (the 68 elided entries of Figure 11).
+type Benchmark func(r *core.Relation, deadline time.Time) (float64, error)
+
+// ErrTimeout is returned by benchmarks that exceed their deadline.
+var ErrTimeout = fmt.Errorf("autotuner: benchmark exceeded its deadline")
+
+// Options configures a tuning run.
+type Options struct {
+	// MaxEdges bounds the enumeration (the paper's "up to size 4").
+	MaxEdges int
+	// KeyArity bounds key columns per edge; see EnumOptions.KeyArity.
+	KeyArity int
+	// Palette is the set of data structures swept per edge. Default:
+	// htable, avl, dlist.
+	Palette []dstruct.Kind
+	// MaxAssignments caps the number of data-structure assignments tried
+	// per shape (they are generated in a deterministic order). 0 = no cap.
+	MaxAssignments int
+	// Timeout is the per-benchmark deadline. 0 = none.
+	Timeout time.Duration
+}
+
+func (o *Options) palette() []dstruct.Kind {
+	if len(o.Palette) > 0 {
+		return o.Palette
+	}
+	return []dstruct.Kind{dstruct.HTableKind, dstruct.AVLKind, dstruct.DListKind}
+}
+
+// A Result is the outcome for one decomposition shape: its best
+// data-structure assignment and that assignment's cost. Failed reports
+// shapes where no assignment finished (the "did not complete" entries of
+// Figures 11 and 13).
+type Result struct {
+	Decomp *decomp.Decomp // best assignment of the shape
+	Shape  string         // canonical shape key
+	Cost   float64
+	Tried  int // assignments benchmarked
+	Failed bool
+	Err    error // last error when Failed
+}
+
+// Assignments returns the decomposition with every combination of palette
+// data structures on its edges that passes core validation for the spec
+// (e.g. vectors only on single integer key columns). The input
+// decomposition's own assignment is always first.
+func Assignments(spec *core.Spec, d *decomp.Decomp, palette []dstruct.Kind, cap int) []*decomp.Decomp {
+	nEdges := d.NumEdges()
+	out := []*decomp.Decomp{d}
+	kinds := make([]dstruct.Kind, nEdges)
+	var rec func(i int)
+	rec = func(i int) {
+		if cap > 0 && len(out) > cap {
+			return
+		}
+		if i == nEdges {
+			d2, err := d.WithKinds(kinds)
+			if err != nil {
+				return
+			}
+			if _, err := core.New(spec, d2); err != nil {
+				return
+			}
+			out = append(out, d2)
+			return
+		}
+		for _, k := range palette {
+			kinds[i] = k
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if cap > 0 && len(out) > cap {
+		out = out[:cap]
+	}
+	return out
+}
+
+// Tune runs the full autotuner: enumerate every adequate shape up to
+// opts.MaxEdges, sweep data-structure assignments from the palette, run the
+// benchmark on each candidate, and return one Result per shape sorted by
+// increasing cost, failed shapes last. This is the paper's §5 algorithm
+// with the same contract: the cost metric is opaque.
+func Tune(spec *core.Spec, opts Options, bench Benchmark) ([]Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shapes := EnumerateShapes(spec, EnumOptions{MaxEdges: opts.MaxEdges, KeyArity: opts.KeyArity})
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("autotuner: no adequate decompositions with ≤ %d edges", opts.MaxEdges)
+	}
+	var results []Result
+	for _, shape := range shapes {
+		res := Result{Shape: shape.CanonicalShape(), Failed: true}
+		for _, cand := range Assignments(spec, shape, opts.palette(), opts.MaxAssignments) {
+			cost, err := runOne(spec, cand, opts.Timeout, bench)
+			res.Tried++
+			if err != nil {
+				if res.Failed {
+					res.Err = err
+				}
+				continue
+			}
+			if res.Failed || cost < res.Cost {
+				res.Decomp, res.Cost, res.Failed, res.Err = cand, cost, false, nil
+			}
+		}
+		if res.Decomp == nil {
+			res.Decomp = shape
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Failed != results[j].Failed {
+			return !results[i].Failed
+		}
+		if results[i].Failed {
+			return results[i].Shape < results[j].Shape
+		}
+		return results[i].Cost < results[j].Cost
+	})
+	return results, nil
+}
+
+// runOne benchmarks a single candidate, converting panics (e.g. a vector
+// edge whose key range explodes) into errors so one hopeless candidate
+// cannot abort the sweep.
+func runOne(spec *core.Spec, d *decomp.Decomp, timeout time.Duration, bench Benchmark) (cost float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("autotuner: candidate panicked: %v", r)
+		}
+	}()
+	r, err := core.New(spec, d)
+	if err != nil {
+		return 0, err
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	return bench(r, deadline)
+}

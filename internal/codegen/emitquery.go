@@ -1,0 +1,273 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// emitPlan lowers a query plan to straight-line Go. bound maps each
+// already-bound column to the Go expression holding its value; leaf is
+// called to emit the innermost body once all of the plan's columns are
+// bound. Enclosing methods declare `stop`, which scans consult to
+// implement early termination.
+func (g *gen) emitPlan(op plan.Op, prim decomp.Primitive, nodeExpr string, bound map[string]string, leaf func(bound map[string]string)) {
+	switch op := op.(type) {
+	case *plan.Unit:
+		u := prim.(*decomp.Unit)
+		var conds []string
+		nb := copyBound(bound)
+		for _, c := range u.Cols.Names() {
+			expr := nodeExpr + "." + field(c)
+			if prev, ok := bound[c]; ok {
+				conds = append(conds, fmt.Sprintf("%s == %s", expr, prev))
+			}
+			nb[c] = expr
+		}
+		if len(conds) > 0 {
+			g.pf("if %s {\n", strings.Join(conds, " && "))
+			leaf(nb)
+			g.pf("}\n")
+		} else {
+			leaf(nb)
+		}
+	case *plan.Lookup:
+		e := op.Edge
+		child := g.fresh("c")
+		g.pf("if %s := %s.e%d.get(%s); %s != nil {\n",
+			child, nodeExpr, e.ID,
+			g.keyExpr(e, func(c string) string { return bound[c] }), child)
+		g.emitPlan(op.Sub, g.d.Var(e.Target).Def, child, bound, leaf)
+		g.pf("}\n")
+	case *plan.Scan:
+		e := op.Edge
+		kv, child := g.fresh("k"), g.fresh("c")
+		g.pf("%s.e%d.visit(func(%s %s, %s *%s) bool {\n",
+			nodeExpr, e.ID, kv, g.keyType(e), child, nodeType(e.Target))
+		nb := copyBound(bound)
+		var conds []string
+		for _, c := range e.Key.Names() {
+			expr := g.keyColExpr(e, kv, c)
+			if prev, ok := bound[c]; ok {
+				conds = append(conds, fmt.Sprintf("%s != %s", expr, prev))
+			}
+			nb[c] = expr
+		}
+		if len(conds) > 0 {
+			g.pf("if %s {\nreturn true\n}\n", strings.Join(conds, " || "))
+		}
+		g.emitPlan(op.Sub, g.d.Var(e.Target).Def, child, nb, leaf)
+		g.pf("return !stop\n})\n")
+	case *plan.LR:
+		j := prim.(*decomp.Join)
+		side := j.Left
+		if op.Side == plan.Right {
+			side = j.Right
+		}
+		g.emitPlan(op.Sub, side, nodeExpr, bound, leaf)
+	case *plan.Join:
+		j := prim.(*decomp.Join)
+		outerOp, innerOp := op.LeftOp, op.RightOp
+		outerPrim, innerPrim := j.Left, j.Right
+		if op.First == plan.Right {
+			outerOp, innerOp = op.RightOp, op.LeftOp
+			outerPrim, innerPrim = j.Right, j.Left
+		}
+		g.emitPlan(outerOp, outerPrim, nodeExpr, bound, func(b2 map[string]string) {
+			g.emitPlan(innerOp, innerPrim, nodeExpr, b2, leaf)
+		})
+	default:
+		panic(fmt.Sprintf("codegen: unknown plan operator %T", op))
+	}
+}
+
+func copyBound(b map[string]string) map[string]string {
+	nb := make(map[string]string, len(b)+2)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// planFor picks the compile-time plan for an operation shape.
+func (g *gen) planFor(in, out []string) (*plan.Candidate, error) {
+	return g.planner.Best(relation.NewCols(in...), relation.NewCols(out...))
+}
+
+// argList renders typed parameters for columns with a prefix.
+func (g *gen) argList(prefix string, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range sorted(cols) {
+		parts[i] = fmt.Sprintf("%s%s %s", prefix, c, g.goType(c))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func boundArgs(prefix string, cols []string) map[string]string {
+	b := make(map[string]string, len(cols))
+	for _, c := range cols {
+		b[c] = prefix + c
+	}
+	return b
+}
+
+// tupleLit renders a Tuple literal with every relation column taken from
+// bound expressions.
+func (g *gen) tupleLit(bound map[string]string) string {
+	parts := make([]string, 0, len(g.spec.Columns))
+	for _, c := range g.spec.Cols().Names() {
+		parts = append(parts, fmt.Sprintf("%s: %s", export(c), bound[c]))
+	}
+	return "Tuple{" + strings.Join(parts, ", ") + "}"
+}
+
+func (g *gen) emitContains() error {
+	all := g.spec.Cols().Names()
+	cand, err := g.planFor(all, all)
+	if err != nil {
+		return fmt.Errorf("codegen: no membership plan: %w", err)
+	}
+	g.pf("// contains reports whether the exact tuple t is present.\n")
+	g.pf("// Compile-time plan: %s\n", cand.Op)
+	g.pf("func (r *Relation) contains(t Tuple) bool {\n")
+	g.pf("\tstop := false\n\t_ = stop\n\tfound := false\n")
+	bound := make(map[string]string, len(all))
+	for _, c := range all {
+		bound[c] = tupleColExpr("t", c)
+	}
+	g.emitPlan(cand.Op, g.d.RootBinding().Def, "r.root", bound, func(map[string]string) {
+		g.pf("found = true\nstop = true\n")
+	})
+	g.pf("\treturn found\n}\n\n")
+	return nil
+}
+
+func (g *gen) emitAll() error {
+	all := g.spec.Cols().Names()
+	cand, err := g.planFor(nil, all)
+	if err != nil {
+		return fmt.Errorf("codegen: no enumeration plan: %w", err)
+	}
+	g.pf("// All streams every tuple until yield returns false.\n")
+	g.pf("// Compile-time plan: %s\n", cand.Op)
+	g.pf("func (r *Relation) All(yield func(Tuple) bool) {\n")
+	g.pf("\tstop := false\n\t_ = stop\n")
+	g.emitPlan(cand.Op, g.d.RootBinding().Def, "r.root", map[string]string{}, func(b map[string]string) {
+		g.pf("if !yield(%s) {\nstop = true\n}\n", g.tupleLit(b))
+	})
+	g.pf("}\n\n")
+	return nil
+}
+
+func (g *gen) emitQueryOp(op Op) error {
+	cand, err := g.planFor(op.In, op.Out)
+	if err != nil {
+		return fmt.Errorf("codegen: %s: %w", methodName(op), err)
+	}
+	outs := sorted(op.Out)
+	g.pf("// %s streams the %s columns of the tuples matching the given\n", methodName(op), camel(op.Out))
+	g.pf("// pattern, until yield returns false. Duplicate projections are not\n")
+	g.pf("// eliminated (constant-space query execution, §4.1 of the paper).\n")
+	g.pf("// Compile-time plan: %s\n", cand.Op)
+	g.pf("func (r *Relation) %s(%s, yield func(%s) bool) {\n",
+		methodName(op), g.argList("a_", op.In), g.argList("o_", op.Out))
+	g.pf("\tstop := false\n\t_ = stop\n")
+	g.emitPlan(cand.Op, g.d.RootBinding().Def, "r.root", boundArgs("a_", op.In), func(b map[string]string) {
+		args := make([]string, len(outs))
+		for i, c := range outs {
+			args[i] = b[c]
+		}
+		g.pf("if !yield(%s) {\nstop = true\n}\n", strings.Join(args, ", "))
+	})
+	g.pf("}\n\n")
+	return nil
+}
+
+func (g *gen) emitRemoveOp(op Op) error {
+	all := g.spec.Cols().Names()
+	cand, err := g.planFor(op.In, all)
+	if err != nil {
+		return fmt.Errorf("codegen: %s: %w", methodName(op), err)
+	}
+	g.pf("// %s removes every tuple matching the pattern and returns how many\n", methodName(op))
+	g.pf("// were removed (§4.5: locate with a query plan, then break the edges\n")
+	g.pf("// crossing the decomposition cut per tuple).\n")
+	g.pf("// Compile-time plan: %s\n", cand.Op)
+	g.pf("func (r *Relation) %s(%s) int {\n", methodName(op), g.argList("a_", op.In))
+	g.pf("\tstop := false\n\t_ = stop\n\tvar doomed []Tuple\n")
+	g.emitPlan(cand.Op, g.d.RootBinding().Def, "r.root", boundArgs("a_", op.In), func(b map[string]string) {
+		g.pf("doomed = append(doomed, %s)\n", g.tupleLit(b))
+	})
+	g.pf("\tn := 0\n\tfor _, t := range doomed {\n\t\tif r.removeTuple(t) {\n\t\t\tn++\n\t\t}\n\t}\n\treturn n\n}\n\n")
+	return nil
+}
+
+// canUpdateInPlace mirrors the instance runtime's rule: the updated columns
+// may not appear in any map key or any variable's bound columns.
+func (g *gen) canUpdateInPlace(set []string) bool {
+	cols := relation.NewCols(set...)
+	for _, e := range g.d.Edges() {
+		if !e.Key.Intersect(cols).IsEmpty() {
+			return false
+		}
+	}
+	for _, b := range g.d.Bindings() {
+		if !b.Bound.Intersect(cols).IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *gen) emitUpdateOp(op Op) error {
+	all := g.spec.Cols().Names()
+	cand, err := g.planFor(op.In, all)
+	if err != nil {
+		return fmt.Errorf("codegen: %s: %w", methodName(op), err)
+	}
+	inPlace := g.canUpdateInPlace(op.Set)
+	g.pf("// %s updates the %s columns of the tuple matching the key pattern\n", methodName(op), camel(op.Set))
+	g.pf("// and returns how many tuples changed (0 or 1: the pattern is a key).\n")
+	if inPlace {
+		g.pf("// The update happens in place: the touched columns live only in unit\n// nodes below the cut (§4.5).\n")
+	} else {
+		g.pf("// The touched columns participate in keys, so the tuple is re-homed\n// by removal and reinsertion (§4.5).\n")
+	}
+	g.pf("// Compile-time plan: %s\n", cand.Op)
+	g.pf("func (r *Relation) %s(%s, %s) (int, error) {\n",
+		methodName(op), g.argList("a_", op.In), g.argList("u_", op.Set))
+	g.pf("\tstop := false\n\t_ = stop\n\tvar old Tuple\n\tfound := false\n")
+	g.emitPlan(cand.Op, g.d.RootBinding().Def, "r.root", boundArgs("a_", op.In), func(b map[string]string) {
+		g.pf("old = %s\nfound = true\nstop = true\n", g.tupleLit(b))
+	})
+	g.pf("\tif !found {\n\t\treturn 0, nil\n\t}\n")
+	if inPlace {
+		g.emitLocateAll("old", false)
+		for _, b := range g.d.TopoDown() {
+			g.pf("\t_ = n_%s\n", b.Var)
+		}
+		setCols := relation.NewCols(op.Set...)
+		for _, b := range g.d.Bindings() {
+			for _, u := range g.d.UnitsOf(b.Var) {
+				for _, c := range u.Cols.Names() {
+					if setCols.Has(c) {
+						g.pf("\tn_%s.%s = u_%s\n", b.Var, field(c), c)
+					}
+				}
+			}
+		}
+		g.pf("\treturn 1, nil\n}\n\n")
+		return nil
+	}
+	g.pf("\tmerged := old\n")
+	for _, c := range sorted(op.Set) {
+		g.pf("\tmerged.%s = u_%s\n", export(c), c)
+	}
+	g.pf("\tr.removeTuple(old)\n")
+	g.pf("\tif _, err := r.Insert(merged); err != nil {\n\t\treturn 0, err\n\t}\n")
+	g.pf("\treturn 1, nil\n}\n\n")
+	return nil
+}

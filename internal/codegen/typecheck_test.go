@@ -1,0 +1,86 @@
+package codegen_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/autotuner"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dstruct"
+	"repro/internal/paperex"
+)
+
+// typecheck parses and type-checks one generated file against the real
+// standard library, without invoking the toolchain — fast enough to sweep
+// the emitter across many decomposition shapes.
+func typecheck(t *testing.T, src []byte) error {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "gen.go", src, 0)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	_, err = conf.Check("gen", fset, []*ast.File{f}, nil)
+	return err
+}
+
+// TestGeneratedTypechecksAcrossShapes generates code for every enumerated
+// decomposition shape of the graph and scheduler relations (with a sweep
+// of data-structure assignments) and type-checks the result. The
+// behavioural differential test covers three decompositions deeply; this
+// covers the whole emitter surface broadly — every container emitter, key
+// arity, join nesting, sharing pattern, and plan shape the enumerator can
+// produce.
+func TestGeneratedTypechecksAcrossShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks dozens of generated packages")
+	}
+	specs := []*core.Spec{
+		schedSpec(),
+		{
+			Name: "edges",
+			Columns: []core.ColDef{
+				{Name: "src", Type: core.IntCol},
+				{Name: "dst", Type: core.IntCol},
+				{Name: "weight", Type: core.IntCol},
+			},
+			FDs: paperex.GraphFDs(),
+		},
+	}
+	palette := []dstruct.Kind{dstruct.HTableKind, dstruct.DListKind, dstruct.AVLKind, dstruct.VectorKind}
+	total := 0
+	for _, spec := range specs {
+		keyCols := spec.FDs.All()[0].From.Names()
+		ops := []codegen.Op{
+			{Kind: codegen.QueryOp, In: keyCols[:1], Out: spec.Cols().Minus(spec.Cols()).Union(spec.Cols()).Names()},
+			{Kind: codegen.RemoveOp, In: keyCols},
+			{Kind: codegen.UpdateOp, In: keyCols, Set: spec.Cols().Minus(spec.FDs.Closure(spec.Cols()).Intersect(spec.Cols())).Names()},
+		}
+		// The update op's Set must be nonempty and disjoint from the key.
+		ops[2].Set = spec.Cols().Minus(spec.FDs.All()[0].From).Names()
+		shapes := autotuner.EnumerateShapes(spec, autotuner.EnumOptions{MaxEdges: 3, KeyArity: 1})
+		for _, shape := range shapes {
+			for i, cand := range autotuner.Assignments(spec, shape, palette, 3) {
+				files, err := codegen.Generate(spec, cand, codegen.Options{Package: "gen", Ops: ops})
+				if err != nil {
+					t.Fatalf("%s shape %s assignment %d: generate: %v", spec.Name, shape.CanonicalShape(), i, err)
+				}
+				if err := typecheck(t, files["gen.go"]); err != nil {
+					t.Fatalf("%s shape assignment %d does not typecheck: %v\n%s", spec.Name, i, err, shape)
+				}
+				total++
+			}
+		}
+	}
+	if total < 50 {
+		t.Fatalf("only %d generated packages checked; enumeration too small", total)
+	}
+	t.Logf("type-checked %d generated packages", total)
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/decomp"
+	"repro/internal/instance"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// A Relation is a synthesized data representation: the relational interface
+// of §2 implemented over the decomposition instance of a chosen
+// decomposition, with every query compiled to the cheapest valid plan.
+//
+// Like the paper's generated code, a Relation trusts its client to respect
+// the relational specification: inserting a tuple that would violate the
+// declared functional dependencies is a client error (Lemma 4's
+// precondition). The structurally detectable violations are still reported
+// as errors; set CheckFDs for full validation at a per-operation query
+// cost.
+type Relation struct {
+	spec    *Spec
+	dcmp    *decomp.Decomp
+	inst    *instance.Instance
+	planner *plan.Planner
+	plansMu sync.Mutex
+	plans   map[string]*plan.Candidate
+
+	// CheckFDs enables full functional-dependency validation on every
+	// insert and update. Off by default: the paper's compiled code performs
+	// no dynamic checking.
+	CheckFDs bool
+
+	// CachePlans controls memoization of query plans per (input, output)
+	// column signature. On by default; the ablation benchmark turns it off.
+	CachePlans bool
+}
+
+// New checks the specification, verifies the decomposition is adequate for
+// it (Figure 6), verifies data-structure key typing (a vector edge needs a
+// single integer key column), and returns an empty relation.
+func New(spec *Spec, d *decomp.Decomp) (*Relation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.CheckAdequate(spec.Cols(), spec.FDs); err != nil {
+		return nil, err
+	}
+	for _, e := range d.Edges() {
+		if !e.DS.IntKeyedOnly() {
+			continue
+		}
+		for _, k := range e.Key.Names() {
+			if t, _ := spec.Type(k); t != IntCol {
+				return nil, fmt.Errorf("core: edge %s→%s uses a %s over non-integer column %q", e.Parent, e.Target, e.DS, k)
+			}
+		}
+	}
+	r := &Relation{
+		spec:       spec,
+		dcmp:       d,
+		inst:       instance.New(d, spec.FDs),
+		plans:      make(map[string]*plan.Candidate),
+		CachePlans: true,
+	}
+	r.planner = plan.NewPlanner(d, spec.FDs, nil)
+	return r, nil
+}
+
+// MustNew is New for statically known-good configurations; it panics on
+// error. Use in examples and fixtures only.
+func MustNew(spec *Spec, d *decomp.Decomp) *Relation {
+	r, err := New(spec, d)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Spec returns the relational specification.
+func (r *Relation) Spec() *Spec { return r.spec }
+
+// Decomp returns the decomposition.
+func (r *Relation) Decomp() *decomp.Decomp { return r.dcmp }
+
+// Instance exposes the underlying decomposition instance for tests and
+// profiling.
+func (r *Relation) Instance() *instance.Instance { return r.inst }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.inst.Len() }
+
+// Reprofile replaces the planner's statistics with fanouts measured from
+// the current instance (§4.3's profiling option) and clears the plan cache.
+func (r *Relation) Reprofile() {
+	r.planner = plan.NewPlanner(r.dcmp, r.spec.FDs, plan.MeasuredStats(r.inst))
+	r.plansMu.Lock()
+	r.plans = make(map[string]*plan.Candidate)
+	r.plansMu.Unlock()
+}
+
+// planFor returns the cheapest valid plan computing output from input,
+// memoized on the column signature. The cache has its own lock so that
+// concurrent readers through SyncRelation (which only hold a shared lock
+// during queries) stay race-free; at worst two concurrent misses plan the
+// same shape twice.
+func (r *Relation) planFor(input, output relation.Cols) (*plan.Candidate, error) {
+	key := input.Key() + "|" + output.Key()
+	if r.CachePlans {
+		r.plansMu.Lock()
+		c, ok := r.plans[key]
+		r.plansMu.Unlock()
+		if ok {
+			return c, nil
+		}
+	}
+	c, err := r.planner.Best(input, output)
+	if err != nil {
+		return nil, err
+	}
+	if r.CachePlans {
+		r.plansMu.Lock()
+		r.plans[key] = c
+		r.plansMu.Unlock()
+	}
+	return c, nil
+}
+
+// PlanDescription returns the chosen plan for a query shape in the paper's
+// notation, for debugging and documentation.
+func (r *Relation) PlanDescription(input, output []string) (string, error) {
+	c, err := r.planFor(relation.NewCols(input...), relation.NewCols(output...))
+	if err != nil {
+		return "", err
+	}
+	return c.Op.String(), nil
+}
+
+// Insert implements insert r t. The tuple must bind exactly the relation's
+// columns with the declared types. With CheckFDs it also verifies the
+// functional dependencies are preserved.
+func (r *Relation) Insert(t relation.Tuple) error {
+	if err := r.spec.CheckTuple(t, true); err != nil {
+		return err
+	}
+	if r.CheckFDs {
+		for _, f := range r.spec.FDs.All() {
+			conflict := false
+			err := r.queryFunc(t.Project(f.From), f.To, func(got relation.Tuple) bool {
+				conflict = !got.Project(f.To).Equal(t.Project(f.To))
+				return !conflict
+			})
+			if err != nil {
+				return err
+			}
+			if conflict {
+				return fmt.Errorf("core: insert of %v violates FD %v", t, f)
+			}
+		}
+	}
+	_, err := r.inst.Insert(t)
+	return err
+}
+
+// Query implements query r s C: it returns π_C of the tuples extending s,
+// de-duplicated and in deterministic order. It is a convenience wrapper;
+// performance-sensitive clients should use QueryFunc, which streams like
+// the paper's generated iterators.
+func (r *Relation) Query(s relation.Tuple, out []string) ([]relation.Tuple, error) {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return nil, err
+	}
+	outCols := relation.NewCols(out...)
+	if !outCols.SubsetOf(r.spec.Cols()) {
+		return nil, fmt.Errorf("core: query output %v not in relation columns", outCols)
+	}
+	cand, err := r.planFor(s.Dom(), outCols)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Collect(r.inst, cand.Op, s, outCols), nil
+}
+
+// QueryFunc implements the streaming query of the paper's generated
+// iterators: f is called with π_C(t) for each matching tuple t, stopping if
+// f returns false. Like the paper's constant-space query execution it does
+// not eliminate duplicate projections.
+func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tuple) bool) error {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return err
+	}
+	outCols := relation.NewCols(out...)
+	return r.queryFunc(s, outCols, func(t relation.Tuple) bool {
+		return f(t.Project(outCols))
+	})
+}
+
+func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relation.Tuple) bool) error {
+	cand, err := r.planFor(s.Dom(), out)
+	if err != nil {
+		return err
+	}
+	plan.Exec(r.inst, cand.Op, s, f)
+	return nil
+}
+
+// QueryRange implements the order-based query extension (§2 of the paper
+// notes it is a straightforward addition to the equality-only interface):
+// π_out of the tuples t extending s with lo ≤ t(col) ≤ hi. Either bound
+// may be nil for a half-open range. When the chosen plan scans an ordered
+// structure keyed by col, the bound turns into a seek instead of a filter.
+// Results are de-duplicated and deterministic, like Query.
+func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
+	seen := make(map[string]relation.Tuple)
+	err := r.QueryRangeFunc(s, col, lo, hi, out, func(t relation.Tuple) bool {
+		seen[t.Key()] = t
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := make([]relation.Tuple, 0, len(seen))
+	for _, t := range seen {
+		res = append(res, t)
+	}
+	relation.SortTuples(res)
+	return res, nil
+}
+
+// QueryRangeFunc is the streaming form of QueryRange.
+func (r *Relation) QueryRangeFunc(s relation.Tuple, col string, lo, hi *value.Value, out []string, f func(relation.Tuple) bool) error {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return err
+	}
+	if _, ok := r.spec.Type(col); !ok {
+		return fmt.Errorf("core: relation %q has no column %q", r.spec.Name, col)
+	}
+	if s.Dom().Has(col) {
+		return fmt.Errorf("core: range column %q already bound by the pattern", col)
+	}
+	outCols := relation.NewCols(out...)
+	if !outCols.SubsetOf(r.spec.Cols()) {
+		return fmt.Errorf("core: query output %v not in relation columns", outCols)
+	}
+	// The plan must bind the range column so the constraint is enforced.
+	cand, err := r.planFor(s.Dom(), outCols.Union(relation.NewCols(col)))
+	if err != nil {
+		return err
+	}
+	rg := plan.Range{Col: col}
+	if lo != nil {
+		rg.Lo, rg.HasLo = *lo, true
+	}
+	if hi != nil {
+		rg.Hi, rg.HasHi = *hi, true
+	}
+	plan.ExecRange(r.inst, cand.Op, s, rg, func(t relation.Tuple) bool {
+		return f(t.Project(outCols))
+	})
+	return nil
+}
+
+// Remove implements remove r s: it removes every tuple extending s and
+// returns how many were removed. Per §4.5 it finds the doomed tuples with a
+// query plan and breaks the edges crossing the decomposition cut for each.
+func (r *Relation) Remove(s relation.Tuple) (int, error) {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return 0, err
+	}
+	var doomed []relation.Tuple
+	if err := r.queryFunc(s, r.spec.Cols(), func(t relation.Tuple) bool {
+		doomed = append(doomed, t.Project(r.spec.Cols()))
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range doomed {
+		if r.inst.RemoveTuple(t) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Update implements the restricted dupdate of §4.5: the pattern s must be a
+// key for the relation (∆ ⊢ dom s → columns) and u must not bind any column
+// of s. It updates in place when the touched columns live only in unit
+// nodes below the cut; otherwise it removes and reinserts. It returns the
+// number of tuples updated (0 or 1, since s is a key).
+func (r *Relation) Update(s, u relation.Tuple) (int, error) {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return 0, err
+	}
+	if err := r.spec.CheckTuple(u, false); err != nil {
+		return 0, err
+	}
+	if !r.spec.FDs.IsKey(s.Dom(), r.spec.Cols()) {
+		return 0, fmt.Errorf("core: update pattern %v is not a key (the paper's dupdate restriction)", s)
+	}
+	if !s.Dom().Intersect(u.Dom()).IsEmpty() {
+		return 0, fmt.Errorf("core: update values %v overlap the pattern %v", u, s)
+	}
+	var match relation.Tuple
+	found := false
+	if err := r.queryFunc(s, r.spec.Cols(), func(t relation.Tuple) bool {
+		match, found = t.Project(r.spec.Cols()), true
+		return false
+	}); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, nil
+	}
+	merged := match.Merge(u)
+	if r.CheckFDs {
+		if err := r.spec.CheckTuple(merged, true); err != nil {
+			return 0, err
+		}
+	}
+	if r.inst.UpdateInPlace(match, u) {
+		return 1, nil
+	}
+	r.inst.RemoveTuple(match)
+	if _, err := r.inst.Insert(merged); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// All returns every tuple, in deterministic order.
+func (r *Relation) All() ([]relation.Tuple, error) {
+	return r.Query(relation.NewTuple(), r.spec.Cols().Names())
+}
+
+// CheckInvariants verifies the instance's well-formedness (Figure 5), that
+// the abstraction satisfies the declared FDs, and that Len agrees with α.
+// It is intended for tests; it walks the whole instance.
+func (r *Relation) CheckInvariants() error {
+	if err := r.inst.CheckWF(); err != nil {
+		return err
+	}
+	rel := r.inst.Relation()
+	if !r.spec.FDs.Holds(rel) {
+		return fmt.Errorf("core: abstraction of %q violates its FDs", r.spec.Name)
+	}
+	if rel.Len() != r.inst.Len() {
+		return fmt.Errorf("core: Len() = %d but α has %d tuples", r.inst.Len(), rel.Len())
+	}
+	return nil
+}

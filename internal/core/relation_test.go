@@ -1,0 +1,386 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+func schedSpec() *core.Spec {
+	return &core.Spec{
+		Name: "processes",
+		Columns: []core.ColDef{
+			{Name: "ns", Type: core.IntCol},
+			{Name: "pid", Type: core.IntCol},
+			{Name: "state", Type: core.IntCol},
+			{Name: "cpu", Type: core.IntCol},
+		},
+		FDs: paperex.SchedulerFDs(),
+	}
+}
+
+func newSched(t *testing.T) *core.Relation {
+	t.Helper()
+	r, err := core.New(schedSpec(), paperex.SchedulerDecomp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := schedSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := schedSpec()
+	bad.Columns = append(bad.Columns, core.ColDef{Name: "ns", Type: core.IntCol})
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate column: %v", err)
+	}
+	empty := &core.Spec{Name: "x"}
+	if err := empty.Validate(); err == nil {
+		t.Errorf("empty spec accepted")
+	}
+	noname := schedSpec()
+	noname.Name = ""
+	if err := noname.Validate(); err == nil {
+		t.Errorf("nameless spec accepted")
+	}
+	badFD := schedSpec()
+	badFD.FDs = badFD.FDs.Add(struct {
+		From relation.Cols
+		To   relation.Cols
+	}{relation.NewCols("zzz"), relation.NewCols("cpu")})
+	if err := badFD.Validate(); err == nil {
+		t.Errorf("FD over undeclared column accepted")
+	}
+}
+
+func TestNewRejectsVectorOverString(t *testing.T) {
+	spec := schedSpec()
+	spec.Columns[2].Type = core.StringCol // state becomes a string
+	if _, err := core.New(spec, paperex.SchedulerDecomp()); err == nil {
+		t.Errorf("vector over string column accepted")
+	} else if !strings.Contains(err.Error(), "vector") {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestNewRejectsInadequate(t *testing.T) {
+	// A decomposition missing the cpu column.
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"ns", "pid"}, []string{"state"}, decomp.U("state")),
+		decomp.Let("x", nil, []string{"ns", "pid", "state"},
+			decomp.M(dstruct.HTableKind, "w", "ns", "pid")),
+	}, "x")
+	if _, err := core.New(schedSpec(), d); err == nil {
+		t.Errorf("inadequate decomposition accepted")
+	}
+}
+
+func TestSchedulerWorkflow(t *testing.T) {
+	// The full §2 example: insert, query, update, remove.
+	r := newSched(t)
+	if err := r.Insert(paperex.SchedulerTuple(7, 42, paperex.StateR, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Query(relation.NewTuple(relation.BindInt("state", paperex.StateR)), []string{"ns", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].MustGet("ns").Int() != 7 || got[0].MustGet("pid").Int() != 42 {
+		t.Fatalf("running processes = %v", got)
+	}
+
+	pat := relation.NewTuple(relation.BindInt("ns", 7), relation.BindInt("pid", 42))
+	got, err = r.Query(pat, []string{"state", "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].MustGet("state").Int() != paperex.StateR {
+		t.Fatalf("state query = %v", got)
+	}
+
+	// Mark process 42 sleeping (the paper's update).
+	n, err := r.Update(pat, relation.NewTuple(relation.BindInt("state", paperex.StateS)))
+	if err != nil || n != 1 {
+		t.Fatalf("Update = %d, %v", n, err)
+	}
+	got, _ = r.Query(pat, []string{"state"})
+	if len(got) != 1 || got[0].MustGet("state").Int() != paperex.StateS {
+		t.Fatalf("after update: %v", got)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove the process.
+	n, err = r.Remove(pat)
+	if err != nil || n != 1 {
+		t.Fatalf("Remove = %d, %v", n, err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after remove = %d", r.Len())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	r := newSched(t)
+	// Wrong type.
+	bad := relation.NewTuple(
+		relation.BindString("ns", "seven"), relation.BindInt("pid", 1),
+		relation.BindInt("state", 0), relation.BindInt("cpu", 0))
+	if err := r.Insert(bad); err == nil {
+		t.Errorf("wrongly-typed insert accepted")
+	}
+	// Missing column.
+	if err := r.Insert(relation.NewTuple(relation.BindInt("ns", 1))); err == nil {
+		t.Errorf("partial insert accepted")
+	}
+	// Unknown column in query pattern.
+	if _, err := r.Query(relation.NewTuple(relation.BindInt("bogus", 1)), []string{"ns"}); err == nil {
+		t.Errorf("query with unknown column accepted")
+	}
+	if _, err := r.Query(relation.NewTuple(), []string{"bogus"}); err == nil {
+		t.Errorf("query for unknown output accepted")
+	}
+}
+
+func TestCheckFDs(t *testing.T) {
+	r := newSched(t)
+	r.CheckFDs = true
+	if err := r.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(paperex.SchedulerTuple(1, 1, paperex.StateR, 7)); err == nil {
+		t.Errorf("FD-violating insert accepted with CheckFDs")
+	}
+	if err := r.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)); err != nil {
+		t.Errorf("idempotent insert rejected: %v", err)
+	}
+}
+
+func TestRemovePattern(t *testing.T) {
+	r := newSched(t)
+	for _, tup := range paperex.SchedulerRelation().All() {
+		if err := r.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove all sleeping processes (two of the three).
+	n, err := r.Remove(relation.NewTuple(relation.BindInt("state", paperex.StateS)))
+	if err != nil || n != 2 {
+		t.Fatalf("Remove sleeping = %d, %v", n, err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove with empty pattern clears the relation.
+	n, err = r.Remove(relation.NewTuple())
+	if err != nil || n != 1 {
+		t.Fatalf("Remove all = %d, %v", n, err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateRestrictions(t *testing.T) {
+	r := newSched(t)
+	_ = r.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7))
+	// Non-key pattern.
+	if _, err := r.Update(relation.NewTuple(relation.BindInt("ns", 1)),
+		relation.NewTuple(relation.BindInt("cpu", 0))); err == nil {
+		t.Errorf("non-key update accepted")
+	}
+	// Overlapping update values.
+	pat := relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 1))
+	if _, err := r.Update(pat, relation.NewTuple(relation.BindInt("pid", 2))); err == nil {
+		t.Errorf("key-modifying update accepted")
+	}
+	// Update of an absent key is a no-op.
+	absent := relation.NewTuple(relation.BindInt("ns", 9), relation.BindInt("pid", 9))
+	if n, err := r.Update(absent, relation.NewTuple(relation.BindInt("cpu", 1))); err != nil || n != 0 {
+		t.Errorf("absent update = %d, %v", n, err)
+	}
+}
+
+func TestUpdateInPlaceVsReinsert(t *testing.T) {
+	r := newSched(t)
+	_ = r.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7))
+	pat := relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 1))
+	// cpu-only update hits the in-place path; state update must re-home the
+	// node across the vector edge. Both must preserve invariants.
+	if _, err := r.Update(pat, relation.NewTuple(relation.BindInt("cpu", 50))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Update(pat, relation.NewTuple(relation.BindInt("state", paperex.StateR))); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Query(pat, []string{"state", "cpu"})
+	if len(got) != 1 || got[0].MustGet("state").Int() != paperex.StateR || got[0].MustGet("cpu").Int() != 50 {
+		t.Fatalf("after updates: %v", got)
+	}
+}
+
+func TestQueryFuncStreamsAndStops(t *testing.T) {
+	r := newSched(t)
+	for _, tup := range paperex.SchedulerRelation().All() {
+		_ = r.Insert(tup)
+	}
+	count := 0
+	err := r.QueryFunc(relation.NewTuple(), []string{"ns", "pid"}, func(relation.Tuple) bool {
+		count++
+		return count < 2
+	})
+	if err != nil || count != 2 {
+		t.Errorf("QueryFunc early stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestAllAndPlanDescription(t *testing.T) {
+	r := newSched(t)
+	for _, tup := range paperex.SchedulerRelation().All() {
+		_ = r.Insert(tup)
+	}
+	all, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("All returned %d tuples", len(all))
+	}
+	desc, err := r.PlanDescription([]string{"ns", "pid"}, []string{"cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "qlookup") {
+		t.Errorf("point query plan has no lookup: %s", desc)
+	}
+}
+
+func TestReprofileKeepsAnswersStable(t *testing.T) {
+	r := newSched(t)
+	for i := int64(0); i < 20; i++ {
+		_ = r.Insert(paperex.SchedulerTuple(1, i, paperex.StateR, i))
+	}
+	before, _ := r.Query(relation.NewTuple(relation.BindInt("state", paperex.StateR)), []string{"pid"})
+	r.Reprofile()
+	after, _ := r.Query(relation.NewTuple(relation.BindInt("state", paperex.StateR)), []string{"pid"})
+	if len(before) != len(after) {
+		t.Fatalf("reprofile changed results: %d vs %d", len(before), len(after))
+	}
+}
+
+// TestTheorem5EndToEnd drives a long random operation sequence through the
+// public API and the oracle simultaneously (Theorem 5: sequences of
+// operations on decompositions are sound w.r.t. their logical counterparts).
+func TestTheorem5EndToEnd(t *testing.T) {
+	decomps := map[string]func() *decomp.Decomp{
+		"figure2": paperex.SchedulerDecomp,
+		"flat": func() *decomp.Decomp {
+			return decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"ns", "pid"}, []string{"state", "cpu"}, decomp.U("state", "cpu")),
+				decomp.Let("x", nil, []string{"ns", "pid", "state", "cpu"},
+					decomp.M(dstruct.AVLKind, "w", "ns", "pid")),
+			}, "x")
+		},
+	}
+	for name, mk := range decomps {
+		t.Run(name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(77))
+			r, err := core.New(schedSpec(), mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := relation.Empty(paperex.SchedulerCols())
+			gen := func() relation.Tuple {
+				return paperex.SchedulerTuple(int64(rnd.Intn(2)), int64(rnd.Intn(5)),
+					[]int64{paperex.StateR, paperex.StateS}[rnd.Intn(2)], int64(rnd.Intn(4)))
+			}
+			for step := 0; step < 600; step++ {
+				switch rnd.Intn(10) {
+				case 0, 1, 2, 3, 4: // insert
+					tup := gen()
+					if !r.Spec().FDs.HoldsOnInsert(oracle, tup) {
+						continue
+					}
+					_ = oracle.Insert(tup)
+					if err := r.Insert(tup); err != nil {
+						t.Fatalf("step %d insert: %v", step, err)
+					}
+				case 5, 6: // remove by partial pattern
+					tup := gen()
+					cols := []relation.Cols{
+						relation.NewCols("ns", "pid"),
+						relation.NewCols("state"),
+						relation.NewCols("cpu"),
+					}[rnd.Intn(3)]
+					pat := tup.Project(cols)
+					n, err := r.Remove(pat)
+					if err != nil {
+						t.Fatalf("step %d remove: %v", step, err)
+					}
+					if want := oracle.Remove(pat); n != want {
+						t.Fatalf("step %d remove %v: got %d, want %d", step, pat, n, want)
+					}
+				case 7: // keyed update
+					tup := gen()
+					pat := tup.Project(relation.NewCols("ns", "pid"))
+					u := tup.Project(relation.NewCols("state", "cpu"))
+					if _, err := r.Update(pat, u); err != nil {
+						t.Fatalf("step %d update: %v", step, err)
+					}
+					oracle.Update(pat, u)
+				default: // query
+					tup := gen()
+					pat := tup.Project([]relation.Cols{
+						relation.NewCols(), relation.NewCols("ns"),
+						relation.NewCols("state"), relation.NewCols("ns", "pid"),
+					}[rnd.Intn(4)])
+					out := []string{"ns", "pid", "cpu"}
+					got, err := r.Query(pat, out)
+					if err != nil {
+						t.Fatalf("step %d query: %v", step, err)
+					}
+					want := oracle.Query(pat, relation.NewCols(out...))
+					if len(got) != len(want) {
+						t.Fatalf("step %d query %v: %v vs %v", step, pat, got, want)
+					}
+					for i := range got {
+						if !got[i].Equal(want[i]) {
+							t.Fatalf("step %d query %v: %v vs %v", step, pat, got, want)
+						}
+					}
+				}
+				if step%97 == 0 {
+					if err := r.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if r.Len() != oracle.Len() {
+				t.Fatalf("final Len %d vs oracle %d", r.Len(), oracle.Len())
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// SyncRelation is a thread-safe wrapper around a Relation: queries take a
+// shared lock and mutations an exclusive one. The paper's follow-on work
+// explores fine-grained concurrent synthesized representations; this
+// coarse-grained wrapper is the baseline that makes a synthesized relation
+// safe to share between goroutines today.
+//
+// The streaming methods hold the read lock for the duration of the
+// callback; callbacks must not mutate the relation (use the snapshotting
+// Query/QueryRange instead when they must).
+type SyncRelation struct {
+	mu sync.RWMutex
+	r  *Relation
+}
+
+// NewSync wraps a relation. The caller must not use the wrapped relation
+// directly afterwards.
+func NewSync(r *Relation) *SyncRelation {
+	return &SyncRelation{r: r}
+}
+
+// Insert implements insert r t under the write lock.
+func (s *SyncRelation) Insert(t relation.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Insert(t)
+}
+
+// Remove implements remove r s under the write lock.
+func (s *SyncRelation) Remove(pat relation.Tuple) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Remove(pat)
+}
+
+// Update implements the keyed update under the write lock.
+func (s *SyncRelation) Update(pat, u relation.Tuple) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Update(pat, u)
+}
+
+// Query implements query r s C under a read lock.
+func (s *SyncRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.Query(pat, out)
+}
+
+// QueryFunc streams results under a read lock; f must not mutate the
+// relation.
+func (s *SyncRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.QueryFunc(pat, out, f)
+}
+
+// QueryRange is the range query under a read lock.
+func (s *SyncRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.QueryRange(pat, col, lo, hi, out)
+}
+
+// Len returns the number of tuples.
+func (s *SyncRelation) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.Len()
+}
+
+// CheckInvariants verifies well-formedness under a read lock.
+func (s *SyncRelation) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.CheckInvariants()
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+// TestSyncRelationConcurrency hammers a shared relation from many
+// goroutines; run with -race to verify the locking discipline.
+func TestSyncRelationConcurrency(t *testing.T) {
+	s := core.NewSync(core.MustNew(schedSpec(), paperex.SchedulerDecomp()))
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ns, pid := int64(w), int64(i%25)
+				key := relation.NewTuple(relation.BindInt("ns", ns), relation.BindInt("pid", pid))
+				switch i % 5 {
+				case 0:
+					// Each worker owns its namespace, so inserts cannot
+					// violate the FDs across workers.
+					_, _ = s.Remove(key)
+					if err := s.Insert(paperex.SchedulerTuple(ns, pid, int64(i%2), int64(i))); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				case 1:
+					if _, err := s.Update(key, relation.NewTuple(relation.BindInt("cpu", int64(i)))); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+				case 2:
+					if _, err := s.Remove(key); err != nil {
+						t.Errorf("remove: %v", err)
+						return
+					}
+				default:
+					if _, err := s.Query(relation.NewTuple(relation.BindInt("state", int64(i%2))), []string{"ns", "pid"}); err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 0 {
+		t.Fatal("negative length")
+	}
+	if _, err := s.QueryRange(relation.NewTuple(), "cpu", nil, nil, []string{"pid"}); err != nil {
+		t.Fatal(err)
+	}
+}

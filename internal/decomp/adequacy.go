@@ -1,0 +1,109 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// CheckAdequate implements the adequacy judgment of Figure 6:
+// ·; ∅ ⊢∆ dˆ ; C. A nil error means the decomposition can represent every
+// relation with the given columns satisfying the given functional
+// dependencies (Lemma 1, exercised as a property test in package instance).
+//
+// The checker walks the bindings in order, maintaining the variable typing
+// environment Σ. For each binding let v : B ▷ C = pˆ it checks pˆ under
+// bound columns B (rule ALET) and requires the derived cover to equal the
+// declared C; the environment entries are exactly the declared types, as in
+// the paper's rules.
+func (d *Decomp) CheckAdequate(cols relation.Cols, fds fd.Set) error {
+	for _, b := range d.bindings {
+		got, err := d.adequatePrim(b, b.Def, fds)
+		if err != nil {
+			return err
+		}
+		if !got.Equal(b.Cover) {
+			return fmt.Errorf("decomp: %q declares cover %v but its definition covers %v", b.Var, b.Cover, got)
+		}
+		if !b.Bound.SubsetOf(cols) || !b.Cover.SubsetOf(cols) {
+			return fmt.Errorf("decomp: %q mentions columns outside the relation's %v", b.Var, cols)
+		}
+	}
+	root := d.byVar[d.root]
+	// Rule AVAR: the root has type ∅ ▷ C (New already enforces Bound = ∅)
+	// and the decomposition must represent all columns of the relation.
+	if !root.Cover.Equal(cols) {
+		return fmt.Errorf("decomp: root covers %v, relation has columns %v", root.Cover, cols)
+	}
+	return nil
+}
+
+// adequatePrim checks primitive p under the bound columns of binding b and
+// returns the columns p covers.
+func (d *Decomp) adequatePrim(b *Binding, p Primitive, fds fd.Set) (relation.Cols, error) {
+	bound := b.Bound
+	switch p := p.(type) {
+	case *Unit:
+		// Rule AUNIT: A ≠ ∅ and ∆ ⊢ A → C.
+		if bound.IsEmpty() {
+			return relation.Cols{}, fmt.Errorf("decomp: unit %v at root variable %q (a unit at the root cannot represent the empty relation)", p.Cols, b.Var)
+		}
+		if !fds.Implies(bound, p.Cols) {
+			return relation.Cols{}, fmt.Errorf("decomp: unit %v in %q: FDs do not imply %v → %v", p.Cols, b.Var, bound, p.Cols)
+		}
+		return p.Cols, nil
+	case *MapEdge:
+		// Rule AMAP with (v : A ▷ D) ∈ Σ: ∆ ⊢ B ∪ C → A and A ⊇ B ∪ C;
+		// the map covers C ∪ D.
+		tgt := d.byVar[p.Target]
+		bk := bound.Union(p.Key)
+		if !tgt.Bound.SubsetOf(fds.Closure(bk)) {
+			return relation.Cols{}, fmt.Errorf("decomp: edge %q→%q: FDs do not imply %v → %v", b.Var, p.Target, bk, tgt.Bound)
+		}
+		if !bk.SubsetOf(tgt.Bound) {
+			return relation.Cols{}, fmt.Errorf("decomp: edge %q→%q: target bound %v does not include path columns %v (sharing would conflate distinct sub-relations)", b.Var, p.Target, tgt.Bound, bk)
+		}
+		return p.Key.Union(tgt.Cover), nil
+	case *Join:
+		// Rule AJOIN: ∆ ⊢ A ∪ (B ∩ C) → B ⊖ C.
+		left, err := d.adequatePrim(b, p.Left, fds)
+		if err != nil {
+			return relation.Cols{}, err
+		}
+		right, err := d.adequatePrim(b, p.Right, fds)
+		if err != nil {
+			return relation.Cols{}, err
+		}
+		need := left.SymDiff(right)
+		have := bound.Union(left.Intersect(right))
+		if !fds.Implies(have, need) {
+			return relation.Cols{}, fmt.Errorf("decomp: join in %q: FDs do not imply %v → %v, so the two sides could disagree", b.Var, have, need)
+		}
+		return left.Union(right), nil
+	default:
+		return relation.Cols{}, fmt.Errorf("decomp: unknown primitive %T", p)
+	}
+}
+
+// IsAdequate reports whether the decomposition is adequate for relations
+// with the given columns and FDs.
+func (d *Decomp) IsAdequate(cols relation.Cols, fds fd.Set) bool {
+	return d.CheckAdequate(cols, fds) == nil
+}
+
+// Cut computes the decomposition cut of §4.5 for a removal or update whose
+// pattern binds the columns C: the partition (X, Y) of the variables where
+// Y holds every variable whose instances can only ever be part of the
+// representation of tuples agreeing on C (∆ ⊢ Bound(v) → C), and X the
+// rest. The returned map sends each variable name to true iff it is in Y.
+//
+// The adequacy conditions guarantee edges cross only from X into Y (checked
+// by TestCutEdgesOneWay).
+func (d *Decomp) Cut(fds fd.Set, c relation.Cols) map[string]bool {
+	inY := make(map[string]bool, len(d.bindings))
+	for _, b := range d.bindings {
+		inY[b.Var] = fds.Implies(b.Bound, c)
+	}
+	return inY
+}

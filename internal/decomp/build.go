@@ -1,0 +1,56 @@
+package decomp
+
+import (
+	"repro/internal/dstruct"
+	"repro/internal/relation"
+)
+
+// Construction helpers. They make building decompositions in Go read close
+// to the paper's let-notation, e.g. the scheduler decomposition of
+// Equation (2):
+//
+//	decomp.New([]decomp.Binding{
+//		decomp.Let("w", []string{"ns", "pid", "state"}, []string{"cpu"},
+//			decomp.U("cpu")),
+//		decomp.Let("y", []string{"ns"}, []string{"pid", "cpu"},
+//			decomp.M(dstruct.HTableKind, "w", "pid")),
+//		decomp.Let("z", []string{"state"}, []string{"ns", "pid", "cpu"},
+//			decomp.M(dstruct.DListKind, "w", "ns", "pid")),
+//		decomp.Let("x", nil, []string{"ns", "pid", "state", "cpu"},
+//			decomp.J(decomp.M(dstruct.HTableKind, "y", "ns"),
+//				decomp.M(dstruct.VectorKind, "z", "state"))),
+//	}, "x")
+
+// U builds a unit primitive over the given columns.
+func U(cols ...string) *Unit { return &Unit{Cols: relation.NewCols(cols...)} }
+
+// M builds a map primitive with data structure ds, key columns key, and
+// target variable target.
+func M(ds dstruct.Kind, target string, key ...string) *MapEdge {
+	return &MapEdge{Key: relation.NewCols(key...), DS: ds, Target: target}
+}
+
+// J builds a join primitive. More than two sides can be joined by nesting.
+func J(l, r Primitive) *Join { return &Join{Left: l, Right: r} }
+
+// Let builds a binding let v : bound ▷ cover = def.
+func Let(v string, bound, cover []string, def Primitive) Binding {
+	return Binding{
+		Var:   v,
+		Bound: relation.NewCols(bound...),
+		Cover: relation.NewCols(cover...),
+		Def:   def,
+	}
+}
+
+// MustNew is New for static decompositions known to be structurally valid;
+// it panics on error. Use it for fixtures and examples only.
+func MustNew(bindings []Binding, root string) *Decomp {
+	d, err := New(bindings, root)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+var _ = dstruct.DListKind // referenced by the doc comment above

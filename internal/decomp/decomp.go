@@ -1,0 +1,270 @@
+// Package decomp implements the decomposition language of §3 of the paper:
+// rooted directed acyclic graphs built from unit, map, and join primitives
+// that describe how to represent a relation as a combination of primitive
+// data structures.
+//
+// A Decomp is the static object (Figure 3); its run-time counterpart, the
+// decomposition instance (Figure 4), lives in package instance. This package
+// also implements the adequacy judgment of Figure 6 and the decomposition
+// cuts of Figure 10.
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/dstruct"
+	"repro/internal/relation"
+)
+
+// A Primitive is the right-hand side of a decomposition let-binding:
+// pˆ ::= C | C –ψ→ v | pˆ1 ⋈ pˆ2.
+type Primitive interface {
+	isPrimitive()
+}
+
+// Unit is the primitive C: a single tuple with columns C.
+type Unit struct {
+	Cols relation.Cols
+}
+
+// MapEdge is the primitive C –ψ→ v: an associative map, implemented by data
+// structure DS, from valuations of the key columns to instances of the
+// target variable. Every MapEdge in a built Decomp has a unique ID and
+// records the variable whose definition contains it.
+type MapEdge struct {
+	Key    relation.Cols
+	DS     dstruct.Kind
+	Target string
+	ID     int    // unique within the Decomp, assigned by New
+	Parent string // variable whose definition contains this edge, set by New
+}
+
+// Join is the primitive pˆ1 ⋈ pˆ2, representing a relation as the natural
+// join of two sub-relations.
+type Join struct {
+	Left, Right Primitive
+}
+
+func (*Unit) isPrimitive()    {}
+func (*MapEdge) isPrimitive() {}
+func (*Join) isPrimitive()    {}
+
+// A Binding is one let-binding: let v : B ▷ C = pˆ. Bound is B, the columns
+// with a distinct valuation per instance of v; Cover is C, the columns of
+// the relation the subgraph rooted at v represents.
+type Binding struct {
+	Var   string
+	Bound relation.Cols
+	Cover relation.Cols
+	Def   Primitive
+}
+
+// A Decomp is a complete decomposition: an ordered list of bindings (each
+// binding may reference only earlier-bound variables, which makes the graph
+// acyclic by construction) and a root variable.
+type Decomp struct {
+	bindings []*Binding
+	byVar    map[string]*Binding
+	root     string
+	edges    []*MapEdge            // all edges in ID order
+	inEdges  map[string][]*MapEdge // target variable → incoming edges
+}
+
+// New validates the structure of a decomposition and builds it. It checks
+// the conditions the paper imposes on the syntax: distinct let-bound
+// variables, references only to earlier bindings (acyclicity), every
+// variable used, a well-formed root, nonempty map keys, and per-structure
+// key restrictions. Adequacy (Figure 6) is checked separately by
+// CheckAdequate, since it also needs the relation's columns and FDs.
+func New(bindings []Binding, root string) (*Decomp, error) {
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("decomp: no bindings")
+	}
+	d := &Decomp{
+		byVar:   make(map[string]*Binding, len(bindings)),
+		root:    root,
+		inEdges: make(map[string][]*MapEdge),
+	}
+	for i := range bindings {
+		b := bindings[i] // copy
+		if b.Var == "" {
+			return nil, fmt.Errorf("decomp: empty variable name in binding %d", i)
+		}
+		if _, dup := d.byVar[b.Var]; dup {
+			return nil, fmt.Errorf("decomp: duplicate variable %q", b.Var)
+		}
+		if b.Def == nil {
+			return nil, fmt.Errorf("decomp: variable %q has no definition", b.Var)
+		}
+		cloned, err := d.addPrim(b.Var, b.Def)
+		if err != nil {
+			return nil, err
+		}
+		b.Def = cloned
+		d.byVar[b.Var] = &b
+		d.bindings = append(d.bindings, &b)
+	}
+	rb, ok := d.byVar[root]
+	if !ok {
+		return nil, fmt.Errorf("decomp: root variable %q not bound", root)
+	}
+	if d.bindings[len(d.bindings)-1].Var != root {
+		return nil, fmt.Errorf("decomp: root %q must be the final binding", root)
+	}
+	if len(d.inEdges[root]) > 0 {
+		return nil, fmt.Errorf("decomp: root %q is the target of a map edge", root)
+	}
+	if !rb.Bound.IsEmpty() {
+		return nil, fmt.Errorf("decomp: root %q has nonempty bound columns %v", root, rb.Bound)
+	}
+	for _, b := range d.bindings {
+		if b.Var != root && len(d.inEdges[b.Var]) == 0 {
+			return nil, fmt.Errorf("decomp: variable %q is never used", b.Var)
+		}
+	}
+	return d, nil
+}
+
+// addPrim deep-copies a primitive tree into the decomposition, assigning
+// edge IDs and validating structural constraints. Copying keeps callers'
+// primitive literals reusable across decompositions.
+func (d *Decomp) addPrim(parent string, p Primitive) (Primitive, error) {
+	switch p := p.(type) {
+	case *Unit:
+		return &Unit{Cols: p.Cols}, nil
+	case *MapEdge:
+		if p.Key.IsEmpty() {
+			return nil, fmt.Errorf("decomp: map edge in %q has empty key", parent)
+		}
+		if !p.DS.Valid() {
+			return nil, fmt.Errorf("decomp: map edge in %q has unknown data structure %q", parent, p.DS)
+		}
+		if p.DS.IntKeyedOnly() && p.Key.Len() != 1 {
+			return nil, fmt.Errorf("decomp: %s edge in %q needs a single key column, got %v", p.DS, parent, p.Key)
+		}
+		if _, ok := d.byVar[p.Target]; !ok {
+			return nil, fmt.Errorf("decomp: map edge in %q targets unbound variable %q (forward references are not allowed)", parent, p.Target)
+		}
+		e := &MapEdge{Key: p.Key, DS: p.DS, Target: p.Target, ID: len(d.edges), Parent: parent}
+		d.edges = append(d.edges, e)
+		d.inEdges[p.Target] = append(d.inEdges[p.Target], e)
+		return e, nil
+	case *Join:
+		l, err := d.addPrim(parent, p.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.addPrim(parent, p.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &Join{Left: l, Right: r}, nil
+	default:
+		return nil, fmt.Errorf("decomp: unknown primitive %T", p)
+	}
+}
+
+// Bindings returns the bindings in definition order (dependencies first,
+// root last). The caller must not mutate the result.
+func (d *Decomp) Bindings() []*Binding { return d.bindings }
+
+// Root returns the root variable name.
+func (d *Decomp) Root() string { return d.root }
+
+// RootBinding returns the root binding.
+func (d *Decomp) RootBinding() *Binding { return d.byVar[d.root] }
+
+// Var returns the binding of the named variable, or nil.
+func (d *Decomp) Var(name string) *Binding { return d.byVar[name] }
+
+// Edges returns every map edge in ID order.
+func (d *Decomp) Edges() []*MapEdge { return d.edges }
+
+// InEdges returns the map edges targeting the named variable.
+func (d *Decomp) InEdges(name string) []*MapEdge { return d.inEdges[name] }
+
+// TopoDown returns the bindings root-first: every variable appears before
+// the targets of its edges, the order the insert algorithm of §4.4 wants.
+func (d *Decomp) TopoDown() []*Binding {
+	out := make([]*Binding, len(d.bindings))
+	for i, b := range d.bindings {
+		out[len(d.bindings)-1-i] = b
+	}
+	return out
+}
+
+// Cols returns the columns of the relations this decomposition represents:
+// the cover of the root.
+func (d *Decomp) Cols() relation.Cols { return d.byVar[d.root].Cover }
+
+// WalkPrims calls f on every primitive of the tree p, preorder.
+func WalkPrims(p Primitive, f func(Primitive)) {
+	f(p)
+	if j, ok := p.(*Join); ok {
+		WalkPrims(j.Left, f)
+		WalkPrims(j.Right, f)
+	}
+}
+
+// EdgesOf returns the map edges appearing in the definition of the named
+// variable, in left-to-right order.
+func (d *Decomp) EdgesOf(name string) []*MapEdge {
+	var out []*MapEdge
+	b := d.byVar[name]
+	if b == nil {
+		return nil
+	}
+	WalkPrims(b.Def, func(p Primitive) {
+		if e, ok := p.(*MapEdge); ok {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// UnitsOf returns the unit primitives in the definition of the named
+// variable, in left-to-right order.
+func (d *Decomp) UnitsOf(name string) []*Unit {
+	var out []*Unit
+	b := d.byVar[name]
+	if b == nil {
+		return nil
+	}
+	WalkPrims(b.Def, func(p Primitive) {
+		if u, ok := p.(*Unit); ok {
+			out = append(out, u)
+		}
+	})
+	return out
+}
+
+// NumEdges returns the number of map edges, the size measure used by the
+// autotuner's enumeration bound ("decompositions up to size 4").
+func (d *Decomp) NumEdges() int { return len(d.edges) }
+
+// WithKinds returns a copy of the decomposition with edge i's data structure
+// replaced by kinds[i]. It is used by the autotuner to sweep data-structure
+// assignments over a fixed shape.
+func (d *Decomp) WithKinds(kinds []dstruct.Kind) (*Decomp, error) {
+	if len(kinds) != len(d.edges) {
+		return nil, fmt.Errorf("decomp: %d kinds for %d edges", len(kinds), len(d.edges))
+	}
+	var bs []Binding
+	for _, b := range d.bindings {
+		bs = append(bs, Binding{Var: b.Var, Bound: b.Bound, Cover: b.Cover, Def: reKind(b.Def, kinds)})
+	}
+	return New(bs, d.root)
+}
+
+func reKind(p Primitive, kinds []dstruct.Kind) Primitive {
+	switch p := p.(type) {
+	case *Unit:
+		return &Unit{Cols: p.Cols}
+	case *MapEdge:
+		return &MapEdge{Key: p.Key, DS: kinds[p.ID], Target: p.Target}
+	case *Join:
+		return &Join{Left: reKind(p.Left, kinds), Right: reKind(p.Right, kinds)}
+	default:
+		panic(fmt.Sprintf("decomp: unknown primitive %T", p))
+	}
+}

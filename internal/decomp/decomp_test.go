@@ -1,0 +1,348 @@
+package decomp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+func TestSchedulerStructure(t *testing.T) {
+	d := paperex.SchedulerDecomp()
+	if d.Root() != "x" {
+		t.Errorf("Root = %q", d.Root())
+	}
+	if d.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", d.NumEdges())
+	}
+	if got := len(d.InEdges("w")); got != 2 {
+		t.Errorf("w has %d incoming edges, want 2 (shared node)", got)
+	}
+	if got := len(d.EdgesOf("x")); got != 2 {
+		t.Errorf("x has %d outgoing edges, want 2", got)
+	}
+	if us := d.UnitsOf("w"); len(us) != 1 || !us[0].Cols.Equal(relation.NewCols("cpu")) {
+		t.Errorf("w units = %v", us)
+	}
+	if !d.Cols().Equal(paperex.SchedulerCols()) {
+		t.Errorf("Cols = %v", d.Cols())
+	}
+	// Topological order: root first.
+	topo := d.TopoDown()
+	if topo[0].Var != "x" || topo[len(topo)-1].Var != "w" {
+		t.Errorf("TopoDown order wrong: %v ... %v", topo[0].Var, topo[len(topo)-1].Var)
+	}
+}
+
+func TestNewRejectsBadStructures(t *testing.T) {
+	unitW := decomp.Let("w", []string{"a"}, []string{"b"}, decomp.U("b"))
+	cases := []struct {
+		name     string
+		bindings []decomp.Binding
+		root     string
+		wantErr  string
+	}{
+		{"no bindings", nil, "x", "no bindings"},
+		{"duplicate var", []decomp.Binding{
+			unitW,
+			decomp.Let("w", []string{"a"}, []string{"b"}, decomp.U("b")),
+		}, "w", "duplicate"},
+		{"missing root", []decomp.Binding{unitW}, "x", "root"},
+		{"forward reference", []decomp.Binding{
+			decomp.Let("y", []string{"a"}, []string{"b"}, decomp.M(dstruct.HTableKind, "w", "b")),
+			unitW,
+		}, "y", "unbound"},
+		{"unused variable", []decomp.Binding{
+			unitW,
+			decomp.Let("v", []string{"a"}, []string{"b"}, decomp.U("b")),
+			decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w", "a")),
+		}, "x", "never used"},
+		{"root not last", []decomp.Binding{
+			decomp.Let("x", nil, []string{"b"}, decomp.U("b")),
+			unitW,
+		}, "x", "final binding"},
+		{"root with bound columns", []decomp.Binding{
+			unitW,
+			decomp.Let("x", []string{"z"}, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w", "a")),
+		}, "x", "bound columns"},
+		{"empty map key", []decomp.Binding{
+			unitW,
+			decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w")),
+		}, "x", "empty key"},
+		{"bad data structure", []decomp.Binding{
+			unitW,
+			decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.Kind("bogus"), "w", "a")),
+		}, "x", "unknown data structure"},
+		{"vector with composite key", []decomp.Binding{
+			unitW,
+			decomp.Let("x", nil, []string{"a", "b", "c"}, decomp.M(dstruct.VectorKind, "w", "a", "c")),
+		}, "x", "single key column"},
+		{"nil definition", []decomp.Binding{
+			{Var: "x", Cover: relation.NewCols("a")},
+		}, "x", "no definition"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := decomp.New(c.bindings, c.root)
+			if err == nil {
+				t.Fatalf("New accepted invalid structure")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestAdequacyAcceptsPaperExamples(t *testing.T) {
+	if err := paperex.SchedulerDecomp().CheckAdequate(paperex.SchedulerCols(), paperex.SchedulerFDs()); err != nil {
+		t.Errorf("scheduler decomposition not adequate: %v", err)
+	}
+	for name, d := range map[string]*decomp.Decomp{
+		"graph1": paperex.GraphDecomp1(),
+		"graph5": paperex.GraphDecomp5(),
+		"graph9": paperex.GraphDecomp9(),
+	} {
+		if err := d.CheckAdequate(paperex.GraphCols(), paperex.GraphFDs()); err != nil {
+			t.Errorf("%s not adequate: %v", name, err)
+		}
+	}
+}
+
+func TestAdequacyRejectsMissingColumns(t *testing.T) {
+	// A decomposition that never represents cpu.
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"ns", "pid"}, []string{"state"}, decomp.U("state")),
+		decomp.Let("x", nil, []string{"ns", "pid", "state"},
+			decomp.M(dstruct.HTableKind, "w", "ns", "pid")),
+	}, "x")
+	err := d.CheckAdequate(paperex.SchedulerCols(), paperex.SchedulerFDs())
+	if err == nil || !strings.Contains(err.Error(), "root covers") {
+		t.Errorf("missing column not detected: %v", err)
+	}
+}
+
+func TestAdequacyRejectsUnitWithoutFD(t *testing.T) {
+	// unit{cpu} under bound {ns} needs ns → cpu, which does not hold.
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"ns"}, []string{"cpu"}, decomp.U("cpu")),
+		decomp.Let("x", nil, []string{"ns", "cpu"},
+			decomp.M(dstruct.HTableKind, "w", "ns")),
+	}, "x")
+	err := d.CheckAdequate(relation.NewCols("ns", "cpu"), paperex.SchedulerFDs())
+	if err == nil || !strings.Contains(err.Error(), "FDs do not imply") {
+		t.Errorf("unit without FD not detected: %v", err)
+	}
+}
+
+func TestAdequacyRejectsBadSharing(t *testing.T) {
+	// Share w between two paths whose key columns are not all included in
+	// w's bound columns: rule AMAP's A ⊇ B ∪ C must fail.
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"ns"}, []string{"cpu"}, decomp.U("cpu")),
+		decomp.Let("x", nil, []string{"ns", "pid", "cpu"},
+			decomp.J(
+				decomp.M(dstruct.HTableKind, "w", "ns"),
+				decomp.M(dstruct.HTableKind, "w", "ns", "pid"))),
+	}, "x")
+	fds := fd.NewSet(
+		fd.FD{From: relation.NewCols("ns"), To: relation.NewCols("pid", "cpu")},
+	)
+	err := d.CheckAdequate(relation.NewCols("ns", "pid", "cpu"), fds)
+	if err == nil {
+		t.Errorf("bad sharing accepted")
+	}
+}
+
+func TestAdequacyRejectsJoinWithoutFD(t *testing.T) {
+	// Join of {a,b} and {a,c} at the root needs a → b ⊖ c = {b, c}; with no
+	// FDs this must be rejected (dangling-tuple anomaly).
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("l", []string{"a"}, []string{"b"}, decomp.U("b")),
+		decomp.Let("r", []string{"a"}, []string{"c"}, decomp.U("c")),
+		decomp.Let("x", nil, []string{"a", "b", "c"},
+			decomp.J(
+				decomp.M(dstruct.HTableKind, "l", "a"),
+				decomp.M(dstruct.HTableKind, "r", "a"))),
+	}, "x")
+	if err := d.CheckAdequate(relation.NewCols("a", "b", "c"), fd.NewSet()); err == nil {
+		t.Errorf("join without FD accepted")
+	}
+	// With a → b, c it is adequate.
+	fds := fd.NewSet(fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b", "c")})
+	if err := d.CheckAdequate(relation.NewCols("a", "b", "c"), fds); err != nil {
+		t.Errorf("adequate join rejected: %v", err)
+	}
+}
+
+func TestAdequacyRejectsUnitAtRoot(t *testing.T) {
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("x", nil, []string{"a"}, decomp.U("a")),
+	}, "x")
+	err := d.CheckAdequate(relation.NewCols("a"), fd.NewSet())
+	if err == nil || !strings.Contains(err.Error(), "root") {
+		t.Errorf("unit at root not rejected: %v", err)
+	}
+}
+
+func TestAdequacyRejectsWrongCover(t *testing.T) {
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"a"}, []string{"b", "zzz"}, decomp.U("b")),
+		decomp.Let("x", nil, []string{"a", "b", "zzz"}, decomp.M(dstruct.HTableKind, "w", "a")),
+	}, "x")
+	err := d.CheckAdequate(relation.NewCols("a", "b", "zzz"), fd.NewSet(
+		fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b", "zzz")}))
+	if err == nil || !strings.Contains(err.Error(), "covers") {
+		t.Errorf("wrong declared cover not rejected: %v", err)
+	}
+}
+
+func TestCutMatchesFigure10(t *testing.T) {
+	d := paperex.SchedulerDecomp()
+	fds := paperex.SchedulerFDs()
+
+	// Figure 10(a): cut for {ns, pid} — only w is below the cut.
+	inY := d.Cut(fds, relation.NewCols("ns", "pid"))
+	want := map[string]bool{"w": true, "x": false, "y": false, "z": false}
+	for v, y := range want {
+		if inY[v] != y {
+			t.Errorf("cut{ns,pid}: %q inY = %v, want %v", v, inY[v], y)
+		}
+	}
+
+	// Figure 10(b): cut for {state} — w and z below the cut.
+	inY = d.Cut(fds, relation.NewCols("state"))
+	want = map[string]bool{"w": true, "z": true, "x": false, "y": false}
+	for v, y := range want {
+		if inY[v] != y {
+			t.Errorf("cut{state}: %q inY = %v, want %v", v, inY[v], y)
+		}
+	}
+}
+
+func TestCutEdgesOneWay(t *testing.T) {
+	// Edges may cross X→Y but never Y→X (§4.5). Check on the fixtures for
+	// every subset of columns.
+	check := func(t *testing.T, d *decomp.Decomp, fds fd.Set, cols relation.Cols) {
+		names := cols.Names()
+		for mask := 0; mask < 1<<len(names); mask++ {
+			var sub []string
+			for i, n := range names {
+				if mask&(1<<i) != 0 {
+					sub = append(sub, n)
+				}
+			}
+			inY := d.Cut(fds, relation.NewCols(sub...))
+			for _, e := range d.Edges() {
+				if inY[e.Parent] && !inY[e.Target] {
+					t.Errorf("edge %s→%s crosses Y→X for cut %v", e.Parent, e.Target, sub)
+				}
+			}
+		}
+	}
+	check(t, paperex.SchedulerDecomp(), paperex.SchedulerFDs(), paperex.SchedulerCols())
+	check(t, paperex.GraphDecomp5(), paperex.GraphFDs(), paperex.GraphCols())
+}
+
+func TestWithKinds(t *testing.T) {
+	d := paperex.GraphDecomp1()
+	kinds := []dstruct.Kind{dstruct.HTableKind, dstruct.DListKind}
+	d2, err := d.WithKinds(kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range d2.Edges() {
+		if e.DS != kinds[i] {
+			t.Errorf("edge %d kind = %s, want %s", i, e.DS, kinds[i])
+		}
+	}
+	// Original unchanged.
+	if d.Edges()[0].DS != dstruct.AVLKind {
+		t.Errorf("WithKinds mutated the original")
+	}
+	if _, err := d.WithKinds(kinds[:1]); err == nil {
+		t.Errorf("WithKinds accepted wrong arity")
+	}
+}
+
+func TestStringAndDot(t *testing.T) {
+	d := paperex.SchedulerDecomp()
+	s := d.String()
+	for _, frag := range []string{"let w", "unit{cpu}", "-htable->", "-vector->", "join"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+	dot := d.Dot("sched")
+	for _, frag := range []string{"digraph", "x -> y", "y -> w", "z -> w"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("Dot() missing %q", frag)
+		}
+	}
+}
+
+func TestCanonicalDistinguishesSharing(t *testing.T) {
+	d5 := paperex.GraphDecomp5()
+	d9 := paperex.GraphDecomp9()
+	if d5.CanonicalShape() == d9.CanonicalShape() {
+		t.Errorf("decompositions 5 and 9 have the same canonical shape; sharing must be visible")
+	}
+	// Renaming variables must not change the canonical form.
+	renamed := decomp.MustNew([]decomp.Binding{
+		decomp.Let("cell", []string{"src", "dst"}, []string{"weight"}, decomp.U("weight")),
+		decomp.Let("fwd", []string{"src"}, []string{"dst", "weight"},
+			decomp.M(dstruct.DListKind, "cell", "dst")),
+		decomp.Let("bwd", []string{"dst"}, []string{"src", "weight"},
+			decomp.M(dstruct.DListKind, "cell", "src")),
+		decomp.Let("top", nil, []string{"src", "dst", "weight"},
+			decomp.J(
+				decomp.M(dstruct.AVLKind, "fwd", "src"),
+				decomp.M(dstruct.AVLKind, "bwd", "dst"))),
+	}, "top")
+	if renamed.CanonicalShape() != d5.CanonicalShape() {
+		t.Errorf("renaming changed canonical shape")
+	}
+	if renamed.Canonical() != d5.Canonical() {
+		t.Errorf("renaming changed full canonical form")
+	}
+}
+
+func TestCanonicalJoinCommutes(t *testing.T) {
+	mk := func(flip bool) *decomp.Decomp {
+		l := decomp.M(dstruct.HTableKind, "y", "ns")
+		r := decomp.M(dstruct.VectorKind, "z", "state")
+		var j decomp.Primitive
+		if flip {
+			j = decomp.J(r, l)
+		} else {
+			j = decomp.J(l, r)
+		}
+		return decomp.MustNew([]decomp.Binding{
+			decomp.Let("w", []string{"ns", "pid", "state"}, []string{"cpu"}, decomp.U("cpu")),
+			decomp.Let("y", []string{"ns"}, []string{"pid", "cpu"}, decomp.M(dstruct.HTableKind, "w", "pid")),
+			decomp.Let("z", []string{"state"}, []string{"ns", "pid", "cpu"}, decomp.M(dstruct.DListKind, "w", "ns", "pid")),
+			decomp.Let("x", nil, []string{"ns", "pid", "state", "cpu"}, j),
+		}, "x")
+	}
+	if mk(false).Canonical() != mk(true).Canonical() {
+		t.Errorf("commuted join changed canonical form")
+	}
+}
+
+func TestCanonicalShapeIgnoresDS(t *testing.T) {
+	d := paperex.GraphDecomp1()
+	d2, err := d.WithKinds([]dstruct.Kind{dstruct.HTableKind, dstruct.HTableKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CanonicalShape() != d2.CanonicalShape() {
+		t.Errorf("CanonicalShape depends on data structures")
+	}
+	if d.Canonical() == d2.Canonical() {
+		t.Errorf("Canonical ignores data structures")
+	}
+}

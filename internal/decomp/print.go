@@ -1,0 +1,120 @@
+package decomp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the decomposition in the paper's let-notation, e.g.
+//
+//	let w : {ns, pid, state} ▷ {cpu} = unit{cpu} in
+//	let y : {ns} ▷ {cpu, pid} = {pid} -htable-> w in
+//	...
+//	in x
+func (d *Decomp) String() string {
+	var sb strings.Builder
+	for _, b := range d.bindings {
+		fmt.Fprintf(&sb, "let %s : %s . %s = %s in\n", b.Var, b.Bound, b.Cover, primString(b.Def))
+	}
+	sb.WriteString(d.root)
+	return sb.String()
+}
+
+func primString(p Primitive) string {
+	switch p := p.(type) {
+	case *Unit:
+		return "unit" + p.Cols.String()
+	case *MapEdge:
+		return fmt.Sprintf("%s -%s-> %s", p.Key, p.DS, p.Target)
+	case *Join:
+		return fmt.Sprintf("(%s) join (%s)", primString(p.Left), primString(p.Right))
+	default:
+		return fmt.Sprintf("?%T", p)
+	}
+}
+
+// Dot renders the decomposition as a Graphviz digraph in the style of
+// Figure 2(a): one node per variable labelled with its unit columns, one
+// edge per map labelled with the key columns and data structure.
+func (d *Decomp) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", name)
+	for _, b := range d.bindings {
+		label := b.Var
+		for _, u := range d.UnitsOf(b.Var) {
+			label += "\\n" + u.Cols.String()
+		}
+		fmt.Fprintf(&sb, "  %s [label=\"%s\", shape=ellipse];\n", b.Var, label)
+	}
+	for _, e := range d.edges {
+		style := "solid"
+		switch e.DS {
+		case "dlist", "slist":
+			style = "dashed"
+		case "vector", "sortedarr":
+			style = "dotted"
+		}
+		fmt.Fprintf(&sb, "  %s -> %s [label=\"%s %s\", style=%s];\n",
+			e.Parent, e.Target, strings.Join(e.Key.Names(), ","), e.DS, style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CanonicalShape returns a canonical string identifying the decomposition
+// up to variable renaming and the choice of data structures, the equivalence
+// the paper uses when counting decompositions in Figure 11
+// ("decompositions that are isomorphic up to the choice of data structures
+// ... are counted as a single decomposition").
+func (d *Decomp) CanonicalShape() string { return d.canonical(false) }
+
+// Canonical returns a canonical string identifying the decomposition up to
+// variable renaming, including data-structure choices.
+func (d *Decomp) Canonical() string { return d.canonical(true) }
+
+func (d *Decomp) canonical(withDS bool) string {
+	// Every variable expands to the same string at every use, so the result
+	// is independent of traversal order; a variable with several incoming
+	// edges (a shared node) is marked "!" to distinguish sharing from
+	// duplicating structurally identical subtrees (decompositions 5 vs 9 of
+	// Figure 12 differ in exactly this way).
+	memo := make(map[string]string, len(d.bindings))
+	var canonVar func(name string) string
+	var canonPrim func(p Primitive) string
+	canonPrim = func(p Primitive) string {
+		switch p := p.(type) {
+		case *Unit:
+			return "u" + p.Cols.String()
+		case *MapEdge:
+			ds := ""
+			if withDS {
+				ds = string(p.DS)
+			}
+			return fmt.Sprintf("m[%s;%s]%s", p.Key, ds, canonVar(p.Target))
+		case *Join:
+			l, r := canonPrim(p.Left), canonPrim(p.Right)
+			// The natural join is commutative: order sides canonically so
+			// mirrored joins compare equal.
+			if r < l {
+				l, r = r, l
+			}
+			return "j(" + l + "," + r + ")"
+		default:
+			return "?"
+		}
+	}
+	canonVar = func(name string) string {
+		if s, ok := memo[name]; ok {
+			return s
+		}
+		b := d.byVar[name]
+		shared := ""
+		if len(d.inEdges[name]) > 1 {
+			shared = "!"
+		}
+		s := fmt.Sprintf("v%s[%s>%s](%s)", shared, b.Bound, b.Cover, canonPrim(b.Def))
+		memo[name] = s
+		return s
+	}
+	return canonVar(d.root)
+}

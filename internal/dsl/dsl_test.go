@@ -1,0 +1,207 @@
+package dsl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/paperex"
+)
+
+const schedulerSrc = `
+// The paper's running example (§1–§2, Figure 2).
+relation processes {
+  columns { ns int, pid int, state int, cpu int }
+  fd ns, pid -> state, cpu
+}
+
+decomposition sched for processes {
+  let w : {ns, pid, state} . {cpu} = unit {cpu}
+  let y : {ns} . {pid, cpu} = map htable {pid} -> w
+  let z : {state} . {ns, pid, cpu} = map dlist {ns, pid} -> w
+  let x : {} . {ns, pid, state, cpu} =
+    join(map htable {ns} -> y, map vector {state} -> z)
+  in x
+}
+`
+
+func TestParseScheduler(t *testing.T) {
+	f, err := dsl.Parse(schedulerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := f.Relation("processes")
+	if spec == nil {
+		t.Fatal("relation not found")
+	}
+	if len(spec.Columns) != 4 {
+		t.Errorf("got %d columns", len(spec.Columns))
+	}
+	if ty, _ := spec.Type("cpu"); ty != core.IntCol {
+		t.Errorf("cpu type = %v", ty)
+	}
+	if !spec.FDs.Implies(paperex.SchedulerFDs().All()[0].From, paperex.SchedulerFDs().All()[0].To) {
+		t.Errorf("FD not parsed")
+	}
+	nd := f.Decomp("sched")
+	if nd == nil {
+		t.Fatal("decomposition not found")
+	}
+	if nd.For != spec {
+		t.Errorf("decomposition bound to wrong relation")
+	}
+	// Parsed decomposition is isomorphic to the hand-built fixture.
+	if nd.D.Canonical() != paperex.SchedulerDecomp().Canonical() {
+		t.Errorf("parsed decomposition differs from fixture:\n%s\nvs\n%s", nd.D, paperex.SchedulerDecomp())
+	}
+	// The parsed pair must work end to end.
+	r, err := core.New(spec, nd.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(paperex.SchedulerTuple(1, 2, paperex.StateR, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"lex error", "relation p { columns { a int } } $", "unexpected character"},
+		{"missing braces", "relation p columns", "expected '{'"},
+		{"bad type", "relation p { columns { a float } }", "unknown column type"},
+		{"bad top level", "banana", "expected 'relation', 'decomposition', or 'interface'"},
+		{"duplicate relation", "relation p { columns { a int } } relation p { columns { a int } }", "declared twice"},
+		{"undeclared relation", "decomposition d for ghost { let x : {} . {a} = unit {a} in x }", "undeclared relation"},
+		{"unknown structure", `
+relation p { columns { a int } }
+decomposition d for p {
+  let w : {a} . {} = unit {}
+  let x : {} . {a} = map skipplist {a} -> w
+  in x
+}`, "unknown data structure"},
+		{"inadequate", `
+relation p { columns { a int, b int } }
+decomposition d for p {
+  let w : {a} . {b} = unit {b}
+  let x : {} . {a, b} = map htable {a} -> w
+  in x
+}`, "FDs do not imply"},
+		{"bad prim", `
+relation p { columns { a int } }
+decomposition d for p {
+  let x : {} . {a} = frobnicate {a}
+  in x
+}`, "expected unit, map, or join"},
+		{"fd arrow missing", "relation p { columns { a int } fd a b }", "expected '->'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := dsl.Parse(c.src)
+			if err == nil {
+				t.Fatalf("parse succeeded")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := dsl.Parse("relation p {\n  columns { a float }\n}")
+	if err == nil || !strings.HasPrefix(err.Error(), "2:") {
+		t.Errorf("error lacks line position: %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# hash comment
+relation p { // trailing comment
+  columns { a int }
+}
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Relation("p") == nil {
+		t.Errorf("relation lost among comments")
+	}
+}
+
+func TestParseMultipleDecomps(t *testing.T) {
+	src := `
+relation edges {
+  columns { src int, dst int, weight int }
+  fd src, dst -> weight
+}
+decomposition forward for edges {
+  let z : {src, dst} . {weight} = unit {weight}
+  let y : {src} . {dst, weight} = map avl {dst} -> z
+  let x : {} . {src, dst, weight} = map avl {src} -> y
+  in x
+}
+decomposition both for edges {
+  let w : {src, dst} . {weight} = unit {weight}
+  let y : {src} . {dst, weight} = map dlist {dst} -> w
+  let z : {dst} . {src, weight} = map dlist {src} -> w
+  let x : {} . {src, dst, weight} =
+    join(map avl {src} -> y, map avl {dst} -> z)
+  in x
+}
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Decomp("forward").D.Canonical() != paperex.GraphDecomp1().Canonical() {
+		t.Errorf("forward decomposition mismatch")
+	}
+	if f.Decomp("both").D.Canonical() != paperex.GraphDecomp5().Canonical() {
+		t.Errorf("shared decomposition mismatch")
+	}
+}
+
+func TestParseInterface(t *testing.T) {
+	src := schedulerSrc + `
+interface for sched {
+  query { ns, pid } -> { state, cpu }
+  query { state } -> { ns, pid }
+  remove { ns, pid }
+  update { ns, pid } set { cpu }
+}
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := f.Decomp("sched")
+	if len(nd.Ops) != 4 {
+		t.Fatalf("parsed %d ops, want 4", len(nd.Ops))
+	}
+	if nd.Ops[0].Kind != codegen.QueryOp || nd.Ops[2].Kind != codegen.RemoveOp || nd.Ops[3].Kind != codegen.UpdateOp {
+		t.Errorf("op kinds wrong: %+v", nd.Ops)
+	}
+	if nd.Ops[3].Set[0] != "cpu" {
+		t.Errorf("update set = %v", nd.Ops[3].Set)
+	}
+	// The parsed ops must generate successfully.
+	if _, err := codegen.Generate(nd.For, nd.D, codegen.Options{Package: "sched", Ops: nd.Ops}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseInterfaceErrors(t *testing.T) {
+	if _, err := dsl.Parse(`interface for ghost { }`); err == nil || !strings.Contains(err.Error(), "undeclared decomposition") {
+		t.Errorf("interface for ghost: %v", err)
+	}
+	src := schedulerSrc + `interface for sched { frobnicate { ns } }`
+	if _, err := dsl.Parse(src); err == nil || !strings.Contains(err.Error(), "expected query, remove, or update") {
+		t.Errorf("bad op: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package dsl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+// FuzzParse checks the parser's robustness guarantee: any input either
+// parses into a validated File or returns a positioned error — never a
+// panic, and never a File that fails its own invariants. Run the corpus as
+// a plain test with `go test`, or explore with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		schedulerSrc,
+		"",
+		"relation p { columns { a int } }",
+		"relation p { columns { a int, b string } fd a -> b }",
+		"decomposition d for ghost { in x }",
+		"relation p { columns { a int } } decomposition d for p { let w : {a} . {} = unit {} let x : {} . {a} = map htable {a} -> w in x }",
+		"interface for d { query { a } -> { b } }",
+		"relation p { columns { a int } } # comment\n// another",
+		"relation p { columns { a int } fd a -> }",
+		"relation \x00 {}",
+		"relation p { columns { a int } } decomposition d for p { let x : {} . {a} = join(map htable {a} -> x, unit {a}) in x }",
+		strings.Repeat("{", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := dsl.Parse(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must yield internally consistent output.
+		for _, spec := range file.Relations {
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("parsed relation fails validation: %v", err)
+			}
+		}
+		for _, nd := range file.Decomps {
+			if nd.For == nil || nd.D == nil {
+				t.Fatalf("decomposition %q missing relation or graph", nd.Name)
+			}
+			if err := nd.D.CheckAdequate(nd.For.Cols(), nd.For.FDs); err != nil {
+				t.Fatalf("parsed decomposition not adequate: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+// Package dsl implements the source language accepted by the relc
+// compiler: relational specifications and decompositions in a concrete
+// syntax close to the paper's notation.
+//
+//	relation processes {
+//	  columns { ns int, pid int, state int, cpu int }
+//	  fd ns, pid -> state, cpu
+//	}
+//
+//	decomposition sched for processes {
+//	  let w : {ns, pid, state} . {cpu} = unit {cpu}
+//	  let y : {ns} . {pid, cpu} = map htable {pid} -> w
+//	  let z : {state} . {ns, pid, cpu} = map dlist {ns, pid} -> w
+//	  let x : {} . {ns, pid, state, cpu} =
+//	    join(map htable {ns} -> y, map vector {state} -> z)
+//	  in x
+//	}
+//
+// A `let v : B . C = p` binding is the paper's let v : B ▷ C = pˆ.
+package dsl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokColon  // :
+	tokDot    // .
+	tokEquals // =
+	tokArrow  // ->
+)
+
+// String names the token kind for error messages.
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokEquals:
+		return "'='"
+	case tokArrow:
+		return "'->'"
+	default:
+		return fmt.Sprintf("token(%d)", k)
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// A lexError reports a malformed token with its position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+// Error renders the lexical error with its position.
+func (e *lexError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex tokenizes src. Comments run from // or # to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tokArrow, "->", line, col})
+			advance(2)
+		case isIdentStart(rune(c)):
+			start, startCol := i, col
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], line, startCol})
+		default:
+			kind, ok := map[byte]tokenKind{
+				'{': tokLBrace, '}': tokRBrace,
+				'(': tokLParen, ')': tokRParen,
+				',': tokComma, ':': tokColon,
+				'.': tokDot, '=': tokEquals,
+			}[c]
+			if !ok {
+				return nil, &lexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, token{kind, string(c), line, col})
+			advance(1)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,444 @@
+package dsl
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// A File is the result of parsing one .rel source: named relational
+// specifications and named decompositions bound to them.
+type File struct {
+	Relations []*core.Spec
+	Decomps   []NamedDecomp
+}
+
+// NamedDecomp is a decomposition declaration, tied to the relation it
+// decomposes, plus the operation instantiations requested for it by
+// interface blocks.
+type NamedDecomp struct {
+	Name string
+	For  *core.Spec
+	D    *decomp.Decomp
+	Ops  []codegen.Op
+}
+
+// Relation returns the declared specification with the given name.
+func (f *File) Relation(name string) *core.Spec {
+	for _, s := range f.Relations {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Decomp returns the declared decomposition with the given name.
+func (f *File) Decomp(name string) *NamedDecomp {
+	for i := range f.Decomps {
+		if f.Decomps[i].Name == name {
+			return &f.Decomps[i]
+		}
+	}
+	return nil
+}
+
+// Parse parses a .rel source. Every decomposition is structurally
+// validated and checked adequate for its relation, so a successful parse
+// yields ready-to-compile input.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &File{}
+	for p.peek().kind != tokEOF {
+		switch kw := p.peek(); {
+		case kw.kind == tokIdent && kw.text == "relation":
+			spec, err := p.relationDecl()
+			if err != nil {
+				return nil, err
+			}
+			if file.Relation(spec.Name) != nil {
+				return nil, p.errAt(kw, "relation %q declared twice", spec.Name)
+			}
+			if err := spec.Validate(); err != nil {
+				return nil, err
+			}
+			file.Relations = append(file.Relations, spec)
+		case kw.kind == tokIdent && kw.text == "decomposition":
+			nd, err := p.decompDecl(file)
+			if err != nil {
+				return nil, err
+			}
+			if file.Decomp(nd.Name) != nil {
+				return nil, p.errAt(kw, "decomposition %q declared twice", nd.Name)
+			}
+			if err := nd.D.CheckAdequate(nd.For.Cols(), nd.For.FDs); err != nil {
+				return nil, fmt.Errorf("decomposition %q: %w", nd.Name, err)
+			}
+			file.Decomps = append(file.Decomps, *nd)
+		case kw.kind == tokIdent && kw.text == "interface":
+			if err := p.interfaceDecl(file); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errAt(kw, "expected 'relation', 'decomposition', or 'interface', found %s", describe(kw))
+		}
+	}
+	return file, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errAt(t, "expected %s, found %s", kind, describe(t))
+	}
+	return t, nil
+}
+
+func (p *parser) keyword(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return p.errAt(t, "expected %q, found %s", word, describe(t))
+	}
+	return nil
+}
+
+func (p *parser) errAt(t token, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func describe(t token) string {
+	if t.kind == tokIdent {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return t.kind.String()
+}
+
+// relationDecl := "relation" IDENT "{" "columns" "{" colDef,+ "}" fd* "}"
+func (p *parser) relationDecl() (*core.Spec, error) {
+	if err := p.keyword("relation"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("columns"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &core.Spec{Name: name.text}
+	for {
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ty, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		var colType core.ColType
+		switch ty.text {
+		case "int":
+			colType = core.IntCol
+		case "string":
+			colType = core.StringCol
+		default:
+			return nil, p.errAt(ty, "unknown column type %q (want int or string)", ty.text)
+		}
+		spec.Columns = append(spec.Columns, core.ColDef{Name: col.text, Type: colType})
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	var fds []fd.FD
+	for p.peek().kind == tokIdent && p.peek().text == "fd" {
+		p.next()
+		from, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokArrow); err != nil {
+			return nil, err
+		}
+		to, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		fds = append(fds, fd.FD{From: relation.NewCols(from...), To: relation.NewCols(to...)})
+	}
+	spec.FDs = fd.NewSet(fds...)
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// decompDecl := "decomposition" IDENT "for" IDENT "{" let* "in" IDENT "}"
+func (p *parser) decompDecl(file *File) (*NamedDecomp, error) {
+	if err := p.keyword("decomposition"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("for"); err != nil {
+		return nil, err
+	}
+	relName, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	spec := file.Relation(relName.text)
+	if spec == nil {
+		return nil, p.errAt(relName, "decomposition %q is for undeclared relation %q", name.text, relName.text)
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var bindings []decomp.Binding
+	for p.peek().kind == tokIdent && p.peek().text == "let" {
+		p.next()
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		bound, err := p.colSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		cover, err := p.colSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		def, err := p.prim()
+		if err != nil {
+			return nil, err
+		}
+		bindings = append(bindings, decomp.Binding{
+			Var:   v.text,
+			Bound: relation.NewCols(bound...),
+			Cover: relation.NewCols(cover...),
+			Def:   def,
+		})
+	}
+	if err := p.keyword("in"); err != nil {
+		return nil, err
+	}
+	root, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	d, err := decomp.New(bindings, root.text)
+	if err != nil {
+		return nil, fmt.Errorf("decomposition %q: %w", name.text, err)
+	}
+	return &NamedDecomp{Name: name.text, For: spec, D: d}, nil
+}
+
+// interfaceDecl := "interface" "for" IDENT "{" opDecl* "}"
+// opDecl := "query" colSet "->" colSet
+//
+//	| "remove" colSet
+//	| "update" colSet "set" colSet
+func (p *parser) interfaceDecl(file *File) error {
+	if err := p.keyword("interface"); err != nil {
+		return err
+	}
+	if err := p.keyword("for"); err != nil {
+		return err
+	}
+	dName, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	nd := file.Decomp(dName.text)
+	if nd == nil {
+		return p.errAt(dName, "interface for undeclared decomposition %q", dName.text)
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.peek().kind == tokIdent {
+		kw := p.next()
+		switch kw.text {
+		case "query":
+			in, err := p.colSet()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return err
+			}
+			out, err := p.colSet()
+			if err != nil {
+				return err
+			}
+			nd.Ops = append(nd.Ops, codegen.Op{Kind: codegen.QueryOp, In: in, Out: out})
+		case "remove":
+			in, err := p.colSet()
+			if err != nil {
+				return err
+			}
+			nd.Ops = append(nd.Ops, codegen.Op{Kind: codegen.RemoveOp, In: in})
+		case "update":
+			in, err := p.colSet()
+			if err != nil {
+				return err
+			}
+			if err := p.keyword("set"); err != nil {
+				return err
+			}
+			set, err := p.colSet()
+			if err != nil {
+				return err
+			}
+			nd.Ops = append(nd.Ops, codegen.Op{Kind: codegen.UpdateOp, In: in, Set: set})
+		default:
+			return p.errAt(kw, "expected query, remove, or update, found %q", kw.text)
+		}
+	}
+	_, err = p.expect(tokRBrace)
+	return err
+}
+
+// prim := "unit" colSet | "map" IDENT colSet "->" IDENT | "join" "(" prim "," prim ")"
+func (p *parser) prim() (decomp.Primitive, error) {
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch kw.text {
+	case "unit":
+		cols, err := p.colSet()
+		if err != nil {
+			return nil, err
+		}
+		return &decomp.Unit{Cols: relation.NewCols(cols...)}, nil
+	case "map":
+		ds, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if !dstruct.Kind(ds.text).Valid() {
+			return nil, p.errAt(ds, "unknown data structure %q", ds.text)
+		}
+		key, err := p.colSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokArrow); err != nil {
+			return nil, err
+		}
+		target, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &decomp.MapEdge{
+			Key:    relation.NewCols(key...),
+			DS:     dstruct.Kind(ds.text),
+			Target: target.text,
+		}, nil
+	case "join":
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		left, err := p.prim()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		right, err := p.prim()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &decomp.Join{Left: left, Right: right}, nil
+	default:
+		return nil, p.errAt(kw, "expected unit, map, or join, found %q", kw.text)
+	}
+}
+
+// colSet := "{" [identList] "}"
+func (p *parser) colSet() ([]string, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokRBrace {
+		p.next()
+		return nil, nil
+	}
+	list, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id.text)
+		if p.peek().kind != tokComma {
+			return out, nil
+		}
+		p.next()
+	}
+}

@@ -1,0 +1,230 @@
+package dstruct
+
+import "repro/internal/relation"
+
+// AVL is a self-balancing binary search tree ordered by column-wise key
+// comparison, playing the role of std::map / boost::intrusive::set in the
+// paper's library. Get, Put, and Delete are O(log n); Range is an in-order
+// traversal, so iteration yields keys in sorted order.
+type AVL[V any] struct {
+	root *avlNode[V]
+	n    int
+}
+
+type avlNode[V any] struct {
+	key         relation.Tuple
+	val         V
+	left, right *avlNode[V]
+	height      int
+}
+
+// NewAVL returns an empty AVL tree.
+func NewAVL[V any]() *AVL[V] { return &AVL[V]{} }
+
+// Kind returns AVLKind.
+func (t *AVL[V]) Kind() Kind { return AVLKind }
+
+// Len returns the number of entries.
+func (t *AVL[V]) Len() int { return t.n }
+
+func height[V any](n *avlNode[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[V any](n *avlNode[V]) {
+	n.height = 1 + max(height(n.left), height(n.right))
+}
+
+func balanceOf[V any](n *avlNode[V]) int {
+	return height(n.left) - height(n.right)
+}
+
+func rotateRight[V any](y *avlNode[V]) *avlNode[V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft[V any](x *avlNode[V]) *avlNode[V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance[V any](n *avlNode[V]) *avlNode[V] {
+	fix(n)
+	switch b := balanceOf(n); {
+	case b > 1:
+		if balanceOf(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case b < -1:
+		if balanceOf(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Get returns the value for k.
+func (t *AVL[V]) Get(k relation.Tuple) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch c := k.Compare(n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k.
+func (t *AVL[V]) Put(k relation.Tuple, v V) {
+	var inserted bool
+	t.root, inserted = t.put(t.root, k, v)
+	if inserted {
+		t.n++
+	}
+}
+
+func (t *AVL[V]) put(n *avlNode[V], k relation.Tuple, v V) (*avlNode[V], bool) {
+	if n == nil {
+		return &avlNode[V]{key: k, val: v, height: 1}, true
+	}
+	var inserted bool
+	switch c := k.Compare(n.key); {
+	case c < 0:
+		n.left, inserted = t.put(n.left, k, v)
+	case c > 0:
+		n.right, inserted = t.put(n.right, k, v)
+	default:
+		n.val = v
+		return n, false
+	}
+	return rebalance(n), inserted
+}
+
+// Delete removes k.
+func (t *AVL[V]) Delete(k relation.Tuple) bool {
+	var deleted bool
+	t.root, deleted = t.del(t.root, k)
+	if deleted {
+		t.n--
+	}
+	return deleted
+}
+
+func (t *AVL[V]) del(n *avlNode[V], k relation.Tuple) (*avlNode[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch c := k.Compare(n.key); {
+	case c < 0:
+		n.left, deleted = t.del(n.left, k)
+	case c > 0:
+		n.right, deleted = t.del(n.right, k)
+	default:
+		deleted = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Replace with in-order successor.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key, n.val = succ.key, succ.val
+			n.right, _ = t.del(n.right, succ.key)
+		}
+	}
+	return rebalance(n), deleted
+}
+
+// Range visits entries in ascending key order. The tree must not be mutated
+// during iteration.
+func (t *AVL[V]) Range(f func(k relation.Tuple, v V) bool) {
+	t.inorder(t.root, f)
+}
+
+func (t *AVL[V]) inorder(n *avlNode[V], f func(k relation.Tuple, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.inorder(n.left, f) {
+		return false
+	}
+	if !f(n.key, n.val) {
+		return false
+	}
+	return t.inorder(n.right, f)
+}
+
+// Min returns the smallest key and its value, for ordered-extension queries.
+func (t *AVL[V]) Min() (relation.Tuple, V, bool) {
+	if t.root == nil {
+		var zero V
+		return relation.Tuple{}, zero, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value.
+func (t *AVL[V]) Max() (relation.Tuple, V, bool) {
+	if t.root == nil {
+		var zero V
+		return relation.Tuple{}, zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// checkInvariant verifies AVL balance and BST ordering; used by tests.
+func (t *AVL[V]) checkInvariant() bool {
+	ok := true
+	var walk func(n *avlNode[V]) int
+	walk = func(n *avlNode[V]) int {
+		if n == nil {
+			return 0
+		}
+		lh, rh := walk(n.left), walk(n.right)
+		if n.height != 1+max(lh, rh) || lh-rh > 1 || lh-rh < -1 {
+			ok = false
+		}
+		if n.left != nil && n.left.key.Compare(n.key) >= 0 {
+			ok = false
+		}
+		if n.right != nil && n.right.key.Compare(n.key) <= 0 {
+			ok = false
+		}
+		return n.height
+	}
+	walk(t.root)
+	return ok
+}

@@ -1,0 +1,175 @@
+package dstruct
+
+import "repro/internal/relation"
+
+// DList is an unordered doubly-linked list of key/value pairs with a
+// sentinel head. Lookup and delete-by-key are O(n); insertion at the tail is
+// O(1). Entries double as handles: RemoveEntry unlinks in O(1) given the
+// entry, which is the capability the paper gets from Boost's intrusive lists
+// and exploits for shared nodes (decomposition 5 of Figure 12).
+type DList[V any] struct {
+	sentinel DListEntry[V]
+	n        int
+}
+
+// DListEntry is a node of a DList. It is exposed so callers can retain O(1)
+// unlink handles.
+type DListEntry[V any] struct {
+	Key        relation.Tuple
+	Val        V
+	prev, next *DListEntry[V]
+	list       *DList[V]
+}
+
+// NewDList returns an empty doubly-linked list.
+func NewDList[V any]() *DList[V] {
+	l := &DList[V]{}
+	l.sentinel.prev = &l.sentinel
+	l.sentinel.next = &l.sentinel
+	return l
+}
+
+// Kind returns DListKind.
+func (l *DList[V]) Kind() Kind { return DListKind }
+
+// Len returns the number of entries.
+func (l *DList[V]) Len() int { return l.n }
+
+func (l *DList[V]) find(k relation.Tuple) *DListEntry[V] {
+	for e := l.sentinel.next; e != &l.sentinel; e = e.next {
+		if e.Key.Equal(k) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Get returns the value for k.
+func (l *DList[V]) Get(k relation.Tuple) (V, bool) {
+	if e := l.find(k); e != nil {
+		return e.Val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k.
+func (l *DList[V]) Put(k relation.Tuple, v V) { l.PutEntry(k, v) }
+
+// PutEntry inserts or replaces the value for k and returns the entry, which
+// remains a valid O(1) unlink handle until removed.
+func (l *DList[V]) PutEntry(k relation.Tuple, v V) *DListEntry[V] {
+	if e := l.find(k); e != nil {
+		e.Val = v
+		return e
+	}
+	e := &DListEntry[V]{Key: k, Val: v, list: l}
+	e.prev = l.sentinel.prev
+	e.next = &l.sentinel
+	e.prev.next = e
+	l.sentinel.prev = e
+	l.n++
+	return e
+}
+
+// Delete removes k by scanning for it.
+func (l *DList[V]) Delete(k relation.Tuple) bool {
+	e := l.find(k)
+	if e == nil {
+		return false
+	}
+	l.RemoveEntry(e)
+	return true
+}
+
+// RemoveEntry unlinks e in O(1). Removing an already-removed entry is a
+// no-op.
+func (l *DList[V]) RemoveEntry(e *DListEntry[V]) {
+	if e.list != l || e.prev == nil {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next, e.list = nil, nil, nil
+	l.n--
+}
+
+// Range visits entries in insertion order.
+func (l *DList[V]) Range(f func(k relation.Tuple, v V) bool) {
+	for e := l.sentinel.next; e != &l.sentinel; {
+		next := e.next // allow deletion of the visited entry during iteration
+		if !f(e.Key, e.Val) {
+			return
+		}
+		e = next
+	}
+}
+
+// SList is a singly-linked list with head insertion. It is the cheapest
+// structure for insert-heavy, scan-only relations; delete-by-key costs a
+// scan with a trailing pointer.
+type SList[V any] struct {
+	head *slistNode[V]
+	n    int
+}
+
+type slistNode[V any] struct {
+	key  relation.Tuple
+	val  V
+	next *slistNode[V]
+}
+
+// NewSList returns an empty singly-linked list.
+func NewSList[V any]() *SList[V] { return &SList[V]{} }
+
+// Kind returns SListKind.
+func (l *SList[V]) Kind() Kind { return SListKind }
+
+// Len returns the number of entries.
+func (l *SList[V]) Len() int { return l.n }
+
+// Get returns the value for k.
+func (l *SList[V]) Get(k relation.Tuple) (V, bool) {
+	for n := l.head; n != nil; n = n.next {
+		if n.key.Equal(k) {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k; new keys go to the head.
+func (l *SList[V]) Put(k relation.Tuple, v V) {
+	for n := l.head; n != nil; n = n.next {
+		if n.key.Equal(k) {
+			n.val = v
+			return
+		}
+	}
+	l.head = &slistNode[V]{key: k, val: v, next: l.head}
+	l.n++
+}
+
+// Delete removes k.
+func (l *SList[V]) Delete(k relation.Tuple) bool {
+	for p := &l.head; *p != nil; p = &(*p).next {
+		if (*p).key.Equal(k) {
+			*p = (*p).next
+			l.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Range visits entries from most recently inserted to least.
+func (l *SList[V]) Range(f func(k relation.Tuple, v V) bool) {
+	for n := l.head; n != nil; {
+		next := n.next
+		if !f(n.key, n.val) {
+			return
+		}
+		n = next
+	}
+}

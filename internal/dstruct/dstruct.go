@@ -1,0 +1,105 @@
+// Package dstruct is the library of primitive data structures from which
+// decompositions are assembled (§3, §6 of the paper). Every structure
+// implements one associative-container interface, Map, from tuple-valued
+// keys to values; the decomposition runtime and the code generator are
+// parameterized over the choice of structure ψ exactly as the paper's RELC
+// is parameterized over its C++ templates.
+//
+// The set of structures mirrors the paper's library: unordered doubly-linked
+// lists (with O(1) handle-based unlink standing in for Boost's intrusive
+// lists), singly-linked lists, chained hash tables, AVL trees (the ordered
+// std::map/boost::intrusive::set role), vectors, and sorted arrays. All are
+// implemented here from scratch on stdlib only.
+package dstruct
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Kind names a primitive data structure ψ.
+type Kind string
+
+// The available data structures.
+const (
+	DListKind     Kind = "dlist"     // unordered doubly-linked list
+	SListKind     Kind = "slist"     // singly-linked list
+	HTableKind    Kind = "htable"    // chained hash table
+	AVLKind       Kind = "avl"       // AVL tree, ordered iteration
+	VectorKind    Kind = "vector"    // dense array over small integer keys
+	SortedArrKind Kind = "sortedarr" // sorted array, binary search
+	SkipListKind  Kind = "skiplist"  // probabilistic ordered map
+)
+
+// AllKinds lists every Kind, in a stable order used by the autotuner when it
+// enumerates data-structure assignments.
+func AllKinds() []Kind {
+	return []Kind{DListKind, SListKind, HTableKind, AVLKind, VectorKind, SortedArrKind, SkipListKind}
+}
+
+// Valid reports whether k names a known structure.
+func (k Kind) Valid() bool {
+	switch k {
+	case DListKind, SListKind, HTableKind, AVLKind, VectorKind, SortedArrKind, SkipListKind:
+		return true
+	}
+	return false
+}
+
+// Ordered reports whether the structure iterates keys in sorted order.
+func (k Kind) Ordered() bool {
+	return k == AVLKind || k == SortedArrKind || k == VectorKind || k == SkipListKind
+}
+
+// IntKeyedOnly reports whether the structure can only key on a single
+// integer column (the vector of the paper, which maps keys to values by
+// array index).
+func (k Kind) IntKeyedOnly() bool { return k == VectorKind }
+
+// A Map is an associative container from tuple keys to values of type V.
+// All keys stored in a single Map share one column domain; the decomposition
+// type system guarantees this, and implementations may exploit it (e.g. the
+// AVL tree compares values column-wise).
+//
+// Range visits entries until the callback returns false; the iteration order
+// is insertion order for lists, bucket order for hash tables, and key order
+// for ordered structures.
+type Map[V any] interface {
+	// Get returns the value for k and whether it is present.
+	Get(k relation.Tuple) (V, bool)
+	// Put inserts or replaces the value for k.
+	Put(k relation.Tuple, v V)
+	// Delete removes k, reporting whether it was present.
+	Delete(k relation.Tuple) bool
+	// Len returns the number of entries.
+	Len() int
+	// Range visits entries until f returns false.
+	Range(f func(k relation.Tuple, v V) bool)
+	// Kind identifies the underlying structure.
+	Kind() Kind
+}
+
+// New constructs an empty Map of the given kind. It panics on an unknown
+// kind; decomposition validation rejects unknown kinds long before a Map is
+// built.
+func New[V any](k Kind) Map[V] {
+	switch k {
+	case DListKind:
+		return NewDList[V]()
+	case SListKind:
+		return NewSList[V]()
+	case HTableKind:
+		return NewHTable[V]()
+	case AVLKind:
+		return NewAVL[V]()
+	case VectorKind:
+		return NewVector[V]()
+	case SortedArrKind:
+		return NewSortedArr[V]()
+	case SkipListKind:
+		return NewSkipList[V]()
+	default:
+		panic(fmt.Sprintf("dstruct: unknown kind %q", k))
+	}
+}

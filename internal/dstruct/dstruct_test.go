@@ -1,0 +1,381 @@
+package dstruct
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func key1(v int64) relation.Tuple { return relation.NewTuple(relation.BindInt("k", v)) }
+
+func key2(a, b int64) relation.Tuple {
+	return relation.NewTuple(relation.BindInt("a", a), relation.BindInt("b", b))
+}
+
+func strKey(s string) relation.Tuple { return relation.NewTuple(relation.BindString("k", s)) }
+
+// kindsFor returns the kinds usable with the keys produced by keyGen. The
+// vector only accepts single integer columns.
+func kindsFor(intSingle bool) []Kind {
+	if intSingle {
+		return AllKinds()
+	}
+	var ks []Kind
+	for _, k := range AllKinds() {
+		if !k.IntKeyedOnly() {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+func TestEmptyMaps(t *testing.T) {
+	for _, kind := range AllKinds() {
+		m := New[int](kind)
+		if m.Len() != 0 {
+			t.Errorf("%s: empty Len = %d", kind, m.Len())
+		}
+		if _, ok := m.Get(key1(1)); ok {
+			t.Errorf("%s: Get on empty found a value", kind)
+		}
+		if m.Delete(key1(1)) {
+			t.Errorf("%s: Delete on empty reported success", kind)
+		}
+		m.Range(func(relation.Tuple, int) bool {
+			t.Errorf("%s: Range on empty visited an entry", kind)
+			return false
+		})
+		if m.Kind() != kind {
+			t.Errorf("Kind() = %s, want %s", m.Kind(), kind)
+		}
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for _, kind := range AllKinds() {
+		m := New[string](kind)
+		m.Put(key1(1), "one")
+		m.Put(key1(2), "two")
+		m.Put(key1(1), "uno") // replace
+		if m.Len() != 2 {
+			t.Errorf("%s: Len = %d, want 2", kind, m.Len())
+		}
+		if v, ok := m.Get(key1(1)); !ok || v != "uno" {
+			t.Errorf("%s: Get(1) = %q, %v", kind, v, ok)
+		}
+		if !m.Delete(key1(1)) {
+			t.Errorf("%s: Delete(1) failed", kind)
+		}
+		if m.Delete(key1(1)) {
+			t.Errorf("%s: double Delete succeeded", kind)
+		}
+		if _, ok := m.Get(key1(1)); ok {
+			t.Errorf("%s: Get after Delete found value", kind)
+		}
+		if m.Len() != 1 {
+			t.Errorf("%s: Len after delete = %d", kind, m.Len())
+		}
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	for _, kind := range kindsFor(false) {
+		m := New[int](kind)
+		m.Put(key2(1, 2), 12)
+		m.Put(key2(2, 1), 21)
+		if v, _ := m.Get(key2(1, 2)); v != 12 {
+			t.Errorf("%s: composite Get = %d", kind, v)
+		}
+		if v, _ := m.Get(key2(2, 1)); v != 21 {
+			t.Errorf("%s: composite Get = %d", kind, v)
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	for _, kind := range kindsFor(false) {
+		m := New[int](kind)
+		m.Put(strKey("alpha"), 1)
+		m.Put(strKey("beta"), 2)
+		if v, ok := m.Get(strKey("alpha")); !ok || v != 1 {
+			t.Errorf("%s: string key Get = %d, %v", kind, v, ok)
+		}
+	}
+}
+
+// TestAgainstReference drives every structure with a random operation
+// sequence and compares against a plain Go map oracle after each step.
+func TestAgainstReference(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(42))
+			m := New[int](kind)
+			ref := make(map[int64]int)
+			for step := 0; step < 3000; step++ {
+				k := int64(rnd.Intn(60))
+				switch rnd.Intn(3) {
+				case 0:
+					v := rnd.Intn(1000)
+					m.Put(key1(k), v)
+					ref[k] = v
+				case 1:
+					got := m.Delete(key1(k))
+					_, want := ref[k]
+					if got != want {
+						t.Fatalf("step %d: Delete(%d) = %v, want %v", step, k, got, want)
+					}
+					delete(ref, k)
+				default:
+					got, ok := m.Get(key1(k))
+					want, wok := ref[k]
+					if ok != wok || (ok && got != want) {
+						t.Fatalf("step %d: Get(%d) = %d,%v want %d,%v", step, k, got, ok, want, wok)
+					}
+				}
+				if m.Len() != len(ref) {
+					t.Fatalf("step %d: Len = %d, want %d", step, m.Len(), len(ref))
+				}
+			}
+			// Final full-content check via Range.
+			seen := make(map[int64]int)
+			m.Range(func(k relation.Tuple, v int) bool {
+				seen[k.MustGet("k").Int()] = v
+				return true
+			})
+			if len(seen) != len(ref) {
+				t.Fatalf("Range visited %d entries, want %d", len(seen), len(ref))
+			}
+			for k, v := range ref {
+				if seen[k] != v {
+					t.Fatalf("Range content mismatch at %d: %d vs %d", k, seen[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	for _, kind := range AllKinds() {
+		if !kind.Ordered() {
+			continue
+		}
+		m := New[int](kind)
+		perm := rand.New(rand.NewSource(7)).Perm(100)
+		for _, v := range perm {
+			m.Put(key1(int64(v)), v)
+		}
+		var got []int64
+		m.Range(func(k relation.Tuple, _ int) bool {
+			got = append(got, k.MustGet("k").Int())
+			return true
+		})
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Errorf("%s: Range order not sorted: %v", kind, got[:10])
+		}
+		if len(got) != 100 {
+			t.Errorf("%s: Range visited %d", kind, len(got))
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	for _, kind := range AllKinds() {
+		m := New[int](kind)
+		for i := int64(0); i < 10; i++ {
+			m.Put(key1(i), int(i))
+		}
+		count := 0
+		m.Range(func(relation.Tuple, int) bool {
+			count++
+			return count < 3
+		})
+		if count != 3 {
+			t.Errorf("%s: early stop visited %d entries, want 3", kind, count)
+		}
+	}
+}
+
+func TestDListHandles(t *testing.T) {
+	l := NewDList[int]()
+	e1 := l.PutEntry(key1(1), 10)
+	e2 := l.PutEntry(key1(2), 20)
+	l.RemoveEntry(e1)
+	if l.Len() != 1 {
+		t.Fatalf("Len after handle removal = %d", l.Len())
+	}
+	if _, ok := l.Get(key1(1)); ok {
+		t.Errorf("entry still reachable after RemoveEntry")
+	}
+	// Removing twice is a no-op.
+	l.RemoveEntry(e1)
+	if l.Len() != 1 {
+		t.Errorf("double RemoveEntry changed Len")
+	}
+	// PutEntry on existing key returns the same entry.
+	e2b := l.PutEntry(key1(2), 21)
+	if e2b != e2 {
+		t.Errorf("PutEntry allocated a new entry for an existing key")
+	}
+	if v, _ := l.Get(key1(2)); v != 21 {
+		t.Errorf("PutEntry did not update value")
+	}
+}
+
+func TestDListDeleteDuringRange(t *testing.T) {
+	l := NewDList[int]()
+	for i := int64(0); i < 5; i++ {
+		l.Put(key1(i), int(i))
+	}
+	l.Range(func(k relation.Tuple, _ int) bool {
+		l.Delete(k)
+		return true
+	})
+	if l.Len() != 0 {
+		t.Errorf("Len after delete-during-range = %d", l.Len())
+	}
+}
+
+func TestAVLInvariantUnderChurn(t *testing.T) {
+	tr := NewAVL[int]()
+	rnd := rand.New(rand.NewSource(9))
+	live := make(map[int64]bool)
+	for i := 0; i < 2000; i++ {
+		k := int64(rnd.Intn(300))
+		if rnd.Intn(2) == 0 {
+			tr.Put(key1(k), int(k))
+			live[k] = true
+		} else {
+			tr.Delete(key1(k))
+			delete(live, k)
+		}
+		if i%97 == 0 && !tr.checkInvariant() {
+			t.Fatalf("AVL invariant broken at step %d", i)
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Errorf("AVL Len = %d, want %d", tr.Len(), len(live))
+	}
+	if !tr.checkInvariant() {
+		t.Errorf("AVL invariant broken at end")
+	}
+}
+
+func TestAVLMinMax(t *testing.T) {
+	tr := NewAVL[int]()
+	if _, _, ok := tr.Min(); ok {
+		t.Errorf("Min on empty reported ok")
+	}
+	for _, v := range []int64{5, 1, 9, 3} {
+		tr.Put(key1(v), int(v))
+	}
+	if k, _, _ := tr.Min(); k.MustGet("k").Int() != 1 {
+		t.Errorf("Min = %v", k)
+	}
+	if k, _, _ := tr.Max(); k.MustGet("k").Int() != 9 {
+		t.Errorf("Max = %v", k)
+	}
+}
+
+func TestVectorNegativeAndGrowth(t *testing.T) {
+	v := NewVector[int]()
+	v.Put(key1(10), 1)
+	v.Put(key1(-5), 2) // grow downward
+	v.Put(key1(30), 3) // grow upward
+	for _, c := range []struct {
+		k int64
+		w int
+	}{{10, 1}, {-5, 2}, {30, 3}} {
+		if got, ok := v.Get(key1(c.k)); !ok || got != c.w {
+			t.Errorf("Get(%d) = %d, %v", c.k, got, ok)
+		}
+	}
+	if v.Len() != 3 {
+		t.Errorf("Len = %d", v.Len())
+	}
+	var keys []int64
+	v.Range(func(k relation.Tuple, _ int) bool {
+		keys = append(keys, k.MustGet("k").Int())
+		return true
+	})
+	want := []int64{-5, 10, 30}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestVectorRejectsBadKeys(t *testing.T) {
+	v := NewVector[int]()
+	for _, bad := range []relation.Tuple{strKey("x"), key2(1, 2)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("vector accepted bad key %v", bad)
+				}
+			}()
+			v.Put(bad, 0)
+		}()
+	}
+}
+
+func TestVectorSpanLimit(t *testing.T) {
+	v := NewVector[int]()
+	v.Put(key1(0), 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("vector accepted enormous span")
+		}
+	}()
+	v.Put(key1(1<<40), 2)
+}
+
+func TestCostModelShapes(t *testing.T) {
+	// The model must reproduce the complexity ordering the planner relies
+	// on: at large n, lookup on lists ≫ trees ≫ hash/vector.
+	n := 100000.0
+	if !(LookupCost(DListKind, n) > LookupCost(AVLKind, n)) {
+		t.Errorf("list lookup not more expensive than tree at n=%v", n)
+	}
+	if !(LookupCost(AVLKind, n) > LookupCost(HTableKind, n)) {
+		t.Errorf("tree lookup not more expensive than hash at n=%v", n)
+	}
+	if !(LookupCost(HTableKind, n) >= LookupCost(VectorKind, n)) {
+		t.Errorf("hash lookup cheaper than vector")
+	}
+	// Handle-based delete beats scanning delete on dlist.
+	if !(HandleDeleteCost(DListKind, n) < DeleteCost(DListKind, n)) {
+		t.Errorf("handle delete not cheaper than scan delete")
+	}
+	// Costs are defined (>0) at n = 0 for every kind.
+	for _, k := range AllKinds() {
+		for _, f := range []func(Kind, float64) float64{LookupCost, ScanCost, InsertCost, DeleteCost, HandleDeleteCost} {
+			if c := f(k, 0); c <= 0 {
+				t.Errorf("%s: zero-size cost = %v", k, c)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("New on unknown kind did not panic")
+		}
+	}()
+	New[int](Kind("bogus"))
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Kind("avl").Valid() || Kind("nope").Valid() {
+		t.Errorf("Valid wrong")
+	}
+	if !VectorKind.IntKeyedOnly() || HTableKind.IntKeyedOnly() {
+		t.Errorf("IntKeyedOnly wrong")
+	}
+	if !AVLKind.Ordered() || DListKind.Ordered() {
+		t.Errorf("Ordered wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package dstruct
+
+import "repro/internal/relation"
+
+// HTable is a separately-chained hash table over the FNV-1a hash of the
+// key's value encoding. It doubles when the load factor reaches 1, so Get,
+// Put, and Delete are expected O(1).
+type HTable[V any] struct {
+	buckets []*htNode[V]
+	n       int
+}
+
+type htNode[V any] struct {
+	key  relation.Tuple
+	enc  string // cached ValuesKey of key
+	hash uint64
+	val  V
+	next *htNode[V]
+}
+
+const htInitialBuckets = 8
+
+// NewHTable returns an empty hash table.
+func NewHTable[V any]() *HTable[V] {
+	return &HTable[V]{buckets: make([]*htNode[V], htInitialBuckets)}
+}
+
+// Kind returns HTableKind.
+func (h *HTable[V]) Kind() Kind { return HTableKind }
+
+// Len returns the number of entries.
+func (h *HTable[V]) Len() int { return h.n }
+
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	hash := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		hash ^= uint64(s[i])
+		hash *= prime
+	}
+	return hash
+}
+
+func (h *HTable[V]) bucket(hash uint64) int {
+	return int(hash & uint64(len(h.buckets)-1))
+}
+
+// Get returns the value for k.
+func (h *HTable[V]) Get(k relation.Tuple) (V, bool) {
+	enc := k.ValuesKey()
+	hash := fnv1a(enc)
+	for n := h.buckets[h.bucket(hash)]; n != nil; n = n.next {
+		if n.hash == hash && n.enc == enc {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k.
+func (h *HTable[V]) Put(k relation.Tuple, v V) {
+	enc := k.ValuesKey()
+	hash := fnv1a(enc)
+	b := h.bucket(hash)
+	for n := h.buckets[b]; n != nil; n = n.next {
+		if n.hash == hash && n.enc == enc {
+			n.val = v
+			return
+		}
+	}
+	if h.n >= len(h.buckets) {
+		h.grow()
+		b = h.bucket(hash)
+	}
+	h.buckets[b] = &htNode[V]{key: k, enc: enc, hash: hash, val: v, next: h.buckets[b]}
+	h.n++
+}
+
+func (h *HTable[V]) grow() {
+	old := h.buckets
+	h.buckets = make([]*htNode[V], 2*len(old))
+	for _, n := range old {
+		for n != nil {
+			next := n.next
+			b := h.bucket(n.hash)
+			n.next = h.buckets[b]
+			h.buckets[b] = n
+			n = next
+		}
+	}
+}
+
+// Delete removes k.
+func (h *HTable[V]) Delete(k relation.Tuple) bool {
+	enc := k.ValuesKey()
+	hash := fnv1a(enc)
+	b := h.bucket(hash)
+	for p := &h.buckets[b]; *p != nil; p = &(*p).next {
+		if (*p).hash == hash && (*p).enc == enc {
+			*p = (*p).next
+			h.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Range visits entries in bucket order. Entries may be deleted during
+// iteration; entries inserted during iteration may or may not be visited.
+func (h *HTable[V]) Range(f func(k relation.Tuple, v V) bool) {
+	for _, head := range h.buckets {
+		for n := head; n != nil; {
+			next := n.next
+			if !f(n.key, n.val) {
+				return
+			}
+			n = next
+		}
+	}
+}

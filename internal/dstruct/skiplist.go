@@ -1,0 +1,132 @@
+package dstruct
+
+import "repro/internal/relation"
+
+// SkipList is a probabilistic ordered map: expected O(log n) Get/Put/Delete
+// with ordered iteration, trading the AVL tree's rebalancing for randomized
+// tower heights. It exists mostly to demonstrate the library's
+// extensibility — the paper: "The set of data structures is extensible; any
+// data structure implementing a common interface may be used."
+//
+// The tower-height generator is deterministic (xorshift seeded per list),
+// so instances built by identical operation sequences are identical, which
+// the reproducibility of the benchmarks relies on.
+type SkipList[V any] struct {
+	head  *skipNode[V]
+	level int
+	n     int
+	rng   uint64
+}
+
+const skipMaxLevel = 24
+
+type skipNode[V any] struct {
+	key  relation.Tuple
+	val  V
+	next []*skipNode[V]
+}
+
+// NewSkipList returns an empty skip list.
+func NewSkipList[V any]() *SkipList[V] {
+	return &SkipList[V]{
+		head:  &skipNode[V]{next: make([]*skipNode[V], skipMaxLevel)},
+		level: 1,
+		rng:   0x9e3779b97f4a7c15,
+	}
+}
+
+// Kind returns SkipListKind.
+func (s *SkipList[V]) Kind() Kind { return SkipListKind }
+
+// Len returns the number of entries.
+func (s *SkipList[V]) Len() int { return s.n }
+
+func (s *SkipList[V]) randomLevel() int {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	lvl := 1
+	for x := s.rng; x&1 == 1 && lvl < skipMaxLevel; x >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPred fills pred with the rightmost node strictly before k on each
+// level and returns the candidate node at level 0.
+func (s *SkipList[V]) findPred(k relation.Tuple, pred []*skipNode[V]) *skipNode[V] {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key.Compare(k) < 0 {
+			x = x.next[i]
+		}
+		if pred != nil {
+			pred[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value for k.
+func (s *SkipList[V]) Get(k relation.Tuple) (V, bool) {
+	if n := s.findPred(k, nil); n != nil && n.key.Compare(k) == 0 {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k.
+func (s *SkipList[V]) Put(k relation.Tuple, v V) {
+	pred := make([]*skipNode[V], skipMaxLevel)
+	for i := range pred {
+		pred[i] = s.head
+	}
+	if n := s.findPred(k, pred); n != nil && n.key.Compare(k) == 0 {
+		n.val = v
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		s.level = lvl
+	}
+	node := &skipNode[V]{key: k, val: v, next: make([]*skipNode[V], lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = pred[i].next[i]
+		pred[i].next[i] = node
+	}
+	s.n++
+}
+
+// Delete removes k.
+func (s *SkipList[V]) Delete(k relation.Tuple) bool {
+	pred := make([]*skipNode[V], skipMaxLevel)
+	for i := range pred {
+		pred[i] = s.head
+	}
+	n := s.findPred(k, pred)
+	if n == nil || n.key.Compare(k) != 0 {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if pred[i].next[i] == n {
+			pred[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.n--
+	return true
+}
+
+// Range visits entries in ascending key order.
+func (s *SkipList[V]) Range(f func(k relation.Tuple, v V) bool) {
+	for n := s.head.next[0]; n != nil; {
+		next := n.next[0]
+		if !f(n.key, n.val) {
+			return
+		}
+		n = next
+	}
+}

@@ -1,0 +1,81 @@
+package dstruct
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// SortedArr keeps key/value pairs in a slice sorted by key. Get is O(log n)
+// by binary search; Put and Delete are O(n) due to shifting; Range is
+// ordered. It is the right structure for small, read-mostly maps where
+// pointer-chasing structures waste memory.
+type SortedArr[V any] struct {
+	keys []relation.Tuple
+	vals []V
+}
+
+// NewSortedArr returns an empty sorted array.
+func NewSortedArr[V any]() *SortedArr[V] { return &SortedArr[V]{} }
+
+// Kind returns SortedArrKind.
+func (s *SortedArr[V]) Kind() Kind { return SortedArrKind }
+
+// Len returns the number of entries.
+func (s *SortedArr[V]) Len() int { return len(s.keys) }
+
+// search returns the insertion index for k and whether k is present there.
+func (s *SortedArr[V]) search(k relation.Tuple) (int, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i].Compare(k) >= 0 })
+	return i, i < len(s.keys) && s.keys[i].Compare(k) == 0
+}
+
+// Get returns the value for k.
+func (s *SortedArr[V]) Get(k relation.Tuple) (V, bool) {
+	if i, ok := s.search(k); ok {
+		return s.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k.
+func (s *SortedArr[V]) Put(k relation.Tuple, v V) {
+	i, ok := s.search(k)
+	if ok {
+		s.vals[i] = v
+		return
+	}
+	s.keys = append(s.keys, relation.Tuple{})
+	s.vals = append(s.vals, v)
+	copy(s.keys[i+1:], s.keys[i:])
+	copy(s.vals[i+1:], s.vals[i:])
+	s.keys[i] = k
+	s.vals[i] = v
+}
+
+// Delete removes k.
+func (s *SortedArr[V]) Delete(k relation.Tuple) bool {
+	i, ok := s.search(k)
+	if !ok {
+		return false
+	}
+	s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	s.vals = append(s.vals[:i], s.vals[i+1:]...)
+	return true
+}
+
+// Range visits entries in ascending key order. Snapshot semantics: entries
+// are visited from a copy of the index, so deleting the visited entry is
+// safe.
+func (s *SortedArr[V]) Range(f func(k relation.Tuple, v V) bool) {
+	keys := make([]relation.Tuple, len(s.keys))
+	copy(keys, s.keys)
+	for _, k := range keys {
+		if v, ok := s.Get(k); ok {
+			if !f(k, v) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package dstruct
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// vectorMaxSpan bounds the index range a Vector will materialize. Beyond it
+// the structure panics: the paper's autotuner likewise generates
+// decompositions whose data structures are hopeless for the workload (they
+// show up as timeouts in Figures 11 and 13); our autotuner converts the
+// panic into a "did not finish" entry.
+const vectorMaxSpan = 1 << 24
+
+// Vector is a dense array mapping a single integer key column to values by
+// index, the ψ = vector of the paper (used there to map the two process
+// states to lists). It auto-grows in both directions around the first key
+// inserted. Get, Put, and Delete are O(1); Range is ordered by key.
+type Vector[V any] struct {
+	base    int64 // key value of slot 0; meaningful once n > 0 or len(slots) > 0
+	col     string
+	slots   []vectorSlot[V]
+	n       int
+	started bool
+}
+
+type vectorSlot[V any] struct {
+	val     V
+	present bool
+}
+
+// NewVector returns an empty vector.
+func NewVector[V any]() *Vector[V] { return &Vector[V]{} }
+
+// Kind returns VectorKind.
+func (v *Vector[V]) Kind() Kind { return VectorKind }
+
+// Len returns the number of present entries.
+func (v *Vector[V]) Len() int { return v.n }
+
+func vectorIndex(k relation.Tuple) int64 {
+	if k.Len() != 1 {
+		panic(fmt.Sprintf("dstruct: vector key must be a single column, got %v", k))
+	}
+	val := k.Bindings()[0].Val
+	if val.Kind() != value.Int {
+		panic(fmt.Sprintf("dstruct: vector key must be an integer, got %v", val))
+	}
+	return val.Int()
+}
+
+// Get returns the value for k.
+func (v *Vector[V]) Get(k relation.Tuple) (V, bool) {
+	var zero V
+	if !v.started {
+		return zero, false
+	}
+	i := vectorIndex(k) - v.base
+	if i < 0 || i >= int64(len(v.slots)) || !v.slots[i].present {
+		return zero, false
+	}
+	return v.slots[i].val, true
+}
+
+// Put inserts or replaces the value for k, growing the array as needed. It
+// panics if the span of observed keys exceeds vectorMaxSpan, mirroring a
+// decomposition whose vector edge is unusable for the workload.
+func (v *Vector[V]) Put(k relation.Tuple, v2 V) {
+	key := vectorIndex(k)
+	if !v.started {
+		v.base = key
+		v.col = k.Bindings()[0].Col
+		v.slots = make([]vectorSlot[V], 1)
+		v.started = true
+	}
+	i := key - v.base
+	switch {
+	case i < 0:
+		span := int64(len(v.slots)) - i
+		if span > vectorMaxSpan {
+			panic(fmt.Sprintf("dstruct: vector span %d exceeds limit", span))
+		}
+		grown := make([]vectorSlot[V], span)
+		copy(grown[-i:], v.slots)
+		v.slots = grown
+		v.base = key
+		i = 0
+	case i >= int64(len(v.slots)):
+		if i+1 > vectorMaxSpan {
+			panic(fmt.Sprintf("dstruct: vector span %d exceeds limit", i+1))
+		}
+		grown := make([]vectorSlot[V], i+1)
+		copy(grown, v.slots)
+		v.slots = grown
+	}
+	if !v.slots[i].present {
+		v.n++
+	}
+	v.slots[i] = vectorSlot[V]{val: v2, present: true}
+}
+
+// Delete removes k. The array never shrinks; slots are cheap.
+func (v *Vector[V]) Delete(k relation.Tuple) bool {
+	if !v.started {
+		return false
+	}
+	i := vectorIndex(k) - v.base
+	if i < 0 || i >= int64(len(v.slots)) || !v.slots[i].present {
+		return false
+	}
+	var zero V
+	v.slots[i] = vectorSlot[V]{val: zero}
+	v.n--
+	return true
+}
+
+// Range visits present entries in ascending key order. Vector cannot
+// reconstruct the original key column name from the index alone, so it
+// remembers keys implicitly: it re-synthesizes the key tuple from the stored
+// column of the first Put. To keep that exact, Vector stores the column name
+// at first use.
+func (v *Vector[V]) Range(f func(k relation.Tuple, v V) bool) {
+	for i := range v.slots {
+		if v.slots[i].present {
+			k := relation.NewTuple(relation.BindInt(v.col, v.base+int64(i)))
+			if !f(k, v.slots[i].val) {
+				return
+			}
+		}
+	}
+}

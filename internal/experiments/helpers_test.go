@@ -1,0 +1,17 @@
+package experiments_test
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+)
+
+// flatSchedulerDecomp is a trivially correct single-index representation
+// used as the behavioural baseline in checksum tests.
+func flatSchedulerDecomp() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"ns", "pid"}, []string{"state", "cpu"},
+			decomp.U("state", "cpu")),
+		decomp.Let("root", nil, []string{"ns", "pid", "state", "cpu"},
+			decomp.M(dstruct.AVLKind, "w", "ns", "pid")),
+	}, "root")
+}

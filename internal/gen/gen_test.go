@@ -1,0 +1,45 @@
+package gen_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/dsl"
+)
+
+// TestGeneratedPackagesUpToDate regenerates every spec/*.rel with the
+// in-tree compiler and verifies the checked-in packages match, so the
+// generated code can never drift from the specifications.
+func TestGeneratedPackagesUpToDate(t *testing.T) {
+	specs, err := filepath.Glob("../../spec/*.rel")
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no spec files found: %v", err)
+	}
+	for _, path := range specs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := dsl.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, nd := range file.Decomps {
+			files, err := codegen.Generate(nd.For, nd.D, codegen.Options{Package: nd.Name, Ops: nd.Ops})
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			for fname, want := range files {
+				got, err := os.ReadFile(filepath.Join(nd.Name, fname))
+				if err != nil {
+					t.Fatalf("%s: checked-in file missing: %v", path, err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s: %s is stale; rerun `go run ./cmd/relc -o internal/gen %s`", path, fname, path)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package instance
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Insert implements dinsert (§4.4): it inserts the full tuple t, finding or
+// creating the node instance for every decomposition variable in
+// topologically-sorted order and linking every map edge. It reports whether
+// the relation changed (false if t was already present).
+//
+// The caller is responsible for FD preservation (Lemma 4(a) requires
+// ∆ ⊨ r ∪ {t}); the engine in package core checks it. Insert still detects
+// the violations that would corrupt the instance — a path leading to a node
+// whose unit disagrees with t — and reports them as errors rather than
+// silently overwriting shared state.
+func (in *Instance) Insert(t relation.Tuple) (bool, error) {
+	if !t.Dom().Equal(in.dcmp.Cols()) {
+		return false, fmt.Errorf("instance: insert of %v into relation over %v", t, in.dcmp.Cols())
+	}
+	if in.Contains(t) {
+		return false, nil
+	}
+
+	// Find or create the node for each variable, root first, locating
+	// existing nodes through any incoming map edge from an already-located
+	// parent (§4.4's example does exactly this for the shared node w).
+	located := make(map[string]*Node, len(in.dcmp.Bindings()))
+	for _, b := range in.dcmp.TopoDown() {
+		var n *Node
+		if b.Var == in.dcmp.Root() {
+			n = in.root
+		} else {
+			for _, e := range in.dcmp.InEdges(b.Var) {
+				parent := located[e.Parent]
+				if child, ok := parent.MapAt(in, e).Get(t.Project(e.Key)); ok {
+					n = child
+					break
+				}
+			}
+			if n == nil {
+				n = in.newNode(b.Var)
+			}
+		}
+		// Fill unit slots; an existing node whose unit disagrees with t
+		// means the insert would violate the functional dependencies.
+		for _, u := range in.dcmp.UnitsOf(b.Var) {
+			want := t.Project(u.Cols)
+			i := in.layouts[b.Var].index[u]
+			if got := n.slots[i].unit; got.Len() != 0 && !got.Equal(want) {
+				return false, fmt.Errorf("instance: insert of %v violates the functional dependencies: node %s already holds %v", t, b.Var, got)
+			}
+			n.slots[i].unit = want
+		}
+		located[b.Var] = n
+	}
+
+	// Link every map edge, bumping the child's reference count for each
+	// newly created entry.
+	for _, e := range in.dcmp.Edges() {
+		parent, child := located[e.Parent], located[e.Target]
+		m := parent.MapAt(in, e)
+		k := t.Project(e.Key)
+		if existing, ok := m.Get(k); ok {
+			if existing != child {
+				return false, fmt.Errorf("instance: insert of %v violates the functional dependencies: edge %s→%s key %v points elsewhere", t, e.Parent, e.Target, k)
+			}
+			continue
+		}
+		m.Put(k, child)
+		child.refs++
+	}
+	in.count++
+	return true, nil
+}

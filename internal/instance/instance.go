@@ -1,0 +1,185 @@
+// Package instance implements decomposition instances, the run-time
+// counterpart of decompositions (Figure 4 of the paper): rooted DAGs whose
+// nodes are objects in memory and whose edges are data structures navigating
+// between them.
+//
+// The package provides the paper's mutation primitives — dempty (New),
+// dinsert (Insert), single-tuple dremove (RemoveTuple, used by the engine's
+// pattern removal), and in-place dupdate (UpdateInPlace) — together with the
+// abstraction function α (Relation) and the well-formedness judgment of
+// Figure 5 (CheckWF). Locating nodes always navigates the instance's own
+// data structures, never an auxiliary index, so the cost of every operation
+// reflects the decomposition exactly as in the paper's generated code.
+package instance
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// A Node is one object of a decomposition instance: the instance v_t of a
+// decomposition variable v for one valuation t of v's bound columns. Its
+// slots hold the data of the variable's definition: one tuple per unit
+// primitive and one data structure per map primitive.
+type Node struct {
+	Var   string
+	slots []slot
+	refs  int // number of parent map entries pointing at this node
+}
+
+type slot struct {
+	unit relation.Tuple
+	m    dstruct.Map[*Node]
+}
+
+// layout maps the primitives of one variable's definition to slot indices.
+type layout struct {
+	prims []decomp.Primitive       // units and map edges, preorder
+	index map[decomp.Primitive]int // primitive → slot
+}
+
+// An Instance is a decomposition instance of a particular decomposition.
+type Instance struct {
+	dcmp    *decomp.Decomp
+	fds     fd.Set
+	root    *Node
+	layouts map[string]*layout
+	fullCut map[string]bool // the cut (X, Y) for the full column set; Y = true
+	count   int
+
+	// CleanupEmpty controls whether removal deallocates maps that become
+	// empty (§4.5: "Our implementation deallocates empty maps to minimize
+	// space consumption"). It is a flag so the design choice can be
+	// ablated; leaving garbage nodes behind never affects the represented
+	// relation, only memory.
+	CleanupEmpty bool
+}
+
+// New implements dempty: it creates an instance representing the empty
+// relation. The decomposition should already have been checked adequate for
+// the caller's columns and FDs; New only needs the FDs (for cuts).
+func New(d *decomp.Decomp, fds fd.Set) *Instance {
+	inst := &Instance{
+		dcmp:         d,
+		fds:          fds,
+		layouts:      make(map[string]*layout, len(d.Bindings())),
+		fullCut:      d.Cut(fds, d.Cols()),
+		CleanupEmpty: true,
+	}
+	for _, b := range d.Bindings() {
+		l := &layout{index: make(map[decomp.Primitive]int)}
+		decomp.WalkPrims(b.Def, func(p decomp.Primitive) {
+			switch p.(type) {
+			case *decomp.Unit, *decomp.MapEdge:
+				l.index[p] = len(l.prims)
+				l.prims = append(l.prims, p)
+			}
+		})
+		inst.layouts[b.Var] = l
+	}
+	inst.root = inst.newNode(d.Root())
+	return inst
+}
+
+// Decomp returns the instance's decomposition.
+func (in *Instance) Decomp() *decomp.Decomp { return in.dcmp }
+
+// FDs returns the dependency set the instance maintains.
+func (in *Instance) FDs() fd.Set { return in.fds }
+
+// Root returns the root node.
+func (in *Instance) Root() *Node { return in.root }
+
+// Len returns the number of tuples represented.
+func (in *Instance) Len() int { return in.count }
+
+func (in *Instance) newNode(v string) *Node {
+	l := in.layouts[v]
+	n := &Node{Var: v, slots: make([]slot, len(l.prims))}
+	for i, p := range l.prims {
+		if e, ok := p.(*decomp.MapEdge); ok {
+			n.slots[i].m = dstruct.New[*Node](e.DS)
+		}
+	}
+	return n
+}
+
+// MapAt returns the data structure of node n for map edge e. It panics if e
+// is not a primitive of n's variable; plans are validated before execution.
+func (n *Node) MapAt(in *Instance, e *decomp.MapEdge) dstruct.Map[*Node] {
+	return n.slots[in.layouts[n.Var].index[e]].m
+}
+
+// UnitAt returns the tuple of node n for unit primitive u.
+func (n *Node) UnitAt(in *Instance, u *decomp.Unit) relation.Tuple {
+	return n.slots[in.layouts[n.Var].index[u]].unit
+}
+
+// Refs returns the node's reference count (incoming edge instances); the
+// root is held alive by the instance itself.
+func (n *Node) Refs() int { return n.refs }
+
+// Contains reports whether the full tuple t is represented. It navigates
+// the decomposition's own data structures: every map on the way is keyed by
+// columns of t, so the walk is pure lookups.
+func (in *Instance) Contains(t relation.Tuple) bool {
+	return in.matchesPrim(in.dcmp.RootBinding().Def, in.root, t)
+}
+
+// matchesPrim reports whether the sub-instance rooted at (p, n) represents a
+// tuple consistent with the (possibly partial) tuple s, checking only what s
+// constrains.
+func (in *Instance) matchesPrim(p decomp.Primitive, n *Node, s relation.Tuple) bool {
+	switch p := p.(type) {
+	case *decomp.Unit:
+		return n.UnitAt(in, p).Matches(s)
+	case *decomp.MapEdge:
+		m := n.MapAt(in, p)
+		if p.Key.SubsetOf(s.Dom()) {
+			child, ok := m.Get(s.Project(p.Key))
+			if !ok {
+				return false
+			}
+			return in.matchesPrim(in.dcmp.Var(p.Target).Def, child, s)
+		}
+		found := false
+		m.Range(func(k relation.Tuple, child *Node) bool {
+			if k.Matches(s) && in.matchesPrim(in.dcmp.Var(p.Target).Def, child, s.Merge(k)) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	case *decomp.Join:
+		// Each side's projection onto s's columns is determined by the FDs
+		// (adequacy), so checking the sides independently is exact.
+		return in.matchesPrim(p.Left, n, s) && in.matchesPrim(p.Right, n, s)
+	default:
+		panic(fmt.Sprintf("instance: unknown primitive %T", p))
+	}
+}
+
+// isEmptyNode reports whether node n currently represents the empty
+// relation: some map in every required position is empty. A unit is never
+// empty; a join is empty if either side is.
+func (in *Instance) isEmptyNode(n *Node) bool {
+	return in.isEmptyPrim(in.dcmp.Var(n.Var).Def, n)
+}
+
+func (in *Instance) isEmptyPrim(p decomp.Primitive, n *Node) bool {
+	switch p := p.(type) {
+	case *decomp.Unit:
+		return false
+	case *decomp.MapEdge:
+		return n.MapAt(in, p).Len() == 0
+	case *decomp.Join:
+		return in.isEmptyPrim(p.Left, n) || in.isEmptyPrim(p.Right, n)
+	default:
+		panic(fmt.Sprintf("instance: unknown primitive %T", p))
+	}
+}

@@ -1,0 +1,162 @@
+package instance
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// RemoveTuple implements the per-tuple core of dremove (§4.5) for a full
+// tuple t: it computes the decomposition cut (X, Y) — here for the full
+// column set, under which every node below the cut represents exactly t —
+// breaks every edge instance crossing the cut, frees the unreachable nodes
+// below it, and (optionally, see CleanupEmpty) deallocates maps above the
+// cut that became empty. Pattern-level removal is built on top of this by
+// the engine: it queries the matching tuples with a query plan and removes
+// each.
+//
+// It reports whether t was present.
+func (in *Instance) RemoveTuple(t relation.Tuple) bool {
+	if !t.Dom().Equal(in.dcmp.Cols()) || !in.Contains(t) {
+		return false
+	}
+
+	// Locate the instance of every variable above the cut (X). Edges never
+	// point from Y back into X, so X nodes are reachable through X-only
+	// paths, all of whose map keys are bound by t.
+	located := make(map[string]*Node, len(in.dcmp.Bindings()))
+	var xvars []string // in TopoDown order (parents first)
+	for _, b := range in.dcmp.TopoDown() {
+		if in.fullCut[b.Var] {
+			continue // below the cut
+		}
+		if b.Var == in.dcmp.Root() {
+			located[b.Var] = in.root
+		} else {
+			for _, e := range in.dcmp.InEdges(b.Var) {
+				if child, ok := located[e.Parent].MapAt(in, e).Get(t.Project(e.Key)); ok {
+					located[b.Var] = child
+					break
+				}
+			}
+			if located[b.Var] == nil {
+				// Contains(t) held, so every X node must be reachable.
+				panic(fmt.Sprintf("instance: node %s not found while removing %v", b.Var, t))
+			}
+		}
+		xvars = append(xvars, b.Var)
+	}
+
+	// Break every edge crossing the cut.
+	for _, e := range in.dcmp.Edges() {
+		if in.fullCut[e.Parent] || !in.fullCut[e.Target] {
+			continue
+		}
+		m := located[e.Parent].MapAt(in, e)
+		k := t.Project(e.Key)
+		if child, ok := m.Get(k); ok {
+			m.Delete(k)
+			in.release(child)
+		}
+	}
+
+	// Deallocate maps above the cut that became empty, deepest first so the
+	// cleanup cascades toward the root.
+	if in.CleanupEmpty {
+		for i := len(xvars) - 1; i >= 0; i-- {
+			v := xvars[i]
+			if v == in.dcmp.Root() || !in.isEmptyNode(located[v]) {
+				continue
+			}
+			for _, e := range in.dcmp.InEdges(v) {
+				m := located[e.Parent].MapAt(in, e)
+				k := t.Project(e.Key)
+				if child, ok := m.Get(k); ok && child == located[v] {
+					m.Delete(k)
+					located[v].refs--
+				}
+			}
+		}
+	}
+
+	in.count--
+	return true
+}
+
+// release decrements a node's reference count and, when it becomes
+// unreachable, recursively releases everything it points to. Below a
+// full-column cut every reachable node represents only the removed tuple,
+// so the recursive free is exact.
+func (in *Instance) release(n *Node) {
+	n.refs--
+	if n.refs > 0 {
+		return
+	}
+	for i := range n.slots {
+		if m := n.slots[i].m; m != nil {
+			m.Range(func(_ relation.Tuple, child *Node) bool {
+				in.release(child)
+				return true
+			})
+		}
+	}
+}
+
+// UpdateInPlace implements the in-place fast path of dupdate (§4.5): when
+// the pattern s is a key for the relation and the update u touches only
+// columns stored in unit primitives — never a map key or a variable's bound
+// columns — the matched tuple's nodes can be reused and the new values
+// written directly into the units.
+//
+// t must be the full currently-stored tuple matching s (the engine finds it
+// with a query). UpdateInPlace reports whether it applied; if not, the
+// engine falls back to remove + insert.
+func (in *Instance) UpdateInPlace(t, u relation.Tuple) bool {
+	if !in.CanUpdateInPlace(u.Dom()) {
+		return false
+	}
+	if !in.Contains(t) {
+		return false
+	}
+	located := make(map[string]*Node, len(in.dcmp.Bindings()))
+	for _, b := range in.dcmp.TopoDown() {
+		if b.Var == in.dcmp.Root() {
+			located[b.Var] = in.root
+		} else {
+			for _, e := range in.dcmp.InEdges(b.Var) {
+				if child, ok := located[e.Parent].MapAt(in, e).Get(t.Project(e.Key)); ok {
+					located[b.Var] = child
+					break
+				}
+			}
+			if located[b.Var] == nil {
+				panic(fmt.Sprintf("instance: node %s not found while updating %v", b.Var, t))
+			}
+		}
+		for _, unit := range in.dcmp.UnitsOf(b.Var) {
+			if !unit.Cols.Intersect(u.Dom()).IsEmpty() {
+				i := in.layouts[b.Var].index[unit]
+				n := located[b.Var]
+				n.slots[i].unit = n.slots[i].unit.Merge(u.Project(unit.Cols))
+			}
+		}
+	}
+	return true
+}
+
+// CanUpdateInPlace reports whether an update binding the columns ucols can
+// be performed in place on this decomposition: no map key and no variable's
+// bound columns may mention an updated column.
+func (in *Instance) CanUpdateInPlace(ucols relation.Cols) bool {
+	for _, e := range in.dcmp.Edges() {
+		if !e.Key.Intersect(ucols).IsEmpty() {
+			return false
+		}
+	}
+	for _, b := range in.dcmp.Bindings() {
+		if !b.Bound.Intersect(ucols).IsEmpty() {
+			return false
+		}
+	}
+	return true
+}

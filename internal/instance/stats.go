@@ -1,0 +1,72 @@
+package instance
+
+import "repro/internal/relation"
+
+// EdgeStat aggregates profiling counts for one map edge of the
+// decomposition across a whole instance: how many parent node instances
+// exist and how many entries their maps hold in total. The ratio is the
+// paper's count c(v1, v2), the expected number of instances of the edge
+// outgoing from an instance of its parent (§4.3), which the query planner's
+// cost estimator consumes.
+type EdgeStat struct {
+	Parents int // instances of the edge's parent variable
+	Entries int // total map entries across those instances
+}
+
+// Fanout returns Entries/Parents, defaulting to 1 for unseen edges.
+func (s EdgeStat) Fanout() float64 {
+	if s.Parents == 0 || s.Entries == 0 {
+		return 1
+	}
+	return float64(s.Entries) / float64(s.Parents)
+}
+
+// EdgeStats profiles the instance, returning per-edge statistics keyed by
+// edge ID. This is the "recorded as part of a profiling run" option of
+// §4.3.
+func (in *Instance) EdgeStats() map[int]EdgeStat {
+	stats := make(map[int]EdgeStat, len(in.dcmp.Edges()))
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range in.dcmp.EdgesOf(n.Var) {
+			m := n.MapAt(in, e)
+			s := stats[e.ID]
+			s.Parents++
+			s.Entries += m.Len()
+			stats[e.ID] = s
+			m.Range(func(_ relation.Tuple, child *Node) bool {
+				visit(child)
+				return true
+			})
+		}
+	}
+	visit(in.root)
+	return stats
+}
+
+// NodeCount returns the number of reachable node instances, a memory-side
+// metric used by the sharing ablation (decomposition 5 vs 9 differ exactly
+// in how many nodes they allocate).
+func (in *Instance) NodeCount() int {
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range in.dcmp.EdgesOf(n.Var) {
+			n.MapAt(in, e).Range(func(_ relation.Tuple, child *Node) bool {
+				visit(child)
+				return true
+			})
+		}
+	}
+	visit(in.root)
+	return len(seen)
+}

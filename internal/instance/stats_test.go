@@ -1,0 +1,71 @@
+package instance_test
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/paperex"
+)
+
+func TestEdgeStats(t *testing.T) {
+	in := instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	for _, tup := range paperex.SchedulerRelation().All() {
+		if _, err := in.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := in.Decomp()
+	stats := in.EdgeStats()
+	// x→y keyed ns: one x instance holding two namespaces.
+	exy := d.EdgesOf("x")[0]
+	if s := stats[exy.ID]; s.Parents != 1 || s.Entries != 2 {
+		t.Errorf("x→y stats = %+v", s)
+	}
+	if got := stats[exy.ID].Fanout(); got != 2 {
+		t.Errorf("x→y fanout = %v", got)
+	}
+	// x→z keyed state: two states.
+	exz := d.EdgesOf("x")[1]
+	if s := stats[exz.ID]; s.Parents != 1 || s.Entries != 2 {
+		t.Errorf("x→z stats = %+v", s)
+	}
+	// y→w keyed pid: two y instances with 2+1 children.
+	eyw := d.EdgesOf("y")[0]
+	if s := stats[eyw.ID]; s.Parents != 2 || s.Entries != 3 {
+		t.Errorf("y→w stats = %+v", s)
+	}
+	if got := stats[eyw.ID].Fanout(); got != 1.5 {
+		t.Errorf("y→w fanout = %v", got)
+	}
+}
+
+func TestEdgeStatsEmpty(t *testing.T) {
+	in := instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	for _, s := range in.EdgeStats() {
+		if s.Fanout() != 1 {
+			t.Errorf("empty-instance fanout = %v, want default 1", s.Fanout())
+		}
+	}
+}
+
+func TestNodeCountSharing(t *testing.T) {
+	// Sharing: decomposition 5 allocates one weight node per edge tuple;
+	// decomposition 9 allocates two.
+	edges := []struct{ s, d, w int64 }{{1, 2, 10}, {2, 3, 20}, {3, 1, 30}}
+	load := func(in *instance.Instance) {
+		for _, e := range edges {
+			if _, err := in.Insert(paperex.EdgeTuple(e.s, e.d, e.w)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shared := instance.New(paperex.GraphDecomp5(), paperex.GraphFDs())
+	unshared := instance.New(paperex.GraphDecomp9(), paperex.GraphFDs())
+	load(shared)
+	load(unshared)
+	if s, u := shared.NodeCount(), unshared.NodeCount(); s >= u {
+		t.Errorf("shared decomposition uses %d nodes, unshared %d — sharing saved nothing", s, u)
+	} else if u-s != len(edges) {
+		t.Errorf("expected exactly one saved node per edge: shared=%d unshared=%d", s, u)
+	}
+}

@@ -1,0 +1,148 @@
+// Package paperex provides the running examples of the paper as reusable
+// fixtures: the process-scheduler relation of §1–§2 with the decomposition
+// of Figure 2(a), and the directed-graph edge relation of §6.1 with
+// decompositions 1, 5, and 9 of Figure 12. Tests, benchmarks, and examples
+// across the repository share these.
+package paperex
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// SchedulerCols is the scheduler relation's column set {ns, pid, state, cpu}.
+func SchedulerCols() relation.Cols {
+	return relation.NewCols("ns", "pid", "state", "cpu")
+}
+
+// SchedulerFDs is the dependency set {ns, pid → state, cpu}.
+func SchedulerFDs() fd.Set {
+	return fd.NewSet(fd.FD{
+		From: relation.NewCols("ns", "pid"),
+		To:   relation.NewCols("state", "cpu"),
+	})
+}
+
+// SchedulerDecomp is the decomposition of Figure 2(a) / Equation (2): a
+// hash table over ns to hash tables over pid on the left, a vector over
+// state to doubly-linked lists over (ns, pid) on the right, sharing the
+// unit node w that holds cpu.
+func SchedulerDecomp() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"ns", "pid", "state"}, []string{"cpu"},
+			decomp.U("cpu")),
+		decomp.Let("y", []string{"ns"}, []string{"pid", "cpu"},
+			decomp.M(dstruct.HTableKind, "w", "pid")),
+		decomp.Let("z", []string{"state"}, []string{"ns", "pid", "cpu"},
+			decomp.M(dstruct.DListKind, "w", "ns", "pid")),
+		decomp.Let("x", nil, []string{"ns", "pid", "state", "cpu"},
+			decomp.J(
+				decomp.M(dstruct.HTableKind, "y", "ns"),
+				decomp.M(dstruct.VectorKind, "z", "state"))),
+	}, "x")
+}
+
+// Process states. The paper draws state from the two-element set {S, R};
+// they are small integers here so that the vector edge of Figure 2(a) can
+// index them, exactly as the paper's vector maps the two states to lists.
+const (
+	StateS int64 = 0 // sleeping
+	StateR int64 = 1 // running
+)
+
+// SchedulerTuple builds one scheduler tuple with state StateS or StateR.
+func SchedulerTuple(ns, pid, state, cpu int64) relation.Tuple {
+	return relation.NewTuple(
+		relation.BindInt("ns", ns),
+		relation.BindInt("pid", pid),
+		relation.BindInt("state", state),
+		relation.BindInt("cpu", cpu),
+	)
+}
+
+// SchedulerRelation returns the relation r_s of Equation (1).
+func SchedulerRelation() *relation.Relation {
+	return relation.FromTuples(SchedulerCols(),
+		SchedulerTuple(1, 1, StateS, 7),
+		SchedulerTuple(1, 2, StateR, 4),
+		SchedulerTuple(2, 1, StateS, 5),
+	)
+}
+
+// GraphCols is the edge relation's column set {src, dst, weight} of §6.1.
+func GraphCols() relation.Cols {
+	return relation.NewCols("src", "dst", "weight")
+}
+
+// GraphFDs is the dependency set {src, dst → weight}.
+func GraphFDs() fd.Set {
+	return fd.NewSet(fd.FD{
+		From: relation.NewCols("src", "dst"),
+		To:   relation.NewCols("weight"),
+	})
+}
+
+// GraphDecomp1 is decomposition 1 of Figure 12: a single path
+// x –src→ y –dst→ z with the weight in a unit at the bottom. It is the
+// fastest for forward traversal and quadratic for backward traversal.
+func GraphDecomp1() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("z", []string{"src", "dst"}, []string{"weight"},
+			decomp.U("weight")),
+		decomp.Let("y", []string{"src"}, []string{"dst", "weight"},
+			decomp.M(dstruct.AVLKind, "z", "dst")),
+		decomp.Let("x", nil, []string{"src", "dst", "weight"},
+			decomp.M(dstruct.AVLKind, "y", "src")),
+	}, "x")
+}
+
+// GraphDecomp5 is decomposition 5 of Figure 12: forward and backward
+// indexes joined at the root, sharing the unit node w that holds the
+// weight. The forward index maps src to the set of out-edges; the backward
+// index maps dst to the set of in-edges; both point at the same physical
+// node, the paper's intrusive-list sharing.
+func GraphDecomp5() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"src", "dst"}, []string{"weight"},
+			decomp.U("weight")),
+		decomp.Let("y", []string{"src"}, []string{"dst", "weight"},
+			decomp.M(dstruct.DListKind, "w", "dst")),
+		decomp.Let("z", []string{"dst"}, []string{"src", "weight"},
+			decomp.M(dstruct.DListKind, "w", "src")),
+		decomp.Let("x", nil, []string{"src", "dst", "weight"},
+			decomp.J(
+				decomp.M(dstruct.AVLKind, "y", "src"),
+				decomp.M(dstruct.AVLKind, "z", "dst"))),
+	}, "x")
+}
+
+// GraphDecomp9 is decomposition 9 of Figure 12: like decomposition 5 but
+// without sharing — each side of the join has its own unit node holding a
+// separate copy of the weight.
+func GraphDecomp9() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("l", []string{"src", "dst"}, []string{"weight"},
+			decomp.U("weight")),
+		decomp.Let("r", []string{"src", "dst"}, []string{"weight"},
+			decomp.U("weight")),
+		decomp.Let("y", []string{"src"}, []string{"dst", "weight"},
+			decomp.M(dstruct.DListKind, "l", "dst")),
+		decomp.Let("z", []string{"dst"}, []string{"src", "weight"},
+			decomp.M(dstruct.DListKind, "r", "src")),
+		decomp.Let("x", nil, []string{"src", "dst", "weight"},
+			decomp.J(
+				decomp.M(dstruct.AVLKind, "y", "src"),
+				decomp.M(dstruct.AVLKind, "z", "dst"))),
+	}, "x")
+}
+
+// EdgeTuple builds one graph-edge tuple.
+func EdgeTuple(src, dst, weight int64) relation.Tuple {
+	return relation.NewTuple(
+		relation.BindInt("src", src),
+		relation.BindInt("dst", dst),
+		relation.BindInt("weight", weight),
+	)
+}

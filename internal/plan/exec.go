@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/instance"
+	"repro/internal/relation"
+)
+
+// Exec implements dqexec (§4.1): it evaluates plan op over the instance,
+// constrained by the input tuple s, and calls emit for every result. A
+// result tuple binds s's columns plus the columns B of the validity
+// judgment; the caller projects onto the columns it wants. emit returns
+// false to stop early (the generated iterators of the paper stop the same
+// way). Exec reports whether the traversal ran to completion.
+//
+// Execution is constant-space: the only state is the recursion down the
+// plan tree and the constraint tuple threaded through it.
+func Exec(in *instance.Instance, op Op, s relation.Tuple, emit func(relation.Tuple) bool) bool {
+	return execOp(in, op, in.Decomp().RootBinding().Def, in.Root(), s, emit)
+}
+
+func execOp(in *instance.Instance, op Op, prim decomp.Primitive, n *instance.Node, constraint relation.Tuple, emit func(relation.Tuple) bool) bool {
+	switch op := op.(type) {
+	case *Unit:
+		u := n.UnitAt(in, op.U)
+		if u.Matches(constraint) {
+			return emit(constraint.Merge(u))
+		}
+		return true
+	case *Lookup:
+		e := op.Edge
+		child, ok := n.MapAt(in, e).Get(constraint.Project(e.Key))
+		if !ok {
+			return true
+		}
+		return execOp(in, op.Sub, in.Decomp().Var(e.Target).Def, child, constraint, emit)
+	case *Scan:
+		e := op.Edge
+		cont := true
+		n.MapAt(in, e).Range(func(k relation.Tuple, child *instance.Node) bool {
+			if !k.Matches(constraint) {
+				return true
+			}
+			cont = execOp(in, op.Sub, in.Decomp().Var(e.Target).Def, child, constraint.Merge(k), emit)
+			return cont
+		})
+		return cont
+	case *LR:
+		j := prim.(*decomp.Join)
+		return execOp(in, op.Sub, sideOf(j, op.Side), n, constraint, emit)
+	case *Join:
+		j := prim.(*decomp.Join)
+		outerOp, innerOp := op.LeftOp, op.RightOp
+		outerPrim, innerPrim := j.Left, j.Right
+		if op.First == Right {
+			outerOp, innerOp = op.RightOp, op.LeftOp
+			outerPrim, innerPrim = j.Right, j.Left
+		}
+		return execOp(in, outerOp, outerPrim, n, constraint, func(t relation.Tuple) bool {
+			return execOp(in, innerOp, innerPrim, n, t, emit)
+		})
+	default:
+		panic(fmt.Sprintf("plan: unknown operator %T", op))
+	}
+}
+
+// Collect executes the plan and gathers the projections of the results onto
+// out, de-duplicated and in deterministic order — the query operation's
+// π_C semantics.
+func Collect(in *instance.Instance, op Op, s relation.Tuple, out relation.Cols) []relation.Tuple {
+	seen := make(map[string]relation.Tuple)
+	Exec(in, op, s, func(t relation.Tuple) bool {
+		p := t.Project(out)
+		seen[p.Key()] = p
+		return true
+	})
+	res := make([]relation.Tuple, 0, len(seen))
+	for _, t := range seen {
+		res = append(res, t)
+	}
+	relation.SortTuples(res)
+	return res
+}

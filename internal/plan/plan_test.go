@@ -1,0 +1,428 @@
+package plan_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/paperex"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+func schedInstance(t *testing.T) *instance.Instance {
+	t.Helper()
+	in := instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	for _, tup := range paperex.SchedulerRelation().All() {
+		if _, err := in.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return in
+}
+
+func cols(names ...string) relation.Cols { return relation.NewCols(names...) }
+
+// TestPaperPointQuery reproduces the paper's q_cpu example: querying
+// 〈ns, pid〉 → {cpu} should plan a left-side double lookup and return the
+// right cpu.
+func TestPaperPointQuery(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols("ns", "pid"), cols("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q_cpu = qlr(qlookup(qlookup(qunit)), left): both hash lookups beat any
+	// scan under the default stats.
+	want := "qlr(qlookup[ns](qlookup[pid](qunit)), left)"
+	if got := cand.Op.String(); got != want {
+		t.Errorf("plan = %s, want %s", got, want)
+	}
+	got := plan.Collect(in, cand.Op, relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 2)), cols("cpu"))
+	if len(got) != 1 || got[0].MustGet("cpu").Int() != 4 {
+		t.Errorf("query result = %v", got)
+	}
+}
+
+// TestPaperStateQuery reproduces query r 〈state:R〉 {ns, pid}: the planner
+// must use the right-hand side (vector lookup, then scan).
+func TestPaperStateQuery(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	cand, err := pl.Best(cols("state"), cols("ns", "pid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cand.Op.String(), "qlr(qlookup[state](qscan[ns,pid]") {
+		t.Errorf("unexpected plan %s", cand.Op)
+	}
+	got := plan.Collect(in, cand.Op, relation.NewTuple(relation.BindInt("state", paperex.StateR)), cols("ns", "pid"))
+	if len(got) != 1 || got[0].MustGet("pid").Int() != 2 {
+		t.Errorf("running processes = %v", got)
+	}
+}
+
+// TestPaperJoinQuery reproduces the motivating §4.1 query
+// query r 〈ns:7, state:R〉 {pid} and checks both strategies q1 (join) and
+// q2 (right-side scan) against each other and the oracle.
+func TestPaperJoinQuery(t *testing.T) {
+	in := schedInstance(t)
+	// Extra processes so the two strategies traverse different amounts.
+	extra := []relation.Tuple{
+		paperex.SchedulerTuple(7, 42, paperex.StateR, 0),
+		paperex.SchedulerTuple(7, 43, paperex.StateS, 1),
+		paperex.SchedulerTuple(8, 44, paperex.StateR, 2),
+	}
+	oracle := paperex.SchedulerRelation()
+	for _, tup := range extra {
+		if _, err := in.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+		_ = oracle.Insert(tup)
+	}
+	input := relation.NewTuple(relation.BindInt("ns", 7), relation.BindInt("state", paperex.StateR))
+	want := oracle.Query(input, cols("pid"))
+
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	seenJoin, seenLR := false, false
+	for _, cand := range pl.All(cols("ns", "state")) {
+		// Only plans that produce pid and verify both input columns answer
+		// this query; All returns raw candidates.
+		if !cols("pid", "ns", "state").SubsetOf(cand.Bound) {
+			continue
+		}
+		if _, err := plan.Check(in.Decomp(), in.FDs(), cand.Op, cols("ns", "state")); err != nil {
+			t.Errorf("planner produced invalid plan %s: %v", cand.Op, err)
+			continue
+		}
+		got := plan.Collect(in, cand.Op, input, cols("pid"))
+		if len(got) != len(want) || !got[0].Equal(want[0]) {
+			t.Errorf("plan %s answered %v, want %v", cand.Op, got, want)
+		}
+		s := cand.Op.String()
+		if strings.HasPrefix(s, "qjoin(") {
+			seenJoin = true
+		}
+		if strings.HasPrefix(s, "qlr(") {
+			seenLR = true
+		}
+	}
+	if !seenJoin || !seenLR {
+		t.Errorf("expected both join and one-sided strategies (join=%v lr=%v)", seenJoin, seenLR)
+	}
+}
+
+func TestLookupRequiresBoundKeys(t *testing.T) {
+	in := schedInstance(t)
+	d := in.Decomp()
+	// Hand-build an invalid plan: lookup on ns without ns bound.
+	edgeXY := d.EdgesOf("x")[0] // x –ns→ y
+	edgeYW := d.EdgesOf("y")[0] // y –pid→ w
+	unitW := d.UnitsOf("w")[0]
+	bad := &plan.LR{Side: plan.Left, Sub: &plan.Lookup{Edge: edgeXY, Sub: &plan.Scan{Edge: edgeYW, Sub: &plan.Unit{U: unitW}}}}
+	if _, err := plan.Check(d, in.FDs(), bad, cols("state")); err == nil {
+		t.Errorf("lookup with unbound key accepted")
+	}
+	// The same plan is valid when ns is an input column.
+	if _, err := plan.Check(d, in.FDs(), bad, cols("ns")); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestCheckRejectsUnverifiedInput is the regression test for the implicit
+// side condition A ⊆ B: a left-side-only plan cannot answer a query whose
+// pattern constrains state, which only the right side represents.
+func TestCheckRejectsUnverifiedInput(t *testing.T) {
+	in := schedInstance(t)
+	d := in.Decomp()
+	edgeXY := d.EdgesOf("x")[0]
+	edgeYW := d.EdgesOf("y")[0]
+	unitW := d.UnitsOf("w")[0]
+	leftOnly := &plan.LR{Side: plan.Left, Sub: &plan.Lookup{Edge: edgeXY, Sub: &plan.Scan{Edge: edgeYW, Sub: &plan.Unit{U: unitW}}}}
+	if _, err := plan.Check(d, in.FDs(), leftOnly, cols("ns", "state")); err == nil {
+		t.Errorf("plan ignoring the state constraint accepted")
+	}
+	if _, err := plan.Check(d, in.FDs(), leftOnly, cols("ns")); err != nil {
+		t.Errorf("same plan with state-free input rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsMisshapenPlans(t *testing.T) {
+	in := schedInstance(t)
+	d := in.Decomp()
+	unitW := d.UnitsOf("w")[0]
+	// qunit at the root, which is a join primitive.
+	if _, err := plan.Check(d, in.FDs(), &plan.Unit{U: unitW}, cols()); err == nil {
+		t.Errorf("qunit at join root accepted")
+	}
+	// qscan at the root, likewise.
+	edgeYW := d.EdgesOf("y")[0]
+	if _, err := plan.Check(d, in.FDs(), &plan.Scan{Edge: edgeYW, Sub: &plan.Unit{U: unitW}}, cols()); err == nil {
+		t.Errorf("qscan at join root accepted")
+	}
+}
+
+func TestJoinValidityNeedsFDs(t *testing.T) {
+	in := schedInstance(t)
+	d := in.Decomp()
+	pl := plan.NewPlanner(d, in.FDs(), nil)
+	// With input ∅, a join whose first side binds {ns, pid, cpu} determines
+	// the second side's {state, ...} via ns,pid → state; the planner should
+	// produce join plans for the full enumeration query.
+	cand, err := pl.Best(cols(), d.Cols())
+	if err != nil {
+		t.Fatalf("no plan to enumerate all tuples: %v", err)
+	}
+	if _, err := plan.Check(d, in.FDs(), cand.Op, cols()); err != nil {
+		t.Errorf("best enumeration plan invalid: %v", err)
+	}
+	got := plan.Collect(in, cand.Op, relation.NewTuple(), d.Cols())
+	if len(got) != 3 {
+		t.Errorf("enumeration returned %d tuples, want 3", len(got))
+	}
+}
+
+func TestBestFailsOnUnreachableOutput(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	if _, err := pl.Best(cols(), cols("nonexistent")); err == nil {
+		t.Errorf("plan for nonexistent column succeeded")
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols(), in.Decomp().Cols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	plan.Exec(in, cand.Op, relation.NewTuple(), func(relation.Tuple) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early-terminated execution emitted %d tuples", count)
+	}
+}
+
+// TestLemma2Soundness: for random relations and every (input, output)
+// column-set pair, the best plan's results must equal the oracle's query
+// results — π_B(dqexec q d s) = π_B{t ∈ r | t ⊇ s}.
+func TestLemma2Soundness(t *testing.T) {
+	fixtures := []struct {
+		name string
+		mk   func() *instance.Instance
+		gen  func(r *rand.Rand) relation.Tuple
+	}{
+		{"scheduler", func() *instance.Instance {
+			return instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+		}, func(r *rand.Rand) relation.Tuple {
+			return paperex.SchedulerTuple(int64(r.Intn(3)), int64(r.Intn(4)),
+				[]int64{paperex.StateR, paperex.StateS}[r.Intn(2)], int64(r.Intn(6)))
+		}},
+		{"graph5", func() *instance.Instance {
+			return instance.New(paperex.GraphDecomp5(), paperex.GraphFDs())
+		}, func(r *rand.Rand) relation.Tuple {
+			return paperex.EdgeTuple(int64(r.Intn(4)), int64(r.Intn(4)), int64(r.Intn(4)))
+		}},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(101))
+			in := fx.mk()
+			oracle := relation.Empty(in.Decomp().Cols())
+			for i := 0; i < 40; i++ {
+				tup := fx.gen(rnd)
+				if !in.FDs().HoldsOnInsert(oracle, tup) {
+					continue
+				}
+				_ = oracle.Insert(tup)
+				if _, err := in.Insert(tup); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+			names := in.Decomp().Cols().Names()
+			full := oracle.All()
+			// Every subset of columns as input pattern; every subset as output.
+			for inMask := 0; inMask < 1<<len(names); inMask++ {
+				var inCols []string
+				for i, n := range names {
+					if inMask&(1<<i) != 0 {
+						inCols = append(inCols, n)
+					}
+				}
+				input := cols(inCols...)
+				// Pattern values from a real tuple (hits) and a fresh one (misses).
+				patterns := []relation.Tuple{full[rnd.Intn(len(full))].Project(input)}
+				patterns = append(patterns, fx.gen(rnd).Project(input))
+				for outMask := 1; outMask < 1<<len(names); outMask += 2 { // sample outputs
+					var outCols []string
+					for i, n := range names {
+						if outMask&(1<<i) != 0 {
+							outCols = append(outCols, n)
+						}
+					}
+					output := cols(outCols...)
+					cand, err := pl.Best(input, output)
+					if err != nil {
+						t.Fatalf("no plan for %v → %v: %v", input, output, err)
+					}
+					if _, err := plan.Check(in.Decomp(), in.FDs(), cand.Op, input); err != nil {
+						t.Fatalf("invalid best plan for %v → %v: %v", input, output, err)
+					}
+					for _, pat := range patterns {
+						got := plan.Collect(in, cand.Op, pat, output)
+						want := oracle.Query(pat, output)
+						if len(got) != len(want) {
+							t.Fatalf("%v → %v pattern %v: got %v want %v (plan %s)",
+								input, output, pat, got, want, cand.Op)
+						}
+						for i := range got {
+							if !got[i].Equal(want[i]) {
+								t.Fatalf("%v → %v pattern %v: got %v want %v", input, output, pat, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerPrefersCheapPlans: with measured stats on a skewed instance,
+// the chosen plan must cost no more than the alternatives it rejected.
+func TestPlannerCostOrdering(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	best, err := pl.Best(cols("ns", "pid"), cols("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cand := range pl.All(cols("ns", "pid")) {
+		if cols("cpu").SubsetOf(cand.Bound) && cand.Cost < best.Cost {
+			t.Errorf("candidate %s (cost %.1f) cheaper than chosen %s (cost %.1f)",
+				cand.Op, cand.Cost, best.Op, best.Cost)
+		}
+	}
+}
+
+func TestEstimateMatchesEnumeration(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	for _, cand := range pl.All(cols("ns", "state")) {
+		if got := pl.Estimate(cand.Op); got != cand.Cost {
+			t.Errorf("Estimate(%s) = %v, enumeration said %v", cand.Op, got, cand.Cost)
+		}
+	}
+}
+
+func TestPessimisticJoinCosts(t *testing.T) {
+	in := schedInstance(t)
+	opt := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	pes := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	pes.Pessimistic = true
+	for _, cand := range opt.All(cols()) {
+		if strings.HasPrefix(cand.Op.String(), "qjoin") {
+			if pes.Estimate(cand.Op) < opt.Estimate(cand.Op) {
+				t.Errorf("pessimistic estimate below optimistic for %s", cand.Op)
+			}
+		}
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols("state"), cols("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cand.Op.String()
+	if !strings.Contains(s, "qlookup[state]") && !strings.Contains(s, "qscan") {
+		t.Errorf("surprising plan rendering %q", s)
+	}
+}
+
+// TestAllCandidatePlansSound executes every enumerated candidate plan —
+// not just the planner's choice — against the oracle, over several input
+// shapes. Rarely-chosen plans (deep joins, mixed scan orders) get no
+// coverage from Best-only tests.
+func TestAllCandidatePlansSound(t *testing.T) {
+	rnd := rand.New(rand.NewSource(211))
+	in := instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	oracle := relation.Empty(paperex.SchedulerCols())
+	for i := 0; i < 30; i++ {
+		tup := paperex.SchedulerTuple(int64(rnd.Intn(3)), int64(rnd.Intn(4)),
+			[]int64{paperex.StateR, paperex.StateS}[rnd.Intn(2)], int64(rnd.Intn(5)))
+		if !in.FDs().HoldsOnInsert(oracle, tup) {
+			continue
+		}
+		_ = oracle.Insert(tup)
+		if _, err := in.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	full := oracle.All()
+	for _, inputCols := range []relation.Cols{
+		cols(),
+		cols("ns"),
+		cols("state"),
+		cols("ns", "pid"),
+		cols("ns", "state"),
+		cols("ns", "pid", "state", "cpu"),
+	} {
+		patterns := []relation.Tuple{
+			full[rnd.Intn(len(full))].Project(inputCols),
+			paperex.SchedulerTuple(9, 9, paperex.StateR, 99).Project(inputCols), // miss
+		}
+		checked := 0
+		for _, cand := range pl.All(inputCols) {
+			// Only plans that verify all input columns are sound (see
+			// plan.Check); others are planner-internal intermediates.
+			b, err := plan.Check(in.Decomp(), in.FDs(), cand.Op, inputCols)
+			if err != nil {
+				continue
+			}
+			checked++
+			for _, pat := range patterns {
+				got := plan.Collect(in, cand.Op, pat, b)
+				want := oracle.Query(pat, b)
+				if len(got) != len(want) {
+					t.Fatalf("input %v plan %s: %d rows, oracle %d", inputCols, cand.Op, len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("input %v plan %s row %d: %v vs %v", inputCols, cand.Op, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		if checked == 0 {
+			t.Errorf("no checkable plans for input %v", inputCols)
+		}
+	}
+}
+
+// TestCostTieBreakPrefersLookups is the regression test for the planner's
+// tiebreaker: under uniform statistics, scan-then-lookup and
+// lookup-then-scan tie on estimated cost (both multiply the same factors),
+// but only the lookup-first plan degrades gracefully on skewed data. The
+// planner must pick the plan with fewer scans on a tie.
+func TestCostTieBreakPrefersLookups(t *testing.T) {
+	in := instance.New(paperex.GraphDecomp5(), paperex.GraphFDs())
+	// Uniform default stats force the tie.
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols("dst"), cols("src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cand.Op.String(), "qlr(qlookup[dst]") {
+		t.Errorf("backward query plan %s does not start with a dst lookup", cand.Op)
+	}
+}

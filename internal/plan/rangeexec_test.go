@@ -1,0 +1,65 @@
+package plan_test
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func TestExecRangeDirect(t *testing.T) {
+	in := schedInstance(t) // r_s of Equation (1): cpu values 7, 4, 5
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+
+	// Range over cpu with no pattern: the plan must bind cpu.
+	cand, err := pl.Best(cols(), cols("ns", "pid", "cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := plan.Range{Col: "cpu", Lo: value.OfInt(5), HasLo: true, Hi: value.OfInt(7), HasHi: true}
+	if !rg.Contains(value.OfInt(5)) || !rg.Contains(value.OfInt(7)) || rg.Contains(value.OfInt(4)) || rg.Contains(value.OfInt(8)) {
+		t.Fatalf("Range.Contains wrong")
+	}
+	var cpus []int64
+	plan.ExecRange(in, cand.Op, relation.NewTuple(), rg, func(tup relation.Tuple) bool {
+		cpus = append(cpus, tup.MustGet("cpu").Int())
+		return true
+	})
+	if len(cpus) != 2 {
+		t.Fatalf("range [5,7] returned %v", cpus)
+	}
+	for _, c := range cpus {
+		if c < 5 || c > 7 {
+			t.Fatalf("out-of-range cpu %d", c)
+		}
+	}
+
+	// Range combined with an equality pattern driving a lookup.
+	cand, err = pl.Best(cols("ns"), cols("pid", "cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := relation.NewTuple(relation.BindInt("ns", 1))
+	var pids []int64
+	plan.ExecRange(in, cand.Op, pat, plan.Range{Col: "cpu", Lo: value.OfInt(5), HasLo: true}, func(tup relation.Tuple) bool {
+		pids = append(pids, tup.MustGet("pid").Int())
+		return true
+	})
+	// ns=1 has cpus 7 (pid 1) and 4 (pid 2); only pid 1 survives cpu ≥ 5.
+	if len(pids) != 1 || pids[0] != 1 {
+		t.Fatalf("pattern+range returned %v", pids)
+	}
+
+	// Early termination propagates through ranged scans.
+	n := 0
+	plan.ExecRange(in, cand.Op, pat, plan.Range{Col: "cpu"}, func(relation.Tuple) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop emitted %d", n)
+	}
+	_ = paperex.StateR
+}

@@ -1,0 +1,168 @@
+// Package relation implements the relational abstraction of §2 of the paper:
+// tuples over named columns, column sets, relational algebra, and a
+// reference ("oracle") implementation of the five relational operations
+// (empty, insert, remove, update, query) on plain tuple sets.
+//
+// The oracle is deliberately simple: the rest of the system — decompositions,
+// instances, query plans — is verified against it, so clarity beats speed
+// here.
+package relation
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cols is an immutable set of column names, stored sorted and de-duplicated.
+// The zero value is the empty set. Treat values as immutable; all methods
+// return fresh sets.
+type Cols struct {
+	names []string
+}
+
+// NewCols returns the column set containing the given names.
+func NewCols(names ...string) Cols {
+	if len(names) == 0 {
+		return Cols{}
+	}
+	s := make([]string, len(names))
+	copy(s, names)
+	sort.Strings(s)
+	out := s[:0]
+	for i, n := range s {
+		if i == 0 || n != s[i-1] {
+			out = append(out, n)
+		}
+	}
+	return Cols{names: out}
+}
+
+// Len returns the number of columns in the set.
+func (c Cols) Len() int { return len(c.names) }
+
+// IsEmpty reports whether the set has no columns.
+func (c Cols) IsEmpty() bool { return len(c.names) == 0 }
+
+// Names returns the column names in sorted order. The caller must not
+// mutate the returned slice.
+func (c Cols) Names() []string { return c.names }
+
+// Has reports whether name is in the set.
+func (c Cols) Has(name string) bool {
+	i := sort.SearchStrings(c.names, name)
+	return i < len(c.names) && c.names[i] == name
+}
+
+// Equal reports whether c and d contain exactly the same columns.
+func (c Cols) Equal(d Cols) bool {
+	if len(c.names) != len(d.names) {
+		return false
+	}
+	for i := range c.names {
+		if c.names[i] != d.names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every column of c is in d.
+func (c Cols) SubsetOf(d Cols) bool {
+	i, j := 0, 0
+	for i < len(c.names) && j < len(d.names) {
+		switch {
+		case c.names[i] == d.names[j]:
+			i++
+			j++
+		case c.names[i] > d.names[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(c.names)
+}
+
+// Union returns c ∪ d.
+func (c Cols) Union(d Cols) Cols {
+	if c.IsEmpty() {
+		return d
+	}
+	if d.IsEmpty() {
+		return c
+	}
+	out := make([]string, 0, len(c.names)+len(d.names))
+	i, j := 0, 0
+	for i < len(c.names) || j < len(d.names) {
+		switch {
+		case i == len(c.names):
+			out = append(out, d.names[j])
+			j++
+		case j == len(d.names):
+			out = append(out, c.names[i])
+			i++
+		case c.names[i] == d.names[j]:
+			out = append(out, c.names[i])
+			i++
+			j++
+		case c.names[i] < d.names[j]:
+			out = append(out, c.names[i])
+			i++
+		default:
+			out = append(out, d.names[j])
+			j++
+		}
+	}
+	return Cols{names: out}
+}
+
+// Intersect returns c ∩ d.
+func (c Cols) Intersect(d Cols) Cols {
+	out := make([]string, 0, min(len(c.names), len(d.names)))
+	i, j := 0, 0
+	for i < len(c.names) && j < len(d.names) {
+		switch {
+		case c.names[i] == d.names[j]:
+			out = append(out, c.names[i])
+			i++
+			j++
+		case c.names[i] < d.names[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return Cols{names: out}
+}
+
+// Minus returns c \ d.
+func (c Cols) Minus(d Cols) Cols {
+	out := make([]string, 0, len(c.names))
+	i, j := 0, 0
+	for i < len(c.names) {
+		switch {
+		case j == len(d.names) || c.names[i] < d.names[j]:
+			out = append(out, c.names[i])
+			i++
+		case c.names[i] == d.names[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return Cols{names: out}
+}
+
+// SymDiff returns the symmetric difference c ⊖ d.
+func (c Cols) SymDiff(d Cols) Cols {
+	return c.Minus(d).Union(d.Minus(c))
+}
+
+// Key returns a canonical string key for the set, usable as a Go map key.
+func (c Cols) Key() string { return strings.Join(c.names, "\x00") }
+
+// String renders the set as {a, b, c} for diagnostics.
+func (c Cols) String() string {
+	return "{" + strings.Join(c.names, ", ") + "}"
+}

@@ -1,0 +1,120 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewColsDedup(t *testing.T) {
+	c := NewCols("b", "a", "b", "c", "a")
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	want := []string{"a", "b", "c"}
+	for i, n := range c.Names() {
+		if n != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, n, want[i])
+		}
+	}
+}
+
+func TestColsHas(t *testing.T) {
+	c := NewCols("ns", "pid", "state")
+	for _, n := range []string{"ns", "pid", "state"} {
+		if !c.Has(n) {
+			t.Errorf("Has(%q) = false", n)
+		}
+	}
+	if c.Has("cpu") || c.Has("") {
+		t.Errorf("Has reported absent column present")
+	}
+}
+
+func TestColsSetOps(t *testing.T) {
+	a := NewCols("x", "y", "z")
+	b := NewCols("y", "z", "w")
+	if got := a.Union(b); !got.Equal(NewCols("w", "x", "y", "z")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewCols("y", "z")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewCols("x")) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.SymDiff(b); !got.Equal(NewCols("x", "w")) {
+		t.Errorf("SymDiff = %v", got)
+	}
+}
+
+func TestColsSubset(t *testing.T) {
+	if !NewCols().SubsetOf(NewCols("a")) {
+		t.Errorf("empty not subset of {a}")
+	}
+	if !NewCols("a", "c").SubsetOf(NewCols("a", "b", "c")) {
+		t.Errorf("{a,c} not subset of {a,b,c}")
+	}
+	if NewCols("a", "d").SubsetOf(NewCols("a", "b", "c")) {
+		t.Errorf("{a,d} subset of {a,b,c}")
+	}
+}
+
+func TestColsEmpty(t *testing.T) {
+	var zero Cols
+	if !zero.IsEmpty() || zero.Len() != 0 {
+		t.Errorf("zero Cols not empty")
+	}
+	if !zero.Equal(NewCols()) {
+		t.Errorf("zero != NewCols()")
+	}
+	if got := zero.Union(NewCols("a")); !got.Equal(NewCols("a")) {
+		t.Errorf("empty ∪ {a} = %v", got)
+	}
+}
+
+func TestColsKeyInjective(t *testing.T) {
+	a, b := NewCols("ab", "c"), NewCols("a", "bc")
+	if a.Key() == b.Key() {
+		t.Errorf("Key collision between %v and %v", a, b)
+	}
+}
+
+func randCols(r *rand.Rand) Cols {
+	pool := []string{"a", "b", "c", "d", "e"}
+	var names []string
+	for _, n := range pool {
+		if r.Intn(2) == 0 {
+			names = append(names, n)
+		}
+	}
+	return NewCols(names...)
+}
+
+func TestColsAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randCols(r), randCols(r), randCols(r)
+		// Union commutative & associative; De Morgan-ish identities.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		if !a.Intersect(b).SubsetOf(a) {
+			return false
+		}
+		if !a.Minus(b).Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		if !a.SymDiff(b).Equal(a.Union(b).Minus(a.Intersect(b))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

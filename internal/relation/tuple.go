@@ -1,0 +1,246 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// A Tuple maps a finite set of columns to values (§2). Tuples are immutable:
+// all operations return fresh tuples. The zero Tuple is the empty tuple 〈〉,
+// which is a valuation for the empty column set.
+//
+// Internally the bindings are kept sorted by column name so that equality,
+// matching, and key encoding are canonical.
+type Tuple struct {
+	cols []string
+	vals []value.Value
+}
+
+// Binding is a single column/value pair, used to construct tuples.
+type Binding struct {
+	Col string
+	Val value.Value
+}
+
+// NewTuple builds a tuple from bindings. It panics if the same column is
+// bound twice; tuple construction with duplicate columns is always a
+// programming error.
+func NewTuple(bs ...Binding) Tuple {
+	if len(bs) == 0 {
+		return Tuple{}
+	}
+	sorted := make([]Binding, len(bs))
+	copy(sorted, bs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Col < sorted[j].Col })
+	cols := make([]string, len(sorted))
+	vals := make([]value.Value, len(sorted))
+	for i, b := range sorted {
+		if i > 0 && b.Col == sorted[i-1].Col {
+			panic(fmt.Sprintf("relation: duplicate column %q in tuple", b.Col))
+		}
+		cols[i] = b.Col
+		vals[i] = b.Val
+	}
+	return Tuple{cols: cols, vals: vals}
+}
+
+// Bind is shorthand for Binding{col, v}.
+func Bind(col string, v value.Value) Binding { return Binding{Col: col, Val: v} }
+
+// BindInt binds col to the integer v.
+func BindInt(col string, v int64) Binding { return Binding{Col: col, Val: value.OfInt(v)} }
+
+// BindString binds col to the string s.
+func BindString(col string, s string) Binding { return Binding{Col: col, Val: value.OfString(s)} }
+
+// Dom returns the domain of t: the set of columns it binds.
+func (t Tuple) Dom() Cols { return Cols{names: t.cols} }
+
+// Len returns the number of bound columns.
+func (t Tuple) Len() int { return len(t.cols) }
+
+// Get returns the value of column c and whether it is bound.
+func (t Tuple) Get(c string) (value.Value, bool) {
+	i := sort.SearchStrings(t.cols, c)
+	if i < len(t.cols) && t.cols[i] == c {
+		return t.vals[i], true
+	}
+	return value.Value{}, false
+}
+
+// MustGet returns the value of column c, panicking if unbound. Use in code
+// paths where the domain has already been validated.
+func (t Tuple) MustGet(c string) value.Value {
+	v, ok := t.Get(c)
+	if !ok {
+		panic(fmt.Sprintf("relation: column %q unbound in tuple %v", c, t))
+	}
+	return v
+}
+
+// Project returns π_C(t): the restriction of t to the columns of C that t
+// binds. Columns of C absent from t are silently dropped, which matches the
+// paper's use of projection on partial tuples.
+func (t Tuple) Project(c Cols) Tuple {
+	cols := make([]string, 0, c.Len())
+	vals := make([]value.Value, 0, c.Len())
+	for i, name := range t.cols {
+		if c.Has(name) {
+			cols = append(cols, name)
+			vals = append(vals, t.vals[i])
+		}
+	}
+	return Tuple{cols: cols, vals: vals}
+}
+
+// Extends reports t ⊇ s: t binds every column of s to the same value.
+func (t Tuple) Extends(s Tuple) bool {
+	i := 0
+	for j, c := range s.cols {
+		for i < len(t.cols) && t.cols[i] < c {
+			i++
+		}
+		if i == len(t.cols) || t.cols[i] != c || t.vals[i] != s.vals[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports t ∼ s: t and s agree on all common columns.
+func (t Tuple) Matches(s Tuple) bool {
+	i, j := 0, 0
+	for i < len(t.cols) && j < len(s.cols) {
+		switch {
+		case t.cols[i] == s.cols[j]:
+			if t.vals[i] != s.vals[j] {
+				return false
+			}
+			i++
+			j++
+		case t.cols[i] < s.cols[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return true
+}
+
+// Merge returns t ▷ u: the tuple over dom t ∪ dom u taking u's value wherever
+// the two disagree (the paper's s ⊔ t with right bias).
+func (t Tuple) Merge(u Tuple) Tuple {
+	cols := make([]string, 0, len(t.cols)+len(u.cols))
+	vals := make([]value.Value, 0, len(t.cols)+len(u.cols))
+	i, j := 0, 0
+	for i < len(t.cols) || j < len(u.cols) {
+		switch {
+		case i == len(t.cols):
+			cols = append(cols, u.cols[j])
+			vals = append(vals, u.vals[j])
+			j++
+		case j == len(u.cols):
+			cols = append(cols, t.cols[i])
+			vals = append(vals, t.vals[i])
+			i++
+		case t.cols[i] == u.cols[j]:
+			cols = append(cols, u.cols[j])
+			vals = append(vals, u.vals[j]) // right bias
+			i++
+			j++
+		case t.cols[i] < u.cols[j]:
+			cols = append(cols, t.cols[i])
+			vals = append(vals, t.vals[i])
+			i++
+		default:
+			cols = append(cols, u.cols[j])
+			vals = append(vals, u.vals[j])
+			j++
+		}
+	}
+	return Tuple{cols: cols, vals: vals}
+}
+
+// Equal reports whether t and u bind exactly the same columns to the same
+// values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t.cols) != len(u.cols) {
+		return false
+	}
+	for i := range t.cols {
+		if t.cols[i] != u.cols[i] || t.vals[i] != u.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical, injective string encoding of t, usable as a Go
+// map key. Tuples with different domains or values always get different
+// keys.
+func (t Tuple) Key() string {
+	var b []byte
+	for i, c := range t.cols {
+		b = append(b, byte(len(c)>>8), byte(len(c)))
+		b = append(b, c...)
+		b = t.vals[i].AppendEncode(b)
+	}
+	return string(b)
+}
+
+// ValuesKey returns an injective encoding of only the values of t, in column
+// order. It is used as a data-structure key when the column set is fixed by
+// context (all keys in one map share a domain).
+func (t Tuple) ValuesKey() string {
+	var b []byte
+	for _, v := range t.vals {
+		b = v.AppendEncode(b)
+	}
+	return string(b)
+}
+
+// Compare totally orders tuples with equal domains by comparing values in
+// column order. It panics if the domains differ.
+func (t Tuple) Compare(u Tuple) int {
+	if len(t.cols) != len(u.cols) {
+		panic("relation: Compare on tuples with different domains")
+	}
+	for i := range t.cols {
+		if t.cols[i] != u.cols[i] {
+			panic("relation: Compare on tuples with different domains")
+		}
+		if c := value.Compare(t.vals[i], u.vals[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Bindings returns the bindings of t in column order. The caller may mutate
+// the returned slice.
+func (t Tuple) Bindings() []Binding {
+	bs := make([]Binding, len(t.cols))
+	for i := range t.cols {
+		bs[i] = Binding{Col: t.cols[i], Val: t.vals[i]}
+	}
+	return bs
+}
+
+// String renders the tuple as 〈a: 1, b: "x"〉-style text for diagnostics.
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	for i, c := range t.cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c)
+		sb.WriteString(": ")
+		sb.WriteString(t.vals[i].String())
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}

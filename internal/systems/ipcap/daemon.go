@@ -1,0 +1,88 @@
+package ipcap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A Daemon is the accounting loop of the paper's IpCap: it parses each
+// captured packet, accounts it against a flow table, and every FlushEvery
+// packets writes the accumulated flows to the log and drops them from
+// memory.
+type Daemon struct {
+	Table      FlowTable
+	Log        io.Writer
+	FlushEvery int // packets between log flushes; 0 disables periodic flushing
+
+	processed int
+	dropped   int // unparsable or transit packets
+}
+
+// NewDaemon returns a daemon accounting into table and logging to log.
+func NewDaemon(table FlowTable, log io.Writer, flushEvery int) *Daemon {
+	return &Daemon{Table: table, Log: log, FlushEvery: flushEvery}
+}
+
+// HandlePacket accounts one raw packet. Unparsable and transit packets are
+// counted but otherwise ignored, as a capture daemon must tolerate them.
+func (d *Daemon) HandlePacket(raw []byte) error {
+	d.processed++
+	info, err := ParseIPv4(raw)
+	if err != nil {
+		d.dropped++
+		return nil
+	}
+	key, _, ok := Classify(info)
+	if !ok {
+		d.dropped++
+		return nil
+	}
+	if err := d.Table.Account(key, int64(info.Length)); err != nil {
+		return err
+	}
+	if d.FlushEvery > 0 && d.processed%d.FlushEvery == 0 {
+		return d.Flush()
+	}
+	return nil
+}
+
+// Flush writes every accumulated flow to the log in a deterministic order
+// and removes the written flows from memory (the paper: "flows that have
+// been written to disk are removed from memory").
+func (d *Daemon) Flush() error {
+	type entry struct {
+		key   FlowKey
+		stats FlowStats
+	}
+	var entries []entry
+	if err := d.Table.Flows(func(k FlowKey, s FlowStats) bool {
+		entries = append(entries, entry{k, s})
+		return true
+	}); err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.Local != entries[j].key.Local {
+			return entries[i].key.Local < entries[j].key.Local
+		}
+		return entries[i].key.Foreign < entries[j].key.Foreign
+	})
+	for _, e := range entries {
+		if d.Log != nil {
+			fmt.Fprintf(d.Log, "%s %s packets=%d bytes=%d\n",
+				ipString(e.key.Local), ipString(e.key.Foreign), e.stats.Packets, e.stats.Bytes)
+		}
+		if err := d.Table.Drop(e.key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports how many packets were processed and how many were ignored.
+func (d *Daemon) Stats() (processed, ignored int) { return d.processed, d.dropped }
+
+func ipString(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff)
+}

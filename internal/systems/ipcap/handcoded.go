@@ -1,0 +1,46 @@
+package ipcap
+
+// HandFlowTable is the hand-coded flow table, written the way the original
+// C daemon keeps its statistics: a hash table from host pairs to counters.
+// (The original open-codes the hash table; Go's built-in map plays that
+// role here, which if anything flatters the hand-written side of the
+// comparison.)
+type HandFlowTable struct {
+	flows map[FlowKey]*FlowStats
+}
+
+// NewHandFlowTable returns an empty hand-coded flow table.
+func NewHandFlowTable() *HandFlowTable {
+	return &HandFlowTable{flows: make(map[FlowKey]*FlowStats)}
+}
+
+// Account adds one packet to the flow.
+func (t *HandFlowTable) Account(key FlowKey, bytes int64) error {
+	s := t.flows[key]
+	if s == nil {
+		s = &FlowStats{}
+		t.flows[key] = s
+	}
+	s.Packets++
+	s.Bytes += bytes
+	return nil
+}
+
+// Flows enumerates the table.
+func (t *HandFlowTable) Flows(f func(FlowKey, FlowStats) bool) error {
+	for k, s := range t.flows {
+		if !f(k, *s) {
+			break
+		}
+	}
+	return nil
+}
+
+// Drop removes a flow.
+func (t *HandFlowTable) Drop(key FlowKey) error {
+	delete(t.flows, key)
+	return nil
+}
+
+// Len returns the number of live flows.
+func (t *HandFlowTable) Len() int { return len(t.flows) }

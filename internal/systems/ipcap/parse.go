@@ -1,0 +1,112 @@
+// Package ipcap reimplements the paper's IpCap TCP/IP network flow
+// accounting daemon (§6.2): it parses raw packets, accumulates per-flow
+// byte and packet counts for hosts on a local network, and periodically
+// writes accumulated flows to a log, dropping them from memory.
+//
+// Two interchangeable flow tables are provided: a hand-coded one
+// (HandFlowTable, mirroring the original open-coded C data structures) and
+// a synthesized one (SynthFlowTable, a core.Relation over a decomposition).
+// The daemon is generic over the two, so the paper's like-for-like
+// comparison — lines of code and throughput — is reproducible.
+package ipcap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FlowKey identifies a flow by the pair of communicating hosts, local side
+// first, as the paper's accounting daemon does.
+type FlowKey struct {
+	Local, Foreign uint32
+}
+
+// PacketInfo is the result of parsing one raw packet.
+type PacketInfo struct {
+	Src, Dst uint32
+	Proto    byte
+	Length   int
+	SrcPort  uint16
+	DstPort  uint16
+}
+
+// ParseIPv4 parses and validates an IPv4 packet header (with TCP/UDP port
+// fields when present). It checks the version, header length, total length,
+// and header checksum — the real daemon must not account corrupted frames.
+func ParseIPv4(p []byte) (PacketInfo, error) {
+	var info PacketInfo
+	if len(p) < 20 {
+		return info, fmt.Errorf("ipcap: packet too short (%d bytes)", len(p))
+	}
+	if p[0]>>4 != 4 {
+		return info, fmt.Errorf("ipcap: not IPv4 (version %d)", p[0]>>4)
+	}
+	ihl := int(p[0]&0xf) * 4
+	if ihl < 20 || len(p) < ihl {
+		return info, fmt.Errorf("ipcap: bad header length %d", ihl)
+	}
+	total := int(binary.BigEndian.Uint16(p[2:]))
+	if total != len(p) {
+		return info, fmt.Errorf("ipcap: total length %d does not match frame %d", total, len(p))
+	}
+	if !checksumOK(p[:ihl]) {
+		return info, fmt.Errorf("ipcap: header checksum mismatch")
+	}
+	info.Src = binary.BigEndian.Uint32(p[12:])
+	info.Dst = binary.BigEndian.Uint32(p[16:])
+	info.Proto = p[9]
+	info.Length = total
+	if (info.Proto == 6 || info.Proto == 17) && len(p) >= ihl+4 {
+		info.SrcPort = binary.BigEndian.Uint16(p[ihl:])
+		info.DstPort = binary.BigEndian.Uint16(p[ihl+2:])
+	}
+	return info, nil
+}
+
+func checksumOK(h []byte) bool {
+	var sum uint32
+	for i := 0; i+1 < len(h); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(h[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum) == 0xffff
+}
+
+// IsLocal reports whether addr is on the daemon's local network (10/8, as
+// in the synthetic traces).
+func IsLocal(addr uint32) bool { return addr>>24 == 10 }
+
+// Classify derives the flow key and direction from a parsed packet. It
+// returns ok = false for transit traffic with no local endpoint.
+func Classify(info PacketInfo) (key FlowKey, outbound, ok bool) {
+	switch {
+	case IsLocal(info.Src):
+		return FlowKey{Local: info.Src, Foreign: info.Dst}, true, true
+	case IsLocal(info.Dst):
+		return FlowKey{Local: info.Dst, Foreign: info.Src}, false, true
+	default:
+		return FlowKey{}, false, false
+	}
+}
+
+// FlowStats accumulates a flow's traffic.
+type FlowStats struct {
+	Packets int64
+	Bytes   int64
+}
+
+// A FlowTable is the data structure under comparison: it accumulates
+// per-flow statistics, enumerates flows for the periodic log dump, and
+// drops flows once written.
+type FlowTable interface {
+	// Account adds one packet's bytes to the flow, creating it if new.
+	Account(key FlowKey, bytes int64) error
+	// Flows calls f for every flow until f returns false.
+	Flows(f func(FlowKey, FlowStats) bool) error
+	// Drop removes a flow.
+	Drop(key FlowKey) error
+	// Len returns the number of live flows.
+	Len() int
+}

@@ -1,0 +1,100 @@
+// Package thttpdcache reimplements the paper's thttpd experiment (§6.2):
+// the web server's mmap cache, which remembers the results of mapping
+// files into memory so that repeated requests for the same file reuse the
+// mapping, and expires mappings older than a threshold when the cache
+// grows too large.
+//
+// The file system and mmap(2) are simulated by FileStore (deterministic
+// file contents, mapping handles, and counters), so the cache logic — the
+// actual subject of the experiment — is exercised end to end, including
+// through a small HTTP/1.0 server substrate (server.go). Two cache
+// variants are provided: hand-coded (HandCache, in the style of the
+// original C) and synthesized (SynthCache, one relation).
+package thttpdcache
+
+import "fmt"
+
+// A Mapping is a live mmap result: the handle under which the simulated
+// kernel knows the mapping plus the mapped bytes.
+type Mapping struct {
+	Path    string
+	Handle  int64
+	Size    int64
+	MapTime int64 // cache clock time of the mmap call
+}
+
+// A Cache is the mmap-cache interface the server uses, common to both
+// variants. The paper's cache is keyed by file path; entries carry the
+// mapping handle and the time of mapping, and cleanup removes entries
+// older than a threshold.
+type Cache interface {
+	// Lookup returns the cached mapping for a path.
+	Lookup(path string) (Mapping, bool)
+	// Add caches a new mapping.
+	Add(m Mapping) error
+	// ExpireOlderThan removes every mapping with MapTime < cutoff,
+	// returning the evicted mappings so the caller can unmap them.
+	ExpireOlderThan(cutoff int64) ([]Mapping, error)
+	// Len returns the number of cached mappings.
+	Len() int
+}
+
+// FileStore simulates the file system and mmap(2): deterministic file
+// sizes/contents by path and handle bookkeeping, with counters tests and
+// benchmarks read.
+type FileStore struct {
+	nextHandle int64
+	live       map[int64]string
+	Maps       int
+	Unmaps     int
+}
+
+// NewFileStore returns an empty simulated file system.
+func NewFileStore() *FileStore {
+	return &FileStore{live: make(map[int64]string)}
+}
+
+// Mmap maps a file, returning its mapping handle and size.
+func (fs *FileStore) Mmap(path string, now int64) Mapping {
+	fs.Maps++
+	fs.nextHandle++
+	fs.live[fs.nextHandle] = path
+	return Mapping{Path: path, Handle: fs.nextHandle, Size: fileSize(path), MapTime: now}
+}
+
+// Munmap releases a mapping.
+func (fs *FileStore) Munmap(m Mapping) error {
+	if _, ok := fs.live[m.Handle]; !ok {
+		return fmt.Errorf("thttpdcache: double munmap of handle %d", m.Handle)
+	}
+	fs.Unmaps++
+	delete(fs.live, m.Handle)
+	return nil
+}
+
+// LiveMappings returns the number of mappings not yet unmapped.
+func (fs *FileStore) LiveMappings() int { return len(fs.live) }
+
+// Content produces the deterministic bytes of a mapped file.
+func (fs *FileStore) Content(m Mapping) []byte {
+	b := make([]byte, m.Size)
+	seed := uint64(len(m.Path))*0x9e3779b97f4a7c15 + 7
+	for _, c := range []byte(m.Path) {
+		seed = seed*31 + uint64(c)
+	}
+	for i := range b {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		b[i] = ' ' + byte(seed%94)
+	}
+	return b
+}
+
+func fileSize(path string) int64 {
+	h := uint64(1469598103934665603)
+	for _, c := range []byte(path) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return 64 + int64(h%4096)
+}

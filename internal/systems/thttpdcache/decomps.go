@@ -1,0 +1,46 @@
+package thttpdcache
+
+import (
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// MapSpec is the relational specification of the mmap cache:
+// mappings(path, handle, size, maptime) with path → handle, size, maptime.
+func MapSpec() *core.Spec {
+	return &core.Spec{
+		Name: "mappings",
+		Columns: []core.ColDef{
+			{Name: "path", Type: core.StringCol},
+			{Name: "handle", Type: core.IntCol},
+			{Name: "size", Type: core.IntCol},
+			{Name: "maptime", Type: core.IntCol},
+		},
+		FDs: fd.NewSet(fd.FD{
+			From: relation.NewCols("path"),
+			To:   relation.NewCols("handle", "size", "maptime"),
+		}),
+	}
+}
+
+// DefaultMapDecomp indexes mappings by path (hash table) and by mapping
+// time (AVL tree of per-time lists), sharing the payload unit — the
+// two-view pattern of Figure 2 again, here with the age index driving
+// expiry.
+func DefaultMapDecomp() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"path", "maptime"}, []string{"handle", "size"},
+			decomp.U("handle", "size")),
+		decomp.Let("bypath", []string{"path"}, []string{"maptime", "handle", "size"},
+			decomp.M(dstruct.HTableKind, "w", "maptime")),
+		decomp.Let("bytime", []string{"maptime"}, []string{"path", "handle", "size"},
+			decomp.M(dstruct.DListKind, "w", "path")),
+		decomp.Let("root", nil, []string{"path", "maptime", "handle", "size"},
+			decomp.J(
+				decomp.M(dstruct.HTableKind, "bypath", "path"),
+				decomp.M(dstruct.AVLKind, "bytime", "maptime"))),
+	}, "root")
+}

@@ -1,0 +1,55 @@
+package thttpdcache
+
+import "repro/internal/gen/mappings"
+
+// GenCache is the mmap cache backed by relc-generated code
+// (internal/gen/mappings, compiled from spec/mappings.rel): the same
+// relation and decomposition as SynthCache, with plans specialized at
+// compile time.
+type GenCache struct {
+	rel *mappings.Relation
+}
+
+// NewGenCache returns an empty generated-code mmap cache.
+func NewGenCache() *GenCache {
+	return &GenCache{rel: mappings.New()}
+}
+
+// Lookup returns the cached mapping for a path.
+func (c *GenCache) Lookup(path string) (Mapping, bool) {
+	var m Mapping
+	found := false
+	c.rel.QueryByPathSelHandleMaptimeSize(path, func(handle, maptime, size int64) bool {
+		m = Mapping{Path: path, Handle: handle, Size: size, MapTime: maptime}
+		found = true
+		return false
+	})
+	return m, found
+}
+
+// Add caches a mapping; re-adding a path replaces its entry.
+func (c *GenCache) Add(m Mapping) error {
+	c.rel.RemoveByPath(m.Path)
+	_, err := c.rel.Insert(mappings.Tuple{
+		Path: m.Path, Handle: m.Handle, Size: m.Size, Maptime: m.MapTime,
+	})
+	return err
+}
+
+// ExpireOlderThan enumerates the cache and removes stale mappings.
+func (c *GenCache) ExpireOlderThan(cutoff int64) ([]Mapping, error) {
+	var out []Mapping
+	c.rel.All(func(t mappings.Tuple) bool {
+		if t.Maptime < cutoff {
+			out = append(out, Mapping{Path: t.Path, Handle: t.Handle, Size: t.Size, MapTime: t.Maptime})
+		}
+		return true
+	})
+	for _, m := range out {
+		c.rel.RemoveByPath(m.Path)
+	}
+	return out, nil
+}
+
+// Len returns the number of cached mappings.
+func (c *GenCache) Len() int { return c.rel.Len() }

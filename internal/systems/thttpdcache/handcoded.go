@@ -1,0 +1,83 @@
+package thttpdcache
+
+// HandCache is the hand-coded mmap cache in the style of the original C
+// module: a hash table from paths to entries plus an age-ordered intrusive
+// list so that expiry can stop at the first young entry. Keeping the two
+// views consistent is manual.
+type HandCache struct {
+	byPath map[string]*handCacheEntry
+	// age list, oldest first (mappings are added with nondecreasing time)
+	head, tail *handCacheEntry
+}
+
+type handCacheEntry struct {
+	m          Mapping
+	prev, next *handCacheEntry
+}
+
+// NewHandCache returns an empty hand-coded cache.
+func NewHandCache() *HandCache {
+	return &HandCache{byPath: make(map[string]*handCacheEntry)}
+}
+
+// Lookup returns the cached mapping for a path.
+func (c *HandCache) Lookup(path string) (Mapping, bool) {
+	if e, ok := c.byPath[path]; ok {
+		return e.m, true
+	}
+	return Mapping{}, false
+}
+
+// Add caches a mapping, appending it to the age list.
+func (c *HandCache) Add(m Mapping) error {
+	if e, ok := c.byPath[m.Path]; ok {
+		// Refresh: unlink and re-append so the list stays age-ordered.
+		c.unlink(e)
+		e.m = m
+		c.append(e)
+		return nil
+	}
+	e := &handCacheEntry{m: m}
+	c.byPath[m.Path] = e
+	c.append(e)
+	return nil
+}
+
+func (c *HandCache) append(e *handCacheEntry) {
+	e.prev, e.next = c.tail, nil
+	if c.tail != nil {
+		c.tail.next = e
+	} else {
+		c.head = e
+	}
+	c.tail = e
+}
+
+func (c *HandCache) unlink(e *handCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// ExpireOlderThan pops entries from the old end of the age list.
+func (c *HandCache) ExpireOlderThan(cutoff int64) ([]Mapping, error) {
+	var out []Mapping
+	for c.head != nil && c.head.m.MapTime < cutoff {
+		e := c.head
+		c.unlink(e)
+		delete(c.byPath, e.m.Path)
+		out = append(out, e.m)
+	}
+	return out, nil
+}
+
+// Len returns the number of cached mappings.
+func (c *HandCache) Len() int { return len(c.byPath) }

@@ -1,0 +1,138 @@
+package thttpdcache
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server is a deliberately small HTTP/1.0 file server in the spirit of
+// thttpd, written directly on net.Conn (no net/http): parse the request
+// line, look the file up in the mmap cache, serve the mapped bytes. It
+// exists to exercise the cache through a realistic request path.
+type Server struct {
+	Cache Cache
+	Store *FileStore
+
+	// MaxEntries triggers the cleanup pass: when the cache grows past it,
+	// mappings older than the configured age are expired, as in thttpd.
+	MaxEntries int
+	// MaxAge is the expiry threshold in request ticks.
+	MaxAge int64
+
+	mu    sync.Mutex
+	clock int64
+
+	Hits, Misses int
+}
+
+// NewServer assembles a server over the given cache variant.
+func NewServer(cache Cache, store *FileStore, maxEntries int, maxAge int64) *Server {
+	return &Server{Cache: cache, Store: store, MaxEntries: maxEntries, MaxAge: maxAge}
+}
+
+// GetFile is the cache-mediated file access of thttpd's request handler:
+// reuse an existing mapping or create one, cleaning up stale mappings when
+// the cache is full.
+func (s *Server) GetFile(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	m, ok := s.Cache.Lookup(path)
+	if ok {
+		s.Hits++
+		return s.Store.Content(m), nil
+	}
+	s.Misses++
+	m = s.Store.Mmap(path, s.clock)
+	if err := s.Cache.Add(m); err != nil {
+		return nil, err
+	}
+	if s.Cache.Len() > s.MaxEntries {
+		expired, err := s.Cache.ExpireOlderThan(s.clock - s.MaxAge)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range expired {
+			if err := s.Store.Munmap(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.Store.Content(m), nil
+}
+
+// Serve accepts connections until the listener closes, handling one
+// request per connection (HTTP/1.0 semantics).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if strings.Contains(err.Error(), "use of closed") {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "GET" {
+		fmt.Fprintf(conn, "HTTP/1.0 400 Bad Request\r\n\r\n")
+		return
+	}
+	// Drain the header block.
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil || h == "\r\n" || h == "\n" {
+			break
+		}
+	}
+	body, err := s.GetFile(fields[1])
+	if err != nil {
+		fmt.Fprintf(conn, "HTTP/1.0 500 Internal Server Error\r\n\r\n")
+		return
+	}
+	fmt.Fprintf(conn, "HTTP/1.0 200 OK\r\nContent-Length: %d\r\nContent-Type: application/octet-stream\r\n\r\n", len(body))
+	_, _ = conn.Write(body)
+}
+
+// Get is a minimal HTTP/1.0 client for tests: it fetches path from addr
+// and returns the response body.
+func Get(addr, path string) ([]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\n\r\n", path)
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(status, "200") {
+		return nil, fmt.Errorf("thttpdcache: status %q", strings.TrimSpace(status))
+	}
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		if h == "\r\n" || h == "\n" {
+			break
+		}
+	}
+	return io.ReadAll(r)
+}

@@ -1,0 +1,178 @@
+package thttpdcache_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/systems/thttpdcache"
+	"repro/internal/workload"
+)
+
+func newCaches(t *testing.T) map[string]thttpdcache.Cache {
+	t.Helper()
+	synth, err := thttpdcache.NewSynthCache(thttpdcache.DefaultMapDecomp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]thttpdcache.Cache{
+		"handcoded": thttpdcache.NewHandCache(),
+		"synth":     synth,
+		"generated": thttpdcache.NewGenCache(),
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	for name, c := range newCaches(t) {
+		t.Run(name, func(t *testing.T) {
+			m1 := thttpdcache.Mapping{Path: "/a", Handle: 1, Size: 100, MapTime: 1}
+			m2 := thttpdcache.Mapping{Path: "/b", Handle: 2, Size: 200, MapTime: 5}
+			if err := c.Add(m1); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Add(m2); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c.Lookup("/a"); !ok || got != m1 {
+				t.Errorf("Lookup(/a) = %+v, %v", got, ok)
+			}
+			if _, ok := c.Lookup("/missing"); ok {
+				t.Errorf("phantom entry")
+			}
+			// Re-adding a path replaces the entry.
+			m1b := thttpdcache.Mapping{Path: "/a", Handle: 3, Size: 100, MapTime: 9}
+			if err := c.Add(m1b); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := c.Lookup("/a"); got != m1b {
+				t.Errorf("replacement failed: %+v", got)
+			}
+			if c.Len() != 2 {
+				t.Errorf("Len = %d", c.Len())
+			}
+			// Expire everything older than time 9: only /b goes.
+			evicted, err := c.ExpireOlderThan(9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(evicted) != 1 || evicted[0].Path != "/b" {
+				t.Errorf("evicted = %+v", evicted)
+			}
+			if c.Len() != 1 {
+				t.Errorf("Len after expiry = %d", c.Len())
+			}
+		})
+	}
+}
+
+// TestVariantsAgree drives both caches through the same server logic with a
+// Zipf request stream; hit/miss counts and mapping bookkeeping must match.
+func TestVariantsAgree(t *testing.T) {
+	reqs := workload.Zipf(4000, 500, 1.1, 17)
+	type outcome struct {
+		hits, misses, maps, unmaps, live int
+	}
+	run := func(c thttpdcache.Cache) outcome {
+		store := thttpdcache.NewFileStore()
+		srv := thttpdcache.NewServer(c, store, 64, 200)
+		for _, r := range reqs {
+			if _, err := srv.GetFile(fmt.Sprintf("/files/%d.html", r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return outcome{srv.Hits, srv.Misses, store.Maps, store.Unmaps, store.LiveMappings()}
+	}
+	caches := newCaches(t)
+	hand := run(caches["handcoded"])
+	synth := run(caches["synth"])
+	gen := run(caches["generated"])
+	if hand != synth || hand != gen {
+		t.Errorf("server behaviour diverges:\nhand  = %+v\nsynth = %+v\ngen   = %+v", hand, synth, gen)
+	}
+	if hand.hits == 0 || hand.unmaps == 0 {
+		t.Errorf("degenerate workload: %+v", hand)
+	}
+	// Bookkeeping invariant: every mapping is either live in the cache or
+	// unmapped.
+	if hand.maps != hand.unmaps+hand.live {
+		t.Errorf("mapping leak: %+v", hand)
+	}
+}
+
+// TestHTTPServer exercises the full substrate: a real TCP listener, the
+// HTTP request path, and cached content equality between hits and misses.
+func TestHTTPServer(t *testing.T) {
+	for name, c := range newCaches(t) {
+		t.Run(name, func(t *testing.T) {
+			store := thttpdcache.NewFileStore()
+			srv := thttpdcache.NewServer(c, store, 16, 100)
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Skipf("cannot listen: %v", err)
+			}
+			defer l.Close()
+			go func() { _ = srv.Serve(l) }()
+
+			first, err := thttpdcache.Get(l.Addr().String(), "/index.html")
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := thttpdcache.Get(l.Addr().String(), "/index.html")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Errorf("cached response differs from first response")
+			}
+			if len(first) == 0 {
+				t.Errorf("empty body")
+			}
+			if srv.Hits == 0 {
+				t.Errorf("second request missed the cache")
+			}
+			// A bad request must not crash the server.
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err == nil {
+				fmt.Fprintf(conn, "BREW /coffee HTCPCP/1.0\r\n\r\n")
+				conn.Close()
+			}
+			if _, err := thttpdcache.Get(l.Addr().String(), "/still-works"); err != nil {
+				t.Errorf("server dead after bad request: %v", err)
+			}
+		})
+	}
+}
+
+func TestFileStoreDoubleUnmap(t *testing.T) {
+	store := thttpdcache.NewFileStore()
+	m := store.Mmap("/x", 1)
+	if err := store.Munmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Munmap(m); err == nil {
+		t.Errorf("double munmap accepted")
+	}
+}
+
+func TestSynthInvariants(t *testing.T) {
+	synth, err := thttpdcache.NewSynthCache(thttpdcache.DefaultMapDecomp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := thttpdcache.NewFileStore()
+	srv := thttpdcache.NewServer(synth, store, 32, 100)
+	for i, r := range workload.Zipf(1500, 300, 1.1, 19) {
+		if _, err := srv.GetFile(fmt.Sprintf("/f%d", r)); err != nil {
+			t.Fatal(err)
+		}
+		if i%300 == 0 {
+			if err := synth.Relation().CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := synth.Relation().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package ztopo
+
+import (
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// TileSpec is the relational specification of the tile index:
+// tiles(tile, state, size, lastuse) with tile → state, size, lastuse.
+func TileSpec() *core.Spec {
+	return &core.Spec{
+		Name: "tiles",
+		Columns: []core.ColDef{
+			{Name: "tile", Type: core.IntCol},
+			{Name: "state", Type: core.IntCol},
+			{Name: "size", Type: core.IntCol},
+			{Name: "lastuse", Type: core.IntCol},
+		},
+		FDs: fd.NewSet(fd.FD{
+			From: relation.NewCols("tile"),
+			To:   relation.NewCols("state", "size", "lastuse"),
+		}),
+	}
+}
+
+// DefaultTileDecomp mirrors the original's layout as a decomposition — a
+// hash table over tiles joined with per-state lists, sharing the payload
+// node — which is exactly the Figure 2 pattern with (tile, state) in place
+// of (pid, state).
+func DefaultTileDecomp() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"tile", "state"}, []string{"size", "lastuse"},
+			decomp.U("size", "lastuse")),
+		decomp.Let("bytile", []string{"tile"}, []string{"state", "size", "lastuse"},
+			decomp.M(dstruct.HTableKind, "w", "state")),
+		decomp.Let("bystate", []string{"state"}, []string{"tile", "size", "lastuse"},
+			decomp.M(dstruct.DListKind, "w", "tile")),
+		decomp.Let("root", nil, []string{"tile", "state", "size", "lastuse"},
+			decomp.J(
+				decomp.M(dstruct.HTableKind, "bytile", "tile"),
+				decomp.M(dstruct.VectorKind, "bystate", "state"))),
+	}, "root")
+}

@@ -1,0 +1,64 @@
+package ztopo
+
+import "repro/internal/gen/tiles"
+
+// GenTileIndex is the tile index backed by relc-generated code
+// (internal/gen/tiles, compiled from spec/tiles.rel): the same relation and
+// decomposition as SynthTileIndex, but with query plans specialized at
+// compile time — the paper's deployment mode.
+type GenTileIndex struct {
+	rel *tiles.Relation
+}
+
+// NewGenTileIndex returns an empty generated-code tile index.
+func NewGenTileIndex() *GenTileIndex {
+	return &GenTileIndex{rel: tiles.New()}
+}
+
+// Lookup returns a tile's metadata.
+func (x *GenTileIndex) Lookup(id int64) (TileMeta, bool) {
+	var meta TileMeta
+	found := false
+	x.rel.QueryByTileSelLastuseSizeState(id, func(lastuse, size, state int64) bool {
+		meta = TileMeta{ID: id, State: state, Size: size, LastUse: lastuse}
+		found = true
+		return false
+	})
+	return meta, found
+}
+
+// Upsert inserts or replaces a tile's metadata. The LRU-touch fast path —
+// only lastuse changed — uses the in-place update relc generated for it;
+// state changes re-home the tuple across the per-state lists.
+func (x *GenTileIndex) Upsert(meta TileMeta) error {
+	old, ok := x.Lookup(meta.ID)
+	switch {
+	case !ok:
+		_, err := x.rel.Insert(tiles.Tuple{
+			Tile: meta.ID, State: meta.State, Size: meta.Size, Lastuse: meta.LastUse,
+		})
+		return err
+	case old.State == meta.State && old.Size == meta.Size:
+		_, err := x.rel.UpdateByTileSetLastuse(meta.ID, meta.LastUse)
+		return err
+	default:
+		_, err := x.rel.UpdateByTileSetLastuseSizeState(meta.ID, meta.LastUse, meta.Size, meta.State)
+		return err
+	}
+}
+
+// Remove drops a tile.
+func (x *GenTileIndex) Remove(id int64) (bool, error) {
+	return x.rel.RemoveByTile(id) > 0, nil
+}
+
+// EachInState visits the tiles in one state.
+func (x *GenTileIndex) EachInState(state int64, f func(TileMeta) bool) error {
+	x.rel.QueryByStateSelLastuseSizeTile(state, func(lastuse, size, tile int64) bool {
+		return f(TileMeta{ID: tile, State: state, Size: size, LastUse: lastuse})
+	})
+	return nil
+}
+
+// Len returns the number of cached tiles.
+func (x *GenTileIndex) Len() int { return x.rel.Len() }

@@ -1,0 +1,139 @@
+package ztopo
+
+import "fmt"
+
+// HandTileIndex is the hand-coded index, structured like the original
+// ZTopo cache: a hash table over tile IDs plus one doubly-linked list per
+// cache state. Every mutation must keep the two views in agreement; the
+// original guarded that with "a series of fairly subtle dynamic
+// assertions", reproduced here as CheckConsistency (and invoked in tests —
+// the synthesized variant needs no such thing, which is the point of
+// Table 1's comparison).
+type HandTileIndex struct {
+	byID   map[int64]*handEntry
+	states [2]handList
+}
+
+type handEntry struct {
+	meta       TileMeta
+	prev, next *handEntry
+}
+
+type handList struct {
+	head, tail *handEntry
+	n          int
+}
+
+// NewHandTileIndex returns an empty hand-coded index.
+func NewHandTileIndex() *HandTileIndex {
+	return &HandTileIndex{byID: make(map[int64]*handEntry)}
+}
+
+func (l *handList) push(e *handEntry) {
+	e.prev, e.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.n++
+}
+
+func (l *handList) unlink(e *handEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+// Lookup returns a tile's metadata.
+func (x *HandTileIndex) Lookup(id int64) (TileMeta, bool) {
+	if e, ok := x.byID[id]; ok {
+		return e.meta, true
+	}
+	return TileMeta{}, false
+}
+
+// Upsert inserts or replaces a tile's metadata, moving it between state
+// lists as needed. Forgetting any one of these steps is exactly the class
+// of bug the paper's synthesis eliminates.
+func (x *HandTileIndex) Upsert(meta TileMeta) error {
+	if e, ok := x.byID[meta.ID]; ok {
+		if e.meta.State != meta.State {
+			x.states[e.meta.State].unlink(e)
+			x.states[meta.State].push(e)
+		}
+		e.meta = meta
+		return nil
+	}
+	e := &handEntry{meta: meta}
+	x.byID[meta.ID] = e
+	x.states[meta.State].push(e)
+	return nil
+}
+
+// Remove drops a tile from both views.
+func (x *HandTileIndex) Remove(id int64) (bool, error) {
+	e, ok := x.byID[id]
+	if !ok {
+		return false, nil
+	}
+	delete(x.byID, id)
+	x.states[e.meta.State].unlink(e)
+	return true, nil
+}
+
+// EachInState walks one state list.
+func (x *HandTileIndex) EachInState(state int64, f func(TileMeta) bool) error {
+	for e := x.states[state].head; e != nil; {
+		next := e.next
+		if !f(e.meta) {
+			return nil
+		}
+		e = next
+	}
+	return nil
+}
+
+// Len returns the number of cached tiles.
+func (x *HandTileIndex) Len() int { return len(x.byID) }
+
+// CheckConsistency reproduces the original's dynamic assertions: every
+// entry in the hash table is linked into exactly the list of its state,
+// and the lists contain nothing else.
+func (x *HandTileIndex) CheckConsistency() error {
+	seen := 0
+	for state := range x.states {
+		for e := x.states[state].head; e != nil; e = e.next {
+			seen++
+			if e.meta.State != int64(state) {
+				return fmt.Errorf("ztopo: tile %d in list %d but has state %d", e.meta.ID, state, e.meta.State)
+			}
+			if got, ok := x.byID[e.meta.ID]; !ok || got != e {
+				return fmt.Errorf("ztopo: tile %d in state list but not in hash table", e.meta.ID)
+			}
+		}
+		if n := x.states[state].n; func() int {
+			c := 0
+			for e := x.states[state].head; e != nil; e = e.next {
+				c++
+			}
+			return c
+		}() != n {
+			return fmt.Errorf("ztopo: state %d list count out of sync", state)
+		}
+	}
+	if seen != len(x.byID) {
+		return fmt.Errorf("ztopo: %d entries in lists, %d in hash table", seen, len(x.byID))
+	}
+	return nil
+}

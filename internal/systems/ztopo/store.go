@@ -1,0 +1,96 @@
+// Package ztopo reimplements the paper's ZTopo topographic map viewer tile
+// cache (§6.2): map tiles are fetched over the network, cached on disk and
+// in memory, and evicted least-recently-used per level. The original keeps
+// a hash table of tiles plus one linked list per cache state and asserts
+// their agreement dynamically; the synthesized variant replaces all of that
+// with one relation.
+//
+// The tile store below stands in for the network and disk (the paper used
+// HTTP and the local filesystem): it produces deterministic tile bytes and
+// counts accesses, so tests can verify cache behaviour exactly and
+// benchmarks can model the latency gap that makes caching worthwhile.
+package ztopo
+
+import "fmt"
+
+// Cache states of a tile, mirroring ZTopo's per-state lists.
+const (
+	StateMemory int64 = 0
+	StateDisk   int64 = 1
+)
+
+// TileMeta is the bookkeeping record for one cached tile.
+type TileMeta struct {
+	ID      int64
+	State   int64 // StateMemory or StateDisk
+	Size    int64
+	LastUse int64
+}
+
+// A TileStore simulates the tile origin: deterministic bytes per tile ID,
+// with counters for network fetches and disk round-trips.
+type TileStore struct {
+	tileSize     int
+	NetworkReads int
+	DiskWrites   int
+	DiskReads    int
+	disk         map[int64][]byte
+}
+
+// NewTileStore returns a store producing tiles of about tileSize bytes.
+func NewTileStore(tileSize int) *TileStore {
+	return &TileStore{tileSize: tileSize, disk: make(map[int64][]byte)}
+}
+
+// FetchNetwork downloads a tile from the origin server.
+func (s *TileStore) FetchNetwork(id int64) []byte {
+	s.NetworkReads++
+	size := s.tileSize/2 + int(uint64(id*2654435761)%uint64(s.tileSize))
+	b := make([]byte, size)
+	seed := uint64(id)*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		b[i] = byte(seed)
+	}
+	return b
+}
+
+// WriteDisk stores a tile in the disk cache.
+func (s *TileStore) WriteDisk(id int64, data []byte) {
+	s.DiskWrites++
+	s.disk[id] = data
+}
+
+// ReadDisk loads a tile from the disk cache.
+func (s *TileStore) ReadDisk(id int64) ([]byte, error) {
+	s.DiskReads++
+	b, ok := s.disk[id]
+	if !ok {
+		return nil, fmt.Errorf("ztopo: tile %d not on disk", id)
+	}
+	return b, nil
+}
+
+// DropDisk removes a tile from the disk cache.
+func (s *TileStore) DropDisk(id int64) { delete(s.disk, id) }
+
+// A TileIndex is the data structure under comparison: the bookkeeping of
+// which tile is cached where. Implementations must support point lookup by
+// tile, enumeration by state (for eviction), and consistent updates — the
+// invariant the original ZTopo asserted by hand is that the by-tile and
+// by-state views agree.
+type TileIndex interface {
+	// Lookup returns the metadata for a tile, if cached.
+	Lookup(id int64) (TileMeta, bool)
+	// Upsert inserts or fully replaces a tile's metadata.
+	Upsert(meta TileMeta) error
+	// Remove drops a tile's metadata, reporting whether it was present.
+	Remove(id int64) (bool, error)
+	// EachInState visits every tile in the given state until f returns
+	// false.
+	EachInState(state int64, f func(TileMeta) bool) error
+	// Len returns the number of cached tiles.
+	Len() int
+}

@@ -1,0 +1,73 @@
+package workload
+
+import "math/rand"
+
+// Zipf returns count items drawn from a Zipf distribution over [0, n) with
+// exponent s — the classic skew of cache accesses. ZTopo's tile views and
+// thttpd's file requests both use it.
+func Zipf(count, n int, s float64, seed int64) []int64 {
+	rnd := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rnd, s, 1, uint64(n-1))
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// SchedulerOp is one operation of the scheduler micro-benchmark.
+type SchedulerOp struct {
+	Kind  SchedulerOpKind
+	NS    int64
+	PID   int64
+	State int64
+	CPU   int64
+}
+
+// SchedulerOpKind discriminates scheduler operations.
+type SchedulerOpKind uint8
+
+// Scheduler operation kinds, mixing point updates with per-state and
+// per-namespace enumeration, the access pattern §1 motivates.
+const (
+	OpSpawn     SchedulerOpKind = iota // insert a new process
+	OpExit                             // remove a process
+	OpSetState                         // update state by (ns, pid)
+	OpCharge                           // update cpu by (ns, pid)
+	OpFindByPID                        // query state, cpu by (ns, pid)
+	OpListState                        // query ns, pid by state
+	OpListNS                           // query pid by ns
+)
+
+// SchedulerTrace generates a deterministic mix of count scheduler
+// operations over namespaces×pids process slots.
+func SchedulerTrace(count, namespaces, pids int, seed int64) []SchedulerOp {
+	rnd := rand.New(rand.NewSource(seed))
+	ops := make([]SchedulerOp, count)
+	for i := range ops {
+		op := SchedulerOp{
+			NS:    int64(rnd.Intn(namespaces)),
+			PID:   int64(rnd.Intn(pids)),
+			State: int64(rnd.Intn(2)),
+			CPU:   int64(rnd.Intn(1000)),
+		}
+		switch r := rnd.Intn(100); {
+		case r < 15:
+			op.Kind = OpSpawn
+		case r < 25:
+			op.Kind = OpExit
+		case r < 45:
+			op.Kind = OpSetState
+		case r < 60:
+			op.Kind = OpCharge
+		case r < 80:
+			op.Kind = OpFindByPID
+		case r < 90:
+			op.Kind = OpListState
+		default:
+			op.Kind = OpListNS
+		}
+		ops[i] = op
+	}
+	return ops
+}

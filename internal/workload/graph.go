@@ -1,0 +1,66 @@
+// Package workload provides the deterministic synthetic workloads behind
+// the paper's benchmarks: a road-network-like directed graph (§6.1's graph
+// benchmark, Figure 11), a random packet trace for the IpCap flow-accounting
+// daemon (Figure 13), a Zipf-distributed tile access stream for the ZTopo
+// map viewer, an HTTP-request stream for the thttpd cache, and a process
+// scheduler operation mix. Everything is seeded and reproducible.
+package workload
+
+import "math/rand"
+
+// GraphEdge is one directed weighted edge.
+type GraphEdge struct {
+	Src, Dst, Weight int64
+}
+
+// RoadNetwork generates a synthetic graph shaped like the paper's road
+// network input (NW USA: 1.2M nodes, 2.8M edges ≈ 2.35 edges/node, almost
+// planar, low degree): an n×n grid with bidirectional street edges plus a
+// sprinkling of one-way diagonal shortcuts. Node IDs are dense in
+// [0, n*n); weights model segment lengths.
+func RoadNetwork(n int, seed int64) []GraphEdge {
+	rnd := rand.New(rand.NewSource(seed))
+	id := func(x, y int) int64 { return int64(x*n + y) }
+	var edges []GraphEdge
+	w := func() int64 { return int64(1 + rnd.Intn(100)) }
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			// Streets: right and down, both directions, with occasional
+			// gaps so the grid is not perfectly regular.
+			if x+1 < n && rnd.Intn(20) != 0 {
+				edges = append(edges,
+					GraphEdge{id(x, y), id(x+1, y), w()},
+					GraphEdge{id(x+1, y), id(x, y), w()})
+			}
+			if y+1 < n && rnd.Intn(20) != 0 {
+				edges = append(edges,
+					GraphEdge{id(x, y), id(x, y+1), w()},
+					GraphEdge{id(x, y+1), id(x, y), w()})
+			}
+			// Shortcut ramps: rare, one-way, longer reach.
+			if rnd.Intn(40) == 0 {
+				dx, dy := rnd.Intn(5)-2, rnd.Intn(5)-2
+				tx, ty := x+dx, y+dy
+				if tx >= 0 && tx < n && ty >= 0 && ty < n && (dx != 0 || dy != 0) {
+					edges = append(edges, GraphEdge{id(x, y), id(tx, ty), w() * 3})
+				}
+			}
+		}
+	}
+	// Deduplicate (src, dst) pairs, keeping the first weight, so the edge
+	// relation's FD src, dst → weight holds.
+	seen := make(map[[2]int64]bool, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		k := [2]int64{e.Src, e.Dst}
+		if seen[k] || e.Src == e.Dst {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// NodeCount returns the number of nodes of an n×n RoadNetwork.
+func NodeCount(n int) int { return n * n }

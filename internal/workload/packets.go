@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// A Packet is a raw network packet as the IpCap daemon would capture it
+// from the wire: an Ethernet-less IPv4 header followed by a TCP or UDP
+// header and payload. The flow daemon parses these bytes itself — the
+// parsing substrate is part of the reproduction, not a mock.
+type Packet []byte
+
+// PacketTrace generates count packets of synthetic traffic between a local
+// network (10.0.0.0/24, localHosts addresses) and a set of foreign hosts,
+// mirroring the paper's "identical random distribution of input packets".
+// Roughly half the packets are outbound and half inbound.
+func PacketTrace(count, localHosts, foreignHosts int, seed int64) []Packet {
+	rnd := rand.New(rand.NewSource(seed))
+	packets := make([]Packet, count)
+	for i := range packets {
+		local := uint32(10<<24 | rnd.Intn(localHosts) + 1)
+		foreign := uint32(203<<24 | 113<<8 | rnd.Intn(foreignHosts))
+		size := 40 + rnd.Intn(1400)
+		outbound := rnd.Intn(2) == 0
+		src, dst := local, foreign
+		if !outbound {
+			src, dst = foreign, local
+		}
+		proto := byte(6) // TCP
+		if rnd.Intn(5) == 0 {
+			proto = 17 // UDP
+		}
+		packets[i] = buildIPv4(src, dst, proto, uint16(1024+rnd.Intn(60000)), uint16(80), size)
+	}
+	return packets
+}
+
+// buildIPv4 assembles a minimal well-formed IPv4 packet with a TCP/UDP
+// header. Only the fields the accounting daemon reads are meaningful; the
+// checksum is computed for the IP header so that parser validation has
+// something real to verify.
+func buildIPv4(src, dst uint32, proto byte, sport, dport uint16, totalLen int) Packet {
+	if totalLen < 40 {
+		totalLen = 40
+	}
+	p := make([]byte, totalLen)
+	p[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(p[2:], uint16(totalLen))
+	p[8] = 64 // TTL
+	p[9] = proto
+	binary.BigEndian.PutUint32(p[12:], src)
+	binary.BigEndian.PutUint32(p[16:], dst)
+	binary.BigEndian.PutUint16(p[10:], ipChecksum(p[:20]))
+	binary.BigEndian.PutUint16(p[20:], sport)
+	binary.BigEndian.PutUint16(p[22:], dport)
+	return p
+}
+
+// ipChecksum computes the Internet checksum of an IPv4 header with the
+// checksum field zeroed.
+func ipChecksum(h []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(h); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(h[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestRoadNetworkShape(t *testing.T) {
+	edges := RoadNetwork(16, 1)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	nodes := int64(NodeCount(16))
+	seen := make(map[[2]int64]bool)
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= nodes || e.Dst < 0 || e.Dst >= nodes {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self loop: %+v", e)
+		}
+		if e.Weight <= 0 {
+			t.Fatalf("nonpositive weight: %+v", e)
+		}
+		k := [2]int64{e.Src, e.Dst}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v violates src,dst → weight", k)
+		}
+		seen[k] = true
+	}
+	// Road-network density: around 2–4 edges per node.
+	ratio := float64(len(edges)) / float64(nodes)
+	if ratio < 1.5 || ratio > 5 {
+		t.Errorf("edges/node = %.2f, not road-network-like", ratio)
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	a := RoadNetwork(8, 7)
+	b := RoadNetwork(8, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := RoadNetwork(8, 8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical graphs")
+	}
+}
+
+func TestPacketTrace(t *testing.T) {
+	ps := PacketTrace(500, 16, 64, 3)
+	if len(ps) != 500 {
+		t.Fatalf("got %d packets", len(ps))
+	}
+	outbound := 0
+	for _, p := range ps {
+		if len(p) < 40 {
+			t.Fatalf("packet too short: %d", len(p))
+		}
+		if p[0] != 0x45 {
+			t.Fatalf("bad version/IHL byte %#x", p[0])
+		}
+		if got := binary.BigEndian.Uint16(p[2:]); int(got) != len(p) {
+			t.Fatalf("total length field %d != packet size %d", got, len(p))
+		}
+		if p[9] != 6 && p[9] != 17 {
+			t.Fatalf("unexpected protocol %d", p[9])
+		}
+		src := binary.BigEndian.Uint32(p[12:])
+		if src>>24 == 10 {
+			outbound++
+		}
+		// Header checksum must validate: summing with the stored checksum
+		// yields 0xffff.
+		var sum uint32
+		for i := 0; i < 20; i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(p[i:]))
+		}
+		for sum>>16 != 0 {
+			sum = sum&0xffff + sum>>16
+		}
+		if uint16(sum) != 0xffff {
+			t.Fatalf("IP checksum does not validate")
+		}
+	}
+	if outbound < 150 || outbound > 350 {
+		t.Errorf("outbound fraction skewed: %d/500", outbound)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	xs := Zipf(20000, 1000, 1.2, 5)
+	counts := make(map[int64]int)
+	for _, x := range xs {
+		if x < 0 || x >= 1000 {
+			t.Fatalf("out of range: %d", x)
+		}
+		counts[x]++
+	}
+	// Strong skew: the most popular item dominates the median item.
+	if counts[0] < 100 {
+		t.Errorf("item 0 drawn only %d times; distribution not skewed", counts[0])
+	}
+}
+
+func TestSchedulerTraceMix(t *testing.T) {
+	ops := SchedulerTrace(10000, 4, 100, 9)
+	hist := make(map[SchedulerOpKind]int)
+	for _, op := range ops {
+		hist[op.Kind]++
+		if op.NS < 0 || op.NS >= 4 || op.PID < 0 || op.PID >= 100 {
+			t.Fatalf("op out of range: %+v", op)
+		}
+		if op.State != 0 && op.State != 1 {
+			t.Fatalf("bad state %d", op.State)
+		}
+	}
+	for k := OpSpawn; k <= OpListNS; k++ {
+		if hist[k] == 0 {
+			t.Errorf("operation kind %d never generated", k)
+		}
+	}
+}

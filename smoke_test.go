@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool runs `go run ./<pkg> <args...>` from the repository root and
+// returns combined output.
+func runTool(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./" + pkg}, args...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run ./%s %s: %v\n%s", pkg, strings.Join(args, " "), err, out.String())
+	}
+	return out.String()
+}
+
+// TestExamplesRun executes every example end to end — the documentation
+// must never rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	cases := map[string][]string{
+		"examples/quickstart":  {"invariants hold", "running processes"},
+		"examples/graphdfs":    {"decomposition 1", "relc-generated", "backward"},
+		"examples/flowaccount": {"byte-identical flow logs"},
+		"examples/tilecache":   {"identical caching decisions"},
+		"examples/webcache":    {"no leaks"},
+		"examples/autotuned":   {"predictor ranked", "measured:"},
+	}
+	for pkg, want := range cases {
+		t.Run(filepath.Base(pkg), func(t *testing.T) {
+			t.Parallel()
+			out := runTool(t, pkg)
+			for _, frag := range want {
+				if !strings.Contains(out, frag) {
+					t.Errorf("%s output missing %q:\n%s", pkg, frag, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRelcCLI exercises the compiler binary against the checked-in specs.
+func TestRelcCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	specs, err := filepath.Glob("spec/*.rel")
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no specs: %v", err)
+	}
+	// -check validates every spec without writing.
+	for _, s := range specs {
+		out := runTool(t, "cmd/relc", "-check", s)
+		if !strings.Contains(out, "OK") {
+			t.Errorf("relc -check %s: %s", s, out)
+		}
+	}
+	// Full compile into a scratch directory, then build the output.
+	dir := t.TempDir()
+	runTool(t, "cmd/relc", "-o", dir, "spec/scheduler.rel")
+	if _, err := os.Stat(filepath.Join(dir, "processes", "processes.go")); err != nil {
+		t.Fatalf("relc wrote nothing: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("generated package does not build: %v\n%s", err, out)
+	}
+}
+
+// TestPaperbenchCLI smoke-tests the cheap subcommands (the sweeps have
+// their own benchmarks).
+func TestPaperbenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	if out := runTool(t, "cmd/paperbench", "table1"); !strings.Contains(out, "ztopo") {
+		t.Errorf("table1 output: %s", out)
+	}
+	if out := runTool(t, "cmd/paperbench", "fig12"); !strings.Contains(out, "decomposition 5") {
+		t.Errorf("fig12 output: %s", out)
+	}
+}
+
+// TestAutotuneCLI runs a minimal tuning session through the binary.
+func TestAutotuneCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	out := runTool(t, "cmd/autotune",
+		"-workload", "graph", "-maxedges", "2", "-timeout", "500ms", "-assignments", "2", "-top", "3")
+	if !strings.Contains(out, "decomposition shapes") || !strings.Contains(out, "#1") {
+		t.Errorf("autotune output: %s", out)
+	}
+}
