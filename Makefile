@@ -1,0 +1,34 @@
+# Development entry points. `make ci` is what a checkout must pass; the
+# bench targets emit benchstat-compatible output (use `make bench > old.txt`,
+# change things, `make bench > new.txt`, then `benchstat old.txt new.txt`).
+
+GO ?= go
+BENCH ?= .
+COUNT ?= 6
+
+.PHONY: ci vet build test race bench bench-sharded fmt-check
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Repeated runs (-count) so benchstat can report variance; -benchmem for
+# allocation deltas alongside time.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) .
+
+bench-sharded:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedThroughput' -count $(COUNT) .

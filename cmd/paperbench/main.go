@@ -8,6 +8,7 @@
 //	paperbench fig13 [-packets N] [-maxedges N] [-timeout D] [-assignments N]
 //	paperbench table1
 //	paperbench parity [-scale N]
+//	paperbench sharded [-flows N] [-ops N] [-readpct N] [-shards N]
 //	paperbench all
 //
 // Absolute numbers depend on the machine (and on this being an interpreted
@@ -20,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/paperex"
 )
@@ -44,12 +47,16 @@ func main() {
 		err = table1()
 	case "parity":
 		err = parity(args)
+	case "sharded":
+		err = sharded(args)
 	case "all":
 		if err = fig12(); err == nil {
 			if err = table1(); err == nil {
 				if err = parity(nil); err == nil {
-					if err = fig11(nil); err == nil {
-						err = fig13(nil)
+					if err = sharded(nil); err == nil {
+						if err = fig11(nil); err == nil {
+							err = fig13(nil)
+						}
 					}
 				}
 			}
@@ -64,8 +71,50 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|all} [flags]")
 	os.Exit(2)
+}
+
+// sharded prints the concurrency-tier throughput table: the coarse-locked
+// SyncRelation vs the ShardedRelation on a mixed keyed read/write workload
+// across goroutine counts.
+func sharded(args []string) error {
+	fs := flag.NewFlagSet("sharded", flag.ExitOnError)
+	cfg := experiments.DefaultShardedConfig()
+	fs.IntVar(&cfg.Flows, "flows", cfg.Flows, "distinct flows preloaded into each engine")
+	fs.IntVar(&cfg.Ops, "ops", cfg.Ops, "operations per engine and goroutine count")
+	fs.IntVar(&cfg.ReadPct, "readpct", cfg.ReadPct, "percentage of keyed reads (rest are keyed updates)")
+	fs.IntVar(&cfg.Shards, "shards", cfg.Shards, "shard count for the sharded engine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.ReadPct < 0 || cfg.ReadPct > 100 {
+		return fmt.Errorf("-readpct must be between 0 and 100, got %d", cfg.ReadPct)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = core.DefaultShards
+	}
+	fmt.Printf("== Concurrency tiers: mixed %d/%d keyed read/write throughput ==\n", cfg.ReadPct, 100-cfg.ReadPct)
+	fmt.Printf("%d flows preloaded, %d ops per cell, %d shards, GOMAXPROCS=%d\n\n",
+		cfg.Flows, cfg.Ops, cfg.Shards, runtime.GOMAXPROCS(0))
+	rows, err := experiments.RunSharded(cfg)
+	if err != nil {
+		return err
+	}
+	base := map[int]float64{}
+	fmt.Printf("%-17s %-12s %-12s %-14s %s\n", "engine", "goroutines", "time(s)", "ops/sec", "vs sync")
+	for _, r := range rows {
+		if r.Engine == "SyncRelation" {
+			base[r.Goroutines] = r.OpsPerSec
+		}
+		speedup := ""
+		if b, ok := base[r.Goroutines]; ok && r.Engine != "SyncRelation" {
+			speedup = fmt.Sprintf("%.2f×", r.OpsPerSec/b)
+		}
+		fmt.Printf("%-17s %-12d %-12.4f %-14.0f %s\n", r.Engine, r.Goroutines, r.Seconds, r.OpsPerSec, speedup)
+	}
+	fmt.Println()
+	return nil
 }
 
 func fig11(args []string) error {

@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/relation"
+
+// mergeSorted merges per-shard query results — each already de-duplicated
+// and in the canonical order relation.SortTuples produces — into one sorted,
+// de-duplicated slice. The same full tuple lives in exactly one shard, but
+// projections of different tuples can collide across shards, so equal heads
+// collapse to one result. Merging the pre-sorted parts keeps fan-out query
+// results deterministic without re-sorting the union.
+//
+// The shard count is small (typically ≤ 64), so a linear scan for the
+// minimum head beats a heap: the constant factor is a handful of pointer
+// compares per emitted tuple.
+func mergeSorted(parts [][]relation.Tuple) []relation.Tuple {
+	nonEmpty, total := 0, 0
+	last := -1
+	for i, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+			total += len(p)
+			last = i
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return []relation.Tuple{}
+	case 1:
+		return parts[last]
+	}
+	res := make([]relation.Tuple, 0, total)
+	idx := make([]int, len(parts))
+	for {
+		min := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if min < 0 || tupleLess(p[idx[i]], parts[min][idx[min]]) {
+				min = i
+			}
+		}
+		if min < 0 {
+			return res
+		}
+		t := parts[min][idx[min]]
+		idx[min]++
+		// Skip duplicates of t at every head, including further copies in
+		// the same part's tail (parts are internally deduplicated, so only
+		// cross-part duplicates can occur — one per part at most).
+		for i, p := range parts {
+			for idx[i] < len(p) && tupleEqualOrdered(p[idx[i]], t) {
+				idx[i]++
+			}
+		}
+		res = append(res, t)
+	}
+}
+
+// tupleLess replicates the ordering of relation.SortTuples: same-domain
+// tuples compare by value, mixed domains fall back to the canonical key.
+func tupleLess(a, b relation.Tuple) bool {
+	if a.Dom().Equal(b.Dom()) {
+		return a.Compare(b) < 0
+	}
+	return a.Key() < b.Key()
+}
+
+func tupleEqualOrdered(a, b relation.Tuple) bool {
+	return a.Dom().Equal(b.Dom()) && a.Compare(b) == 0
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/decomp"
 	"repro/internal/instance"
@@ -26,8 +25,7 @@ type Relation struct {
 	dcmp    *decomp.Decomp
 	inst    *instance.Instance
 	planner *plan.Planner
-	plansMu sync.Mutex
-	plans   map[string]*plan.Candidate
+	plans   *planCache
 
 	// CheckFDs enables full functional-dependency validation on every
 	// insert and update. Off by default: the paper's compiled code performs
@@ -63,7 +61,7 @@ func New(spec *Spec, d *decomp.Decomp) (*Relation, error) {
 		spec:       spec,
 		dcmp:       d,
 		inst:       instance.New(d, spec.FDs),
-		plans:      make(map[string]*plan.Candidate),
+		plans:      newPlanCache(),
 		CachePlans: true,
 	}
 	r.planner = plan.NewPlanner(d, spec.FDs, nil)
@@ -97,36 +95,29 @@ func (r *Relation) Len() int { return r.inst.Len() }
 // the current instance (§4.3's profiling option) and clears the plan cache.
 func (r *Relation) Reprofile() {
 	r.planner = plan.NewPlanner(r.dcmp, r.spec.FDs, plan.MeasuredStats(r.inst))
-	r.plansMu.Lock()
-	r.plans = make(map[string]*plan.Candidate)
-	r.plansMu.Unlock()
+	r.plans.reset()
 }
 
 // planFor returns the cheapest valid plan computing output from input,
-// memoized on the column signature. The cache has its own lock so that
-// concurrent readers through SyncRelation (which only hold a shared lock
-// during queries) stay race-free; at worst two concurrent misses plan the
-// same shape twice.
+// memoized on the column signature. The cache is read-lock-free and
+// deduplicates concurrent misses, so shard fan-out cannot stampede the
+// planner: the first miss on a shape plans it, concurrent misses wait for
+// that result. A hit allocates nothing — the signature is built in a
+// scratch buffer and only materialized as a string on a miss.
 func (r *Relation) planFor(input, output relation.Cols) (*plan.Candidate, error) {
-	key := input.Key() + "|" + output.Key()
-	if r.CachePlans {
-		r.plansMu.Lock()
-		c, ok := r.plans[key]
-		r.plansMu.Unlock()
-		if ok {
-			return c, nil
-		}
+	if !r.CachePlans {
+		return r.planner.Best(input, output)
 	}
-	c, err := r.planner.Best(input, output)
-	if err != nil {
-		return nil, err
+	var sigArr [96]byte
+	buf := input.AppendKey(sigArr[:0])
+	buf = append(buf, '|')
+	buf = output.AppendKey(buf)
+	if c, ok := r.plans.get(string(buf)); ok {
+		return c, nil
 	}
-	if r.CachePlans {
-		r.plansMu.Lock()
-		r.plans[key] = c
-		r.plansMu.Unlock()
-	}
-	return c, nil
+	return r.plans.do(string(buf), func() (*plan.Candidate, error) {
+		return r.planner.Best(input, output)
+	})
 }
 
 // PlanDescription returns the chosen plan for a query shape in the paper's
@@ -173,7 +164,7 @@ func (r *Relation) Query(s relation.Tuple, out []string) ([]relation.Tuple, erro
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return nil, err
 	}
-	outCols := relation.NewCols(out...)
+	outCols := r.plans.outCols(out)
 	if !outCols.SubsetOf(r.spec.Cols()) {
 		return nil, fmt.Errorf("core: query output %v not in relation columns", outCols)
 	}
@@ -181,7 +172,7 @@ func (r *Relation) Query(s relation.Tuple, out []string) ([]relation.Tuple, erro
 	if err != nil {
 		return nil, err
 	}
-	return plan.Collect(r.inst, cand.Op, s, outCols), nil
+	return plan.CollectSized(r.inst, cand.Op, s, outCols, cand.EstimatedRows()), nil
 }
 
 // QueryFunc implements the streaming query of the paper's generated
@@ -192,7 +183,7 @@ func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tup
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return err
 	}
-	outCols := relation.NewCols(out...)
+	outCols := r.plans.outCols(out)
 	return r.queryFunc(s, outCols, func(t relation.Tuple) bool {
 		return f(t.Project(outCols))
 	})
@@ -214,42 +205,66 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 // structure keyed by col, the bound turns into a seek instead of a filter.
 // Results are de-duplicated and deterministic, like Query.
 func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
-	seen := make(map[string]relation.Tuple)
-	err := r.QueryRangeFunc(s, col, lo, hi, out, func(t relation.Tuple) bool {
-		seen[t.Key()] = t
-		return true
-	})
+	cand, outCols, err := r.rangePlan(s, col, out)
 	if err != nil {
 		return nil, err
 	}
-	res := make([]relation.Tuple, 0, len(seen))
-	for _, t := range seen {
-		res = append(res, t)
-	}
+	// Size the dedup map and result slice from the planner's row estimate
+	// and build dedup keys in one reused scratch buffer, exactly like
+	// plan.CollectSized; duplicate projections cost no allocation.
+	hint := cand.EstimatedRows()
+	seen := make(map[string]struct{}, hint)
+	res := make([]relation.Tuple, 0, hint)
+	var buf []byte
+	r.execRange(cand, s, lo, hi, col, func(t relation.Tuple) bool {
+		p := t.Project(outCols)
+		buf = p.AppendKey(buf[:0])
+		if _, ok := seen[string(buf)]; !ok {
+			seen[string(buf)] = struct{}{}
+			res = append(res, p)
+		}
+		return true
+	})
 	relation.SortTuples(res)
 	return res, nil
 }
 
 // QueryRangeFunc is the streaming form of QueryRange.
 func (r *Relation) QueryRangeFunc(s relation.Tuple, col string, lo, hi *value.Value, out []string, f func(relation.Tuple) bool) error {
-	if err := r.spec.CheckTuple(s, false); err != nil {
-		return err
-	}
-	if _, ok := r.spec.Type(col); !ok {
-		return fmt.Errorf("core: relation %q has no column %q", r.spec.Name, col)
-	}
-	if s.Dom().Has(col) {
-		return fmt.Errorf("core: range column %q already bound by the pattern", col)
-	}
-	outCols := relation.NewCols(out...)
-	if !outCols.SubsetOf(r.spec.Cols()) {
-		return fmt.Errorf("core: query output %v not in relation columns", outCols)
-	}
-	// The plan must bind the range column so the constraint is enforced.
-	cand, err := r.planFor(s.Dom(), outCols.Union(relation.NewCols(col)))
+	cand, outCols, err := r.rangePlan(s, col, out)
 	if err != nil {
 		return err
 	}
+	r.execRange(cand, s, lo, hi, col, func(t relation.Tuple) bool {
+		return f(t.Project(outCols))
+	})
+	return nil
+}
+
+// rangePlan validates a range query and plans it; the plan must bind the
+// range column so the constraint is enforced.
+func (r *Relation) rangePlan(s relation.Tuple, col string, out []string) (*plan.Candidate, relation.Cols, error) {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return nil, relation.Cols{}, err
+	}
+	if _, ok := r.spec.Type(col); !ok {
+		return nil, relation.Cols{}, fmt.Errorf("core: relation %q has no column %q", r.spec.Name, col)
+	}
+	if s.Dom().Has(col) {
+		return nil, relation.Cols{}, fmt.Errorf("core: range column %q already bound by the pattern", col)
+	}
+	outCols := relation.NewCols(out...)
+	if !outCols.SubsetOf(r.spec.Cols()) {
+		return nil, relation.Cols{}, fmt.Errorf("core: query output %v not in relation columns", outCols)
+	}
+	cand, err := r.planFor(s.Dom(), outCols.Union(relation.NewCols(col)))
+	if err != nil {
+		return nil, relation.Cols{}, err
+	}
+	return cand, outCols, nil
+}
+
+func (r *Relation) execRange(cand *plan.Candidate, s relation.Tuple, lo, hi *value.Value, col string, f func(relation.Tuple) bool) {
 	rg := plan.Range{Col: col}
 	if lo != nil {
 		rg.Lo, rg.HasLo = *lo, true
@@ -257,10 +272,7 @@ func (r *Relation) QueryRangeFunc(s relation.Tuple, col string, lo, hi *value.Va
 	if hi != nil {
 		rg.Hi, rg.HasHi = *hi, true
 	}
-	plan.ExecRange(r.inst, cand.Op, s, rg, func(t relation.Tuple) bool {
-		return f(t.Project(outCols))
-	})
-	return nil
+	plan.ExecRange(r.inst, cand.Op, s, rg, f)
 }
 
 // Remove implements remove r s: it removes every tuple extending s and

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// router maps tuples and patterns to shards: a tuple or pattern that binds
+// every shard-key column routes to exactly one shard (by hashing the key
+// values, no allocation), anything else must fan out. It is immutable after
+// construction and therefore shareable without locks.
+type router struct {
+	key    relation.Cols
+	shards int
+}
+
+// route returns the shard index owning t's shard-key valuation, or ok=false
+// when t does not bind the whole shard key (the operation must fan out).
+func (ro *router) route(t relation.Tuple) (int, bool) {
+	h, ok := t.HashShard(ro.key)
+	if !ok {
+		return 0, false
+	}
+	return int(h % uint64(ro.shards)), true
+}
+
+// mustRoute is route for full tuples, which always bind the shard key once
+// they have passed spec validation.
+func (ro *router) mustRoute(t relation.Tuple) (int, error) {
+	i, ok := ro.route(t)
+	if !ok {
+		return 0, fmt.Errorf("core: tuple %v does not bind the shard key %v", t, ro.key)
+	}
+	return i, nil
+}
+
+// group partitions ops across shards for a batched mutation: routed ops go
+// to their owning shard's list, unrouted patterns (broadcast) go to every
+// shard. The returned lists preserve each shard's relative op order, so a
+// batch built from a per-key-ordered log applies in order per key.
+func (ro *router) group(ops []relation.Tuple) [][]relation.Tuple {
+	groups := make([][]relation.Tuple, ro.shards)
+	for _, op := range ops {
+		if i, ok := ro.route(op); ok {
+			groups[i] = append(groups[i], op)
+			continue
+		}
+		for i := range groups {
+			groups[i] = append(groups[i], op)
+		}
+	}
+	return groups
+}

@@ -1,0 +1,603 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/decomp"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// DefaultShards is the shard count used when ShardOptions leaves it zero.
+const DefaultShards = 16
+
+// ShardOptions configures NewSharded.
+type ShardOptions struct {
+	// ShardKey names the columns whose values choose a tuple's shard. The
+	// FD machinery validates the choice: unless AllowNonKey is set, the
+	// spec's FDs must imply ShardKey → all columns, so that every keyed
+	// operation — and in particular every update pattern extending the
+	// shard key — touches exactly one shard.
+	ShardKey []string
+
+	// Shards is the number of partitions (default DefaultShards). More
+	// shards mean finer write locking; queries that cannot be routed pay a
+	// wider fan-out.
+	Shards int
+
+	// Workers bounds the goroutines a fan-out query or batch uses
+	// (default GOMAXPROCS). Workers == 1 degenerates to a sequential scan
+	// over the shards with no goroutine overhead.
+	Workers int
+
+	// AllowNonKey permits shard keys that the FDs do not certify as keys.
+	// Routing stays correct — a tuple's shard depends only on its
+	// shard-key values — but point queries lose the single-result fast
+	// path, and updates whose patterns do not bind the shard key fan out.
+	AllowNonKey bool
+}
+
+// relShard is one partition: a single-threaded Relation behind its own
+// RWMutex. The padding keeps neighbouring shards' locks off one cache
+// line, so CAS traffic on one shard's lock does not slow its neighbours.
+type relShard struct {
+	mu sync.RWMutex
+	r  *Relation
+	_  [32]byte
+}
+
+// ShardedRelation is the concurrent engine tier above SyncRelation: it
+// hash-partitions tuples across N per-shard Relation instances on a
+// shard-key column subset. Operations that bind the whole shard key route
+// to exactly one shard and take only that shard's lock, so disjoint keys
+// proceed in parallel; queries that do not bind the shard key fan out
+// across all shards on a bounded worker pool and merge their (per-shard
+// sorted, de-duplicated) results deterministically.
+//
+// All shards share one decomposition, one spec, and one read-mostly plan
+// cache — plans are shape-identical across shards, so each query shape is
+// planned once for the whole engine, not once per shard.
+type ShardedRelation struct {
+	spec  *Spec
+	ro    *router
+	keyed bool // the FDs certify the shard key as a key
+	sem   chan struct{}
+
+	shards []relShard
+}
+
+// NewSharded builds a sharded engine over the given decomposition. Every
+// shard gets its own decomposition instance; the decomposition and spec
+// themselves are immutable at run time and shared.
+func NewSharded(spec *Spec, d *decomp.Decomp, opts ShardOptions) (*ShardedRelation, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	key := relation.NewCols(opts.ShardKey...)
+	if key.IsEmpty() {
+		return nil, fmt.Errorf("core: sharded relation needs a non-empty shard key")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !key.SubsetOf(spec.Cols()) {
+		return nil, fmt.Errorf("core: shard key %v is not a subset of relation columns %v", key, spec.Cols())
+	}
+	keyed := spec.FDs.IsKey(key, spec.Cols())
+	if !keyed && !opts.AllowNonKey {
+		return nil, fmt.Errorf("core: shard key %v is not a key of relation %q under its FDs (set AllowNonKey to shard on a non-key subset)", key, spec.Name)
+	}
+	sr := &ShardedRelation{
+		spec:   spec,
+		ro:     &router{key: key, shards: opts.Shards},
+		keyed:  keyed,
+		sem:    make(chan struct{}, opts.Workers),
+		shards: make([]relShard, opts.Shards),
+	}
+	shared := newPlanCache()
+	for i := range sr.shards {
+		r, err := New(spec, d)
+		if err != nil {
+			return nil, err
+		}
+		r.plans = shared
+		sr.shards[i].r = r
+	}
+	return sr, nil
+}
+
+// MustNewSharded is NewSharded for statically known-good configurations; it
+// panics on error. Use in examples and fixtures only.
+func MustNewSharded(spec *Spec, d *decomp.Decomp, opts ShardOptions) *ShardedRelation {
+	sr, err := NewSharded(spec, d, opts)
+	if err != nil {
+		panic(err)
+	}
+	return sr
+}
+
+// Spec returns the relational specification.
+func (sr *ShardedRelation) Spec() *Spec { return sr.spec }
+
+// ShardKey returns the column subset tuples are partitioned on.
+func (sr *ShardedRelation) ShardKey() relation.Cols { return sr.ro.key }
+
+// NumShards returns the partition count.
+func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
+
+// Shard exposes one partition's raw engine for tests and profiling. The
+// caller must not mutate it while other goroutines use the sharded engine.
+func (sr *ShardedRelation) Shard(i int) *Relation { return sr.shards[i].r }
+
+// Insert implements insert r t: the full tuple always binds the shard key,
+// so exactly one shard locks.
+func (sr *ShardedRelation) Insert(t relation.Tuple) error {
+	i, err := sr.ro.mustRoute(t)
+	if err != nil {
+		return err
+	}
+	sh := &sr.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.r.Insert(t)
+}
+
+// Remove implements remove r s. A pattern binding the whole shard key
+// removes under one shard's lock; any other pattern fans out — tuples are
+// partitioned, so per-shard removal counts sum without double counting.
+func (sr *ShardedRelation) Remove(pat relation.Tuple) (int, error) {
+	if i, ok := sr.ro.route(pat); ok {
+		sh := &sr.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.r.Remove(pat)
+	}
+	counts := make([]int, len(sr.shards))
+	err := sr.fanOut(func(i int, sh *relShard) error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		n, err := sh.r.Remove(pat)
+		counts[i] = n
+		return err
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// Update implements the keyed dupdate. When the pattern binds the shard
+// key the update touches exactly one shard (this is what the construction
+// -time FD validation guarantees for key-routed workloads); otherwise every
+// shard checks the pattern, and since the pattern must be a key of the
+// relation at most one shard finds a match.
+func (sr *ShardedRelation) Update(s, u relation.Tuple) (int, error) {
+	if i, ok := sr.ro.route(s); ok {
+		sh := &sr.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if sr.keyed {
+			// The shard key is FD-certified and s binds all of it, so s is a
+			// superkey: skip the per-operation key check and take the
+			// compiled point-update path.
+			return sh.r.updatePoint(s, u)
+		}
+		return sh.r.Update(s, u)
+	}
+	counts := make([]int, len(sr.shards))
+	err := sr.fanOut(func(i int, sh *relShard) error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		n, err := sh.r.Update(s, u)
+		counts[i] = n
+		return err
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// Query implements query r s C. Patterns binding the shard key read one
+// shard; when the shard key is FD-certified such a pattern is a superkey,
+// so at most one tuple matches and the dedup map and sort are skipped
+// entirely (the point-query fast path). Other patterns fan out in parallel
+// and merge the per-shard sorted results deterministically.
+func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
+	if i, ok := sr.ro.route(pat); ok {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		if sr.keyed {
+			return sh.r.queryPoint(pat, out)
+		}
+		return sh.r.Query(pat, out)
+	}
+	parts := make([][]relation.Tuple, len(sr.shards))
+	err := sr.fanOut(func(i int, sh *relShard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		res, err := sh.r.Query(pat, out)
+		parts[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeSorted(parts), nil
+}
+
+// QueryFunc streams π_C of matching tuples like Relation.QueryFunc: no
+// de-duplication, shard-by-shard order. A routed pattern streams one shard
+// under its read lock; otherwise shards stream sequentially, each under its
+// own read lock (never all locks at once). The callback must not mutate
+// the engine.
+func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
+	if i, ok := sr.ro.route(pat); ok {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.r.QueryFunc(pat, out, f)
+	}
+	stopped := false
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		err := sh.r.QueryFunc(pat, out, func(t relation.Tuple) bool {
+			if !f(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if err != nil || stopped {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryRange implements the order-based query: routed patterns read one
+// shard, others fan out and merge the per-shard sorted results.
+func (sr *ShardedRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
+	if i, ok := sr.ro.route(pat); ok {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.r.QueryRange(pat, col, lo, hi, out)
+	}
+	parts := make([][]relation.Tuple, len(sr.shards))
+	err := sr.fanOut(func(i int, sh *relShard) error {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		res, err := sh.r.QueryRange(pat, col, lo, hi, out)
+		parts[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeSorted(parts), nil
+}
+
+// InsertBatch inserts many tuples, grouping them by shard and applying each
+// group under a single lock acquisition — the per-op lock traffic of N
+// inserts collapses to one acquisition per touched shard, and distinct
+// shards apply their groups in parallel. The batch is not atomic: on error
+// the earlier tuples of the failing shard's group stay inserted and the
+// first error (by shard index) is returned.
+func (sr *ShardedRelation) InsertBatch(ts []relation.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	groups := make([][]relation.Tuple, len(sr.shards))
+	for _, t := range ts {
+		i, err := sr.ro.mustRoute(t)
+		if err != nil {
+			return err
+		}
+		groups[i] = append(groups[i], t)
+	}
+	return sr.fanOut(func(i int, sh *relShard) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, t := range groups[i] {
+			if err := sh.r.Insert(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RemoveBatch removes by many patterns under one lock acquisition per
+// touched shard. Patterns binding the shard key go only to their shard;
+// broadcast patterns run on every shard. It returns the total number of
+// tuples removed; like InsertBatch it is not atomic across shards.
+func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
+	if len(pats) == 0 {
+		return 0, nil
+	}
+	groups := sr.ro.group(pats)
+	counts := make([]int, len(sr.shards))
+	err := sr.fanOut(func(i int, sh *relShard) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, pat := range groups[i] {
+			n, err := sh.r.Remove(pat)
+			counts[i] += n
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// Upsert atomically reads the tuple matching the routed pattern pat and
+// inserts or updates it: f receives the current tuple (zero when absent) and
+// returns the non-pattern column values to store — the update tuple when the
+// match exists, the remainder of the new tuple otherwise. The whole
+// read-modify-write runs under the owning shard's exclusive lock, and both
+// the read and the write take the compiled point paths when the shard key is
+// FD-certified, so a counter increment costs two map descents, not two
+// generic plan executions.
+func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple, found bool) (relation.Tuple, error)) error {
+	i, err := sr.ro.mustRoute(pat)
+	if err != nil {
+		return err
+	}
+	sh := &sr.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := sh.r
+	cols := sr.spec.Cols().Names()
+	var cur relation.Tuple
+	found := false
+	if sr.keyed {
+		res, err := r.queryPoint(pat, cols)
+		if err != nil {
+			return err
+		}
+		if len(res) > 0 {
+			cur, found = res[0], true
+		}
+	} else {
+		if err := r.QueryFunc(pat, cols, func(t relation.Tuple) bool {
+			cur, found = t, true
+			return false
+		}); err != nil {
+			return err
+		}
+	}
+	u, err := f(cur, found)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return r.Insert(pat.Merge(u))
+	}
+	if sr.keyed {
+		_, err = r.updatePoint(pat, u)
+	} else {
+		_, err = r.Update(pat, u)
+	}
+	return err
+}
+
+// Exclusive runs f with the shard owning pat's shard-key valuation locked
+// exclusively, giving atomic read-modify-write sequences (a counter upsert,
+// say) without a global lock. pat must bind the whole shard key, and f must
+// only touch tuples sharing pat's shard-key valuation — tuples routed to
+// other shards are invisible to it.
+func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error) error {
+	i, err := sr.ro.mustRoute(pat)
+	if err != nil {
+		return err
+	}
+	sh := &sr.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return f(sh.r)
+}
+
+// Len returns the total number of tuples across all shards. The count is a
+// consistent snapshot only when no writer is concurrent, like SyncRelation
+// callers composing Len with later operations.
+func (sr *ShardedRelation) Len() int {
+	n := 0
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		n += sh.r.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CheckInvariants verifies every shard's instance well-formedness, that
+// each tuple lives on the shard its key hashes to, and that the declared
+// FDs hold on the union of the shard abstractions (per-shard FD checks
+// cannot see cross-shard violations when the shard key is not a key).
+func (sr *ShardedRelation) CheckInvariants() error {
+	all := relation.Empty(sr.spec.Cols())
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		err := sh.r.CheckInvariants()
+		if err == nil {
+			for _, t := range sh.r.inst.Relation().All() {
+				if j, ok := sr.ro.route(t); !ok || j != i {
+					err = fmt.Errorf("core: tuple %v found on shard %d but routes to shard %d", t, i, j)
+					break
+				}
+				if ierr := all.Insert(t); ierr != nil {
+					err = ierr
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	if !sr.spec.FDs.Holds(all) {
+		return fmt.Errorf("core: union abstraction of sharded relation %q violates its FDs", sr.spec.Name)
+	}
+	return nil
+}
+
+// All returns every tuple across all shards in deterministic order.
+func (sr *ShardedRelation) All() ([]relation.Tuple, error) {
+	return sr.Query(relation.NewTuple(), sr.spec.Cols().Names())
+}
+
+// fanOut runs f once per shard on the bounded worker pool and returns the
+// lowest-indexed error. With a single worker it degenerates to an inline
+// sequential loop — no goroutines, no channel traffic.
+func (sr *ShardedRelation) fanOut(f func(int, *relShard) error) error {
+	if cap(sr.sem) == 1 {
+		var first error
+		for i := range sr.shards {
+			if err := f(i, &sr.shards[i]); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sr.shards))
+	for i := range sr.shards {
+		sr.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-sr.sem
+				wg.Done()
+			}()
+			errs[i] = f(i, &sr.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryPoint is Relation.Query specialized to superkey patterns: at most
+// one tuple extends the pattern, so the dedup map, canonical-key encoding,
+// and sort are all skipped. When the chosen plan compiled to a PointPlan the
+// whole query runs as a flat map descent; otherwise the general executor
+// runs with an early stop. ShardedRelation uses it for routed queries once
+// construction has certified the shard key as a key.
+func (r *Relation) queryPoint(s relation.Tuple, out []string) ([]relation.Tuple, error) {
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return nil, err
+	}
+	outCols := r.plans.outCols(out)
+	if !outCols.SubsetOf(r.spec.Cols()) {
+		return nil, fmt.Errorf("core: query output %v not in relation columns", outCols)
+	}
+	cand, err := r.planFor(s.Dom(), outCols)
+	if err != nil {
+		return nil, err
+	}
+	if pp := cand.Point; pp != nil {
+		u, ok := pp.Get(r.inst, s)
+		if !ok {
+			return nil, nil
+		}
+		// When the leaf unit's domain is exactly the output columns, the
+		// unit tuple IS the result: π_out(s ▷ u) = u (u is right-biased over
+		// s, and tuples are immutable, so sharing it is safe). This is the
+		// common shape for keyed point reads of the payload columns.
+		if u.Dom().Equal(outCols) {
+			return []relation.Tuple{u}, nil
+		}
+		if res, ok := s.MergeProject(u, outCols); ok {
+			return []relation.Tuple{res}, nil
+		}
+	}
+	var res []relation.Tuple
+	plan.Exec(r.inst, cand.Op, s, func(t relation.Tuple) bool {
+		res = append(res, t.Project(outCols))
+		return false // a superkey pattern matches at most one tuple
+	})
+	return res, nil
+}
+
+// updatePoint is Relation.Update specialized for callers that have already
+// certified the pattern as a superkey — ShardedRelation validates its shard
+// key against the FDs once at construction, so the per-operation key check
+// is redundant for routed updates. The match is located with the compiled
+// point plan and the new values are written in place when the decomposition
+// allows; anything the fast path cannot handle falls back to the generic
+// Update.
+func (r *Relation) updatePoint(s, u relation.Tuple) (int, error) {
+	if r.CheckFDs {
+		return r.Update(s, u)
+	}
+	if err := r.spec.CheckTuple(s, false); err != nil {
+		return 0, err
+	}
+	if err := r.spec.CheckTuple(u, false); err != nil {
+		return 0, err
+	}
+	if s.Dom().Intersects(u.Dom()) {
+		return 0, fmt.Errorf("core: update values %v overlap the pattern %v", u, s)
+	}
+	cand, err := r.planFor(s.Dom(), r.spec.Cols())
+	if err != nil {
+		return 0, err
+	}
+	pp := cand.Point
+	if pp == nil {
+		return r.Update(s, u)
+	}
+	unit, ok := pp.Get(r.inst, s)
+	if !ok {
+		return 0, nil
+	}
+	// When the pattern itself binds every map-edge key, it can drive the
+	// in-place walk directly — no full match tuple is ever built. pp.Get
+	// above proved the match exists.
+	if r.inst.EdgeKeyCols().SubsetOf(s.Dom()) && r.inst.UpdateInPlace(s, u) {
+		return 1, nil
+	}
+	match, ok := s.MergeProject(unit, r.spec.Cols())
+	if !ok {
+		return r.Update(s, u)
+	}
+	if r.inst.UpdateInPlace(match, u) {
+		return 1, nil
+	}
+	r.inst.RemoveTuple(match)
+	if _, err := r.inst.Insert(match.Merge(u)); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}

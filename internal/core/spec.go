@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fd"
 	"repro/internal/relation"
@@ -48,15 +49,23 @@ type Spec struct {
 	Name    string
 	Columns []ColDef
 	FDs     fd.Set
+
+	colsOnce sync.Once
+	colsVal  relation.Cols
 }
 
-// Cols returns the column set of the specification.
+// Cols returns the column set of the specification. The set is computed once
+// and cached: Cols sits on every operation's validation path, and Columns is
+// fixed after construction.
 func (s *Spec) Cols() relation.Cols {
-	names := make([]string, len(s.Columns))
-	for i, c := range s.Columns {
-		names[i] = c.Name
-	}
-	return relation.NewCols(names...)
+	s.colsOnce.Do(func() {
+		names := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			names[i] = c.Name
+		}
+		s.colsVal = relation.NewCols(names...)
+	})
+	return s.colsVal
 }
 
 // Type returns the declared type of the named column.
@@ -103,16 +112,17 @@ func (s *Spec) CheckTuple(t relation.Tuple, full bool) error {
 	if full && !t.Dom().Equal(s.Cols()) {
 		return fmt.Errorf("core: tuple %v does not cover the columns %v of relation %q", t, s.Cols(), s.Name)
 	}
-	for _, b := range t.Bindings() {
-		ct, ok := s.Type(b.Col)
+	for i, col := range t.Dom().Names() {
+		ct, ok := s.Type(col)
 		if !ok {
-			return fmt.Errorf("core: relation %q has no column %q", s.Name, b.Col)
+			return fmt.Errorf("core: relation %q has no column %q", s.Name, col)
 		}
+		v := t.ValueAt(i)
 		switch {
-		case ct == IntCol && b.Val.Kind() != value.Int:
-			return fmt.Errorf("core: column %q of relation %q is int, got %v", b.Col, s.Name, b.Val)
-		case ct == StringCol && b.Val.Kind() != value.String:
-			return fmt.Errorf("core: column %q of relation %q is string, got %v", b.Col, s.Name, b.Val)
+		case ct == IntCol && v.Kind() != value.Int:
+			return fmt.Errorf("core: column %q of relation %q is int, got %v", col, s.Name, v)
+		case ct == StringCol && v.Kind() != value.String:
+			return fmt.Errorf("core: column %q of relation %q is string, got %v", col, s.Name, v)
 		}
 	}
 	return nil

@@ -1,6 +1,9 @@
 package dstruct
 
-import "repro/internal/relation"
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
 
 // AVL is a self-balancing binary search tree ordered by column-wise key
 // comparison, playing the role of std::map / boost::intrusive::set in the
@@ -82,6 +85,24 @@ func (t *AVL[V]) Get(k relation.Tuple) (V, bool) {
 	n := t.root
 	for n != nil {
 		switch c := k.Compare(n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// GetByValue is the single-column-key point lookup: the descent compares
+// the sole key values directly, with no key tuple and no allocation.
+func (t *AVL[V]) GetByValue(v value.Value) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch c := value.Compare(v, n.key.ValueAt(0)); {
 		case c < 0:
 			n = n.left
 		case c > 0:

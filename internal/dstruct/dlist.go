@@ -1,6 +1,9 @@
 package dstruct
 
-import "repro/internal/relation"
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
 
 // DList is an unordered doubly-linked list of key/value pairs with a
 // sentinel head. Lookup and delete-by-key are O(n); insertion at the tail is
@@ -48,6 +51,18 @@ func (l *DList[V]) find(k relation.Tuple) *DListEntry[V] {
 func (l *DList[V]) Get(k relation.Tuple) (V, bool) {
 	if e := l.find(k); e != nil {
 		return e.Val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetByValue is the single-column-key point lookup: a linear scan comparing
+// the sole key values, with no key tuple and no allocation.
+func (l *DList[V]) GetByValue(v value.Value) (V, bool) {
+	for e := l.sentinel.next; e != &l.sentinel; e = e.next {
+		if e.Key.ValueAt(0) == v {
+			return e.Val, true
+		}
 	}
 	var zero V
 	return zero, false
@@ -132,6 +147,17 @@ func (l *SList[V]) Len() int { return l.n }
 func (l *SList[V]) Get(k relation.Tuple) (V, bool) {
 	for n := l.head; n != nil; n = n.next {
 		if n.key.Equal(k) {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// GetByValue is the single-column-key point lookup, like DList.GetByValue.
+func (l *SList[V]) GetByValue(v value.Value) (V, bool) {
+	for n := l.head; n != nil; n = n.next {
+		if n.key.ValueAt(0) == v {
 			return n.val, true
 		}
 	}

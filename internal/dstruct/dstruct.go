@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/relation"
+	"repro/internal/value"
 )
 
 // Kind names a primitive data structure ψ.
@@ -68,6 +69,11 @@ func (k Kind) IntKeyedOnly() bool { return k == VectorKind }
 type Map[V any] interface {
 	// Get returns the value for k and whether it is present.
 	Get(k relation.Tuple) (V, bool)
+	// GetByValue is Get specialized to maps keyed by exactly one column: it
+	// looks up the entry whose single key value is v without materializing a
+	// key tuple, so compiled point accesses allocate nothing on the way
+	// down. Callers must only use it on single-column-keyed maps.
+	GetByValue(v value.Value) (V, bool)
 	// Put inserts or replaces the value for k.
 	Put(k relation.Tuple, v V)
 	// Delete removes k, reporting whether it was present.

@@ -1,6 +1,9 @@
 package dstruct
 
-import "repro/internal/relation"
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
 
 // HTable is a separately-chained hash table over the FNV-1a hash of the
 // key's value encoding. It doubles when the load factor reaches 1, so Get,
@@ -44,6 +47,21 @@ func fnv1a(s string) uint64 {
 	return hash
 }
 
+// fnv1aBytes is fnv1a over a byte slice; kept separate so hot callers with a
+// stack-allocated encoding buffer avoid a string conversion.
+func fnv1aBytes(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	hash := uint64(offset)
+	for i := 0; i < len(b); i++ {
+		hash ^= uint64(b[i])
+		hash *= prime
+	}
+	return hash
+}
+
 func (h *HTable[V]) bucket(hash uint64) int {
 	return int(hash & uint64(len(h.buckets)-1))
 }
@@ -54,6 +72,22 @@ func (h *HTable[V]) Get(k relation.Tuple) (V, bool) {
 	hash := fnv1a(enc)
 	for n := h.buckets[h.bucket(hash)]; n != nil; n = n.next {
 		if n.hash == hash && n.enc == enc {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// GetByValue is the single-column-key point lookup: the key encoding is
+// built in a stack buffer and compared against the cached encodings without
+// converting, so the whole lookup allocates nothing.
+func (h *HTable[V]) GetByValue(v value.Value) (V, bool) {
+	var arr [24]byte
+	enc := v.AppendEncode(arr[:0])
+	hash := fnv1aBytes(enc)
+	for n := h.buckets[h.bucket(hash)]; n != nil; n = n.next {
+		if n.hash == hash && n.enc == string(enc) {
 			return n.val, true
 		}
 	}

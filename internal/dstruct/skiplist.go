@@ -1,6 +1,9 @@
 package dstruct
 
-import "repro/internal/relation"
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
 
 // SkipList is a probabilistic ordered map: expected O(log n) Get/Put/Delete
 // with ordered iteration, trading the AVL tree's rebalancing for randomized
@@ -70,6 +73,23 @@ func (s *SkipList[V]) findPred(k relation.Tuple, pred []*skipNode[V]) *skipNode[
 // Get returns the value for k.
 func (s *SkipList[V]) Get(k relation.Tuple) (V, bool) {
 	if n := s.findPred(k, nil); n != nil && n.key.Compare(k) == 0 {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetByValue is the single-column-key point lookup: the level descent
+// compares the sole key values directly, with no key tuple and no
+// allocation.
+func (s *SkipList[V]) GetByValue(v value.Value) (V, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && value.Compare(x.next[i].key.ValueAt(0), v) < 0 {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && value.Compare(n.key.ValueAt(0), v) == 0 {
 		return n.val, true
 	}
 	var zero V

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/relation"
+	"repro/internal/value"
 )
 
 // SortedArr keeps key/value pairs in a slice sorted by key. Get is O(log n)
@@ -33,6 +34,17 @@ func (s *SortedArr[V]) search(k relation.Tuple) (int, bool) {
 // Get returns the value for k.
 func (s *SortedArr[V]) Get(k relation.Tuple) (V, bool) {
 	if i, ok := s.search(k); ok {
+		return s.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetByValue is the single-column-key point lookup: binary search on the
+// sole key values, with no key tuple and no allocation.
+func (s *SortedArr[V]) GetByValue(v value.Value) (V, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool { return value.Compare(s.keys[i].ValueAt(0), v) >= 0 })
+	if i < len(s.keys) && value.Compare(s.keys[i].ValueAt(0), v) == 0 {
 		return s.vals[i], true
 	}
 	var zero V

@@ -64,6 +64,20 @@ func (v *Vector[V]) Get(k relation.Tuple) (V, bool) {
 	return v.slots[i].val, true
 }
 
+// GetByValue is the single-column-key point lookup: the array index comes
+// straight from the key value, with no key tuple and no allocation.
+func (v *Vector[V]) GetByValue(key value.Value) (V, bool) {
+	var zero V
+	if !v.started || key.Kind() != value.Int {
+		return zero, false
+	}
+	i := key.Int() - v.base
+	if i < 0 || i >= int64(len(v.slots)) || !v.slots[i].present {
+		return zero, false
+	}
+	return v.slots[i].val, true
+}
+
 // Put inserts or replaces the value for k, growing the array as needed. It
 // panics if the span of observed keys exceeds vectorMaxSpan, mirroring a
 // decomposition whose vector edge is unusable for the workload.

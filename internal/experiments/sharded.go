@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/systems/ipcap"
+)
+
+// ConcurrentEngine is the operation subset the throughput experiment
+// drives; core.SyncRelation and core.ShardedRelation both implement it.
+type ConcurrentEngine interface {
+	Insert(t relation.Tuple) error
+	Update(s, u relation.Tuple) (int, error)
+	Query(pat relation.Tuple, out []string) ([]relation.Tuple, error)
+	Len() int
+}
+
+// ShardedConfig parameterizes the sharded-throughput experiment.
+type ShardedConfig struct {
+	Flows      int   // distinct flows preloaded into each engine
+	Ops        int   // operations per (engine, goroutine-count) cell
+	ReadPct    int   // percentage of keyed reads; the rest are keyed updates
+	Shards     int   // shard count for the sharded engine
+	Goroutines []int // goroutine counts to sweep
+	Seed       int64
+}
+
+// DefaultShardedConfig mirrors the acceptance workload: 90/10 keyed
+// read/write over the IpCap flow relation.
+func DefaultShardedConfig() ShardedConfig {
+	return ShardedConfig{
+		Flows:      20_000,
+		Ops:        200_000,
+		ReadPct:    90,
+		Shards:     core.DefaultShards,
+		Goroutines: []int{1, 2, 4, 8},
+		Seed:       41,
+	}
+}
+
+// ShardedRow is one cell of the throughput table.
+type ShardedRow struct {
+	Engine     string
+	Goroutines int
+	Seconds    float64
+	OpsPerSec  float64
+}
+
+// RunSharded measures mixed keyed read/write throughput of the
+// coarse-locked SyncRelation against the ShardedRelation across goroutine
+// counts, on the IpCap flow relation (local, foreign → packets, bytes).
+// Each goroutine works a disjoint slice of the preloaded flow keys, so runs
+// are comparable and FD-safe regardless of interleaving.
+func RunSharded(cfg ShardedConfig) ([]ShardedRow, error) {
+	mkSync := func() (ConcurrentEngine, error) {
+		r, err := core.New(ipcap.FlowSpec(), ipcap.DefaultFlowDecomp())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSync(r), nil
+	}
+	mkSharded := func() (ConcurrentEngine, error) {
+		return core.NewSharded(ipcap.FlowSpec(), ipcap.DefaultFlowDecomp(), core.ShardOptions{
+			ShardKey: []string{"local", "foreign"},
+			Shards:   cfg.Shards,
+		})
+	}
+	var rows []ShardedRow
+	for _, eng := range []struct {
+		name string
+		mk   func() (ConcurrentEngine, error)
+	}{
+		{"SyncRelation", mkSync},
+		{"ShardedRelation", mkSharded},
+	} {
+		for _, g := range cfg.Goroutines {
+			e, err := eng.mk()
+			if err != nil {
+				return nil, err
+			}
+			if err := PreloadFlows(e, cfg.Flows); err != nil {
+				return nil, err
+			}
+			secs, err := DriveMixed(e, cfg.Ops, g, cfg.ReadPct, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ShardedRow{
+				Engine:     eng.name,
+				Goroutines: g,
+				Seconds:    secs,
+				OpsPerSec:  float64(cfg.Ops) / secs,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PreloadFlows fills the engine with n distinct flows. The sharded engine
+// takes its batched path when available.
+func PreloadFlows(e ConcurrentEngine, n int) error {
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = FlowTuple(int64(i))
+	}
+	if sr, ok := e.(*core.ShardedRelation); ok {
+		return sr.InsertBatch(tuples)
+	}
+	for _, t := range tuples {
+		if err := e.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlowTuple returns the i-th synthetic flow tuple of the throughput
+// workload; FlowKeyPattern returns its key pattern.
+func FlowTuple(i int64) relation.Tuple {
+	return FlowKeyPattern(i).Merge(relation.NewTuple(
+		relation.BindInt("packets", 1),
+		relation.BindInt("bytes", 64),
+	))
+}
+
+// FlowKeyPattern returns the key pattern of the i-th synthetic flow.
+func FlowKeyPattern(i int64) relation.Tuple {
+	return relation.NewTuple(
+		relation.BindInt("local", 10<<24|i%256),
+		relation.BindInt("foreign", 203<<24|i),
+	)
+}
+
+// mixedOp is one pregenerated operation of the mixed workload.
+type mixedOp struct {
+	key  relation.Tuple
+	upd  relation.Tuple // zero Tuple means the op is a read
+	read bool
+}
+
+// DriveMixed runs ops operations split across g goroutines: readPct% keyed
+// point queries and the rest keyed updates, over a per-goroutine slice of
+// the key space. The operation stream — key patterns, update tuples, and the
+// read/write coin flips — is generated before the clock starts, so the
+// measured region contains only engine work, not tuple construction or rng
+// calls. It returns the wall-clock seconds for the whole batch.
+func DriveMixed(e ConcurrentEngine, ops, g, readPct int, seed int64) (float64, error) {
+	n := 0
+	if l := e.Len(); l > 0 {
+		n = l
+	} else {
+		return 0, fmt.Errorf("experiments: engine not preloaded")
+	}
+	perWorker := ops / g
+	work := make([][]mixedOp, g)
+	for w := 0; w < g; w++ {
+		rng := rand.New(rand.NewSource(seed + int64(w)))
+		lo, width := w*(n/g), n/g
+		work[w] = make([]mixedOp, perWorker)
+		for i := range work[w] {
+			op := &work[w][i]
+			op.key = FlowKeyPattern(int64(lo + rng.Intn(width)))
+			op.read = rng.Intn(100) < readPct
+			if !op.read {
+				op.upd = relation.NewTuple(
+					relation.BindInt("packets", int64(i)),
+					relation.BindInt("bytes", int64(i)*64),
+				)
+			}
+		}
+	}
+	out := []string{"bytes", "packets"}
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work[w] {
+				op := &work[w][i]
+				if op.read {
+					if _, err := e.Query(op.key, out); err != nil {
+						errs[w] = err
+						return
+					}
+				} else {
+					if _, err := e.Update(op.key, op.upd); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return secs, nil
+}

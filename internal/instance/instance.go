@@ -51,6 +51,29 @@ type Instance struct {
 	fullCut map[string]bool // the cut (X, Y) for the full column set; Y = true
 	count   int
 
+	// inPlaceBlocked is the union of all map-edge key columns and all
+	// variables' bound columns: an update may run in place iff it touches
+	// none of them. Precomputed so CanUpdateInPlace is one set intersection
+	// on the hot update path instead of a walk over the decomposition.
+	inPlaceBlocked relation.Cols
+
+	// edgeSlots and unitSlots flatten the per-variable layouts into one
+	// primitive → slot index map each (a primitive belongs to exactly one
+	// variable), so MapAt and UnitAt are a single map lookup.
+	edgeSlots map[*decomp.MapEdge]int
+	unitSlots map[*decomp.Unit]int
+
+	// updWalk is the precomputed node-location walk of UpdateInPlace: the
+	// bindings in root-first order with their in-edges (resolved to parent
+	// walk positions and slot indices) and unit slots, so the per-operation
+	// walk allocates nothing and recomputes nothing.
+	updWalk []updVar
+
+	// edgeKeyCols is the union of all map-edge key columns: a tuple binding
+	// all of them can drive the UpdateInPlace walk on its own, without being
+	// the full stored tuple.
+	edgeKeyCols relation.Cols
+
 	// CleanupEmpty controls whether removal deallocates maps that become
 	// empty (§4.5: "Our implementation deallocates empty maps to minimize
 	// space consumption"). It is a flag so the design choice can be
@@ -81,12 +104,77 @@ func New(d *decomp.Decomp, fds fd.Set) *Instance {
 		})
 		inst.layouts[b.Var] = l
 	}
+	for _, e := range d.Edges() {
+		inst.edgeKeyCols = inst.edgeKeyCols.Union(e.Key)
+	}
+	inst.inPlaceBlocked = inst.edgeKeyCols
+	for _, b := range d.Bindings() {
+		inst.inPlaceBlocked = inst.inPlaceBlocked.Union(b.Bound)
+	}
+	inst.edgeSlots = make(map[*decomp.MapEdge]int)
+	inst.unitSlots = make(map[*decomp.Unit]int)
+	for v, l := range inst.layouts {
+		_ = v
+		for p, i := range l.index {
+			switch p := p.(type) {
+			case *decomp.MapEdge:
+				inst.edgeSlots[p] = i
+			case *decomp.Unit:
+				inst.unitSlots[p] = i
+			}
+		}
+	}
+	inst.buildUpdWalk()
 	inst.root = inst.newNode(d.Root())
 	return inst
 }
 
+// updVar is one step of the precomputed UpdateInPlace walk.
+type updVar struct {
+	in    []updEdge // in-edges to try when locating this variable's node
+	units []updUnit // unit slots of this variable
+}
+
+type updEdge struct {
+	parent int // walk index of the edge's parent variable
+	slot   int // the map's slot in the parent node
+	e      *decomp.MapEdge
+	col    string // sole key column when the key is single-column, else ""
+}
+
+type updUnit struct {
+	slot int
+	u    *decomp.Unit
+}
+
+func (in *Instance) buildUpdWalk() {
+	topo := in.dcmp.TopoDown()
+	idx := make(map[string]int, len(topo))
+	for i, b := range topo {
+		idx[b.Var] = i
+	}
+	in.updWalk = make([]updVar, len(topo))
+	for i, b := range topo {
+		w := &in.updWalk[i]
+		for _, e := range in.dcmp.InEdges(b.Var) {
+			ue := updEdge{parent: idx[e.Parent], slot: in.edgeSlots[e], e: e}
+			if e.Key.Len() == 1 {
+				ue.col = e.Key.Names()[0]
+			}
+			w.in = append(w.in, ue)
+		}
+		for _, u := range in.dcmp.UnitsOf(b.Var) {
+			w.units = append(w.units, updUnit{slot: in.unitSlots[u], u: u})
+		}
+	}
+}
+
 // Decomp returns the instance's decomposition.
 func (in *Instance) Decomp() *decomp.Decomp { return in.dcmp }
+
+// EdgeKeyCols returns the union of every map edge's key columns. A tuple
+// binding all of them can serve as the locator argument of UpdateInPlace.
+func (in *Instance) EdgeKeyCols() relation.Cols { return in.edgeKeyCols }
 
 // FDs returns the dependency set the instance maintains.
 func (in *Instance) FDs() fd.Set { return in.fds }
@@ -111,12 +199,12 @@ func (in *Instance) newNode(v string) *Node {
 // MapAt returns the data structure of node n for map edge e. It panics if e
 // is not a primitive of n's variable; plans are validated before execution.
 func (n *Node) MapAt(in *Instance, e *decomp.MapEdge) dstruct.Map[*Node] {
-	return n.slots[in.layouts[n.Var].index[e]].m
+	return n.slots[in.edgeSlots[e]].m
 }
 
 // UnitAt returns the tuple of node n for unit primitive u.
 func (n *Node) UnitAt(in *Instance, u *decomp.Unit) relation.Tuple {
-	return n.slots[in.layouts[n.Var].index[u]].unit
+	return n.slots[in.unitSlots[u]].unit
 }
 
 // Refs returns the node's reference count (incoming edge instances); the

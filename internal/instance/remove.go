@@ -108,36 +108,57 @@ func (in *Instance) release(n *Node) {
 // columns — the matched tuple's nodes can be reused and the new values
 // written directly into the units.
 //
-// t must be the full currently-stored tuple matching s (the engine finds it
-// with a query). UpdateInPlace reports whether it applied; if not, the
-// engine falls back to remove + insert.
+// t locates the stored tuple being updated: it must agree with that tuple
+// and bind every map-edge key column (EdgeKeyCols) — the full stored tuple
+// always qualifies, but a keyed engine can pass just the key pattern when it
+// covers the edge keys. The engine verifies the match exists with a query
+// before calling, which is why no extra presence check runs here.
+// UpdateInPlace reports whether it applied; if not, the engine falls back to
+// remove + insert.
 func (in *Instance) UpdateInPlace(t, u relation.Tuple) bool {
 	if !in.CanUpdateInPlace(u.Dom()) {
 		return false
 	}
-	if !in.Contains(t) {
-		return false
+	udom := u.Dom()
+	var locArr [16]*Node
+	located := locArr[:0]
+	if len(in.updWalk) > len(locArr) {
+		located = make([]*Node, 0, len(in.updWalk))
 	}
-	located := make(map[string]*Node, len(in.dcmp.Bindings()))
-	for _, b := range in.dcmp.TopoDown() {
-		if b.Var == in.dcmp.Root() {
-			located[b.Var] = in.root
+	for i := range in.updWalk {
+		w := &in.updWalk[i]
+		var n *Node
+		if i == 0 {
+			n = in.root
 		} else {
-			for _, e := range in.dcmp.InEdges(b.Var) {
-				if child, ok := located[e.Parent].MapAt(in, e).Get(t.Project(e.Key)); ok {
-					located[b.Var] = child
+			for _, ue := range w.in {
+				pn := located[ue.parent]
+				var child *Node
+				var ok bool
+				if ue.col != "" {
+					v, _ := t.Get(ue.col)
+					child, ok = pn.slots[ue.slot].m.GetByValue(v)
+				} else {
+					child, ok = pn.slots[ue.slot].m.Get(t.Project(ue.e.Key))
+				}
+				if ok {
+					n = child
 					break
 				}
 			}
-			if located[b.Var] == nil {
-				panic(fmt.Sprintf("instance: node %s not found while updating %v", b.Var, t))
+			if n == nil {
+				panic(fmt.Sprintf("instance: node not found while updating %v", t))
 			}
 		}
-		for _, unit := range in.dcmp.UnitsOf(b.Var) {
-			if !unit.Cols.Intersect(u.Dom()).IsEmpty() {
-				i := in.layouts[b.Var].index[unit]
-				n := located[b.Var]
-				n.slots[i].unit = n.slots[i].unit.Merge(u.Project(unit.Cols))
+		located = append(located, n)
+		for _, uu := range w.units {
+			switch {
+			case uu.u.Cols.Equal(udom):
+				// The update binds exactly this unit's columns: the merged
+				// unit is u itself (right bias), no merge or projection.
+				n.slots[uu.slot].unit = u
+			case uu.u.Cols.Intersects(udom):
+				n.slots[uu.slot].unit = n.slots[uu.slot].unit.Merge(u.Project(uu.u.Cols))
 			}
 		}
 	}
@@ -148,15 +169,5 @@ func (in *Instance) UpdateInPlace(t, u relation.Tuple) bool {
 // be performed in place on this decomposition: no map key and no variable's
 // bound columns may mention an updated column.
 func (in *Instance) CanUpdateInPlace(ucols relation.Cols) bool {
-	for _, e := range in.dcmp.Edges() {
-		if !e.Key.Intersect(ucols).IsEmpty() {
-			return false
-		}
-	}
-	for _, b := range in.dcmp.Bindings() {
-		if !b.Bound.Intersect(ucols).IsEmpty() {
-			return false
-		}
-	}
-	return true
+	return !ucols.Intersects(in.inPlaceBlocked)
 }

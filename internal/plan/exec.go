@@ -70,16 +70,32 @@ func execOp(in *instance.Instance, op Op, prim decomp.Primitive, n *instance.Nod
 // out, de-duplicated and in deterministic order — the query operation's
 // π_C semantics.
 func Collect(in *instance.Instance, op Op, s relation.Tuple, out relation.Cols) []relation.Tuple {
-	seen := make(map[string]relation.Tuple)
+	return CollectSized(in, op, s, out, 0)
+}
+
+// CollectSized is Collect with a result-cardinality hint (usually the
+// planner's row estimate for the chosen plan): the dedup map and result
+// slice are sized once instead of rehashed as they grow, and the encoded
+// dedup keys are built in a single reused scratch buffer so duplicate
+// results cost no allocation at all.
+func CollectSized(in *instance.Instance, op Op, s relation.Tuple, out relation.Cols, hint int) []relation.Tuple {
+	if hint < 0 {
+		hint = 0
+	}
+	seen := make(map[string]relation.Tuple, hint)
+	var buf []byte
+	res := make([]relation.Tuple, 0, hint)
 	Exec(in, op, s, func(t relation.Tuple) bool {
 		p := t.Project(out)
-		seen[p.Key()] = p
+		buf = p.AppendKey(buf[:0])
+		// The map lookup with string(buf) does not allocate; the key string
+		// is materialized only when the projection is new.
+		if _, ok := seen[string(buf)]; !ok {
+			seen[string(buf)] = p
+			res = append(res, p)
+		}
 		return true
 	})
-	res := make([]relation.Tuple, 0, len(seen))
-	for _, t := range seen {
-		res = append(res, t)
-	}
 	relation.SortTuples(res)
 	return res
 }

@@ -70,6 +70,25 @@ type Candidate struct {
 	Cost  float64
 	rows  float64
 	scans int // qscan operators in the plan, the cost-tie tiebreaker
+
+	// Point is the compiled point-access form of Op, set by Best when the
+	// plan is a pure lookup chain (no scans, no joins) and therefore yields
+	// at most one result per constraint. Nil otherwise.
+	Point *PointPlan
+}
+
+// EstimatedRows returns the planner's row estimate for the candidate,
+// clamped to a sane allocation hint: callers size result buffers with it,
+// so a wild estimate must not translate into a giant up-front allocation.
+func (c *Candidate) EstimatedRows() int {
+	const maxHint = 1 << 12
+	if c.rows <= 1 {
+		return 1
+	}
+	if c.rows >= maxHint {
+		return maxHint
+	}
+	return int(c.rows)
 }
 
 // Best returns the cheapest valid plan for a query whose input tuple binds
@@ -98,6 +117,7 @@ func (pl *Planner) Best(input, output relation.Cols) (*Candidate, error) {
 	if best == nil {
 		return nil, fmt.Errorf("plan: no valid plan computes %v from input %v on this decomposition", output, input)
 	}
+	best.Point = CompilePoint(best.Op)
 	return best, nil
 }
 

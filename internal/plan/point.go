@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/instance"
+	"repro/internal/relation"
+)
+
+// A PointPlan is the compiled form of a superkey point access: a plan whose
+// operators are only qlookup and qlr, ending at a single qunit. Such a plan
+// visits exactly one node per level and emits at most one tuple, so it can
+// run as a flat loop of map lookups — no recursion, no tuple merging at
+// interior nodes — instead of the general recursive executor. The planner
+// attaches one to every candidate whose shape qualifies; engines use it for
+// keyed point queries and in-place keyed updates.
+type PointPlan struct {
+	steps []pointStep
+	unit  *decomp.Unit
+}
+
+// pointStep is one qlookup of the descent. When the edge's key is a single
+// column the step carries its name, and Get goes through the data structure's
+// GetByValue fast path — one value fetched from the constraint, no key tuple
+// materialized.
+type pointStep struct {
+	e   *decomp.MapEdge
+	col string // sole key column when single-column, else ""
+}
+
+// CompilePoint compiles op into a PointPlan, or returns nil if the plan
+// contains a scan or join operator (and may therefore emit more than one
+// result per constraint).
+func CompilePoint(op Op) *PointPlan {
+	p := &PointPlan{}
+	for {
+		switch o := op.(type) {
+		case *Lookup:
+			st := pointStep{e: o.Edge}
+			if o.Edge.Key.Len() == 1 {
+				st.col = o.Edge.Key.Names()[0]
+			}
+			p.steps = append(p.steps, st)
+			op = o.Sub
+		case *LR:
+			op = o.Sub
+		case *Unit:
+			p.unit = o.U
+			return p
+		default:
+			return nil
+		}
+	}
+}
+
+// Get runs the compiled descent for the constraint tuple s and returns the
+// unit tuple at the leaf, or ok=false when no tuple extends s. It is
+// semantically identical to Exec with an emit that stops after the first
+// result: the result tuple of that execution is s ▷ unit. Every map key on
+// the way must be bound by s — guaranteed when the plan was built for input
+// columns dom(s), as the validity judgment requires exactly that.
+func (p *PointPlan) Get(in *instance.Instance, s relation.Tuple) (relation.Tuple, bool) {
+	n := in.Root()
+	for i := range p.steps {
+		st := &p.steps[i]
+		var child *instance.Node
+		var ok bool
+		if st.col != "" {
+			v, bound := s.Get(st.col)
+			if !bound {
+				return relation.Tuple{}, false
+			}
+			child, ok = n.MapAt(in, st.e).GetByValue(v)
+		} else {
+			child, ok = n.MapAt(in, st.e).Get(s.Project(st.e.Key))
+		}
+		if !ok {
+			return relation.Tuple{}, false
+		}
+		n = child
+	}
+	u := n.UnitAt(in, p.unit)
+	if !u.Matches(s) {
+		return relation.Tuple{}, false
+	}
+	return u, true
+}

@@ -83,6 +83,24 @@ func (c Cols) SubsetOf(d Cols) bool {
 	return i == len(c.names)
 }
 
+// Intersects reports whether c ∩ d is non-empty without materializing the
+// intersection — the allocation-free form of !c.Intersect(d).IsEmpty() for
+// hot paths.
+func (c Cols) Intersects(d Cols) bool {
+	i, j := 0, 0
+	for i < len(c.names) && j < len(d.names) {
+		switch {
+		case c.names[i] == d.names[j]:
+			return true
+		case c.names[i] < d.names[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
 // Union returns c ∪ d.
 func (c Cols) Union(d Cols) Cols {
 	if c.IsEmpty() {
@@ -161,6 +179,19 @@ func (c Cols) SymDiff(d Cols) Cols {
 
 // Key returns a canonical string key for the set, usable as a Go map key.
 func (c Cols) Key() string { return strings.Join(c.names, "\x00") }
+
+// AppendKey appends the canonical key of the set (see Key) to b and
+// returns the extended slice, so hot paths can build composite cache
+// signatures in a reused scratch buffer.
+func (c Cols) AppendKey(b []byte) []byte {
+	for i, n := range c.names {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = append(b, n...)
+	}
+	return b
+}
 
 // String renders the set as {a, b, c} for diagnostics.
 func (c Cols) String() string {

@@ -62,6 +62,11 @@ func (t Tuple) Dom() Cols { return Cols{names: t.cols} }
 // Len returns the number of bound columns.
 func (t Tuple) Len() int { return len(t.cols) }
 
+// ValueAt returns the value of the i-th binding in column order. It is the
+// positional accessor for hot paths that already know the tuple's shape —
+// in particular single-column map keys, whose sole value is ValueAt(0).
+func (t Tuple) ValueAt(i int) value.Value { return t.vals[i] }
+
 // Get returns the value of column c and whether it is bound.
 func (t Tuple) Get(c string) (value.Value, bool) {
 	i := sort.SearchStrings(t.cols, c)
@@ -130,6 +135,36 @@ func (t Tuple) Matches(s Tuple) bool {
 	return true
 }
 
+// MergeProject returns π_out(t ▷ u) in a single pass, without materializing
+// the merged tuple — one allocation instead of Merge's plus Project's. The
+// result shares out's name slice. The boolean reports whether every column
+// of out was bound by t or u; on false the projection would silently drop
+// columns and the caller should fall back to Merge+Project semantics.
+func (t Tuple) MergeProject(u Tuple, out Cols) (Tuple, bool) {
+	if out.IsEmpty() {
+		return Tuple{}, true
+	}
+	vals := make([]value.Value, len(out.names))
+	i, j := 0, 0
+	for k, c := range out.names {
+		for i < len(t.cols) && t.cols[i] < c {
+			i++
+		}
+		for j < len(u.cols) && u.cols[j] < c {
+			j++
+		}
+		switch {
+		case j < len(u.cols) && u.cols[j] == c:
+			vals[k] = u.vals[j] // right bias, like Merge
+		case i < len(t.cols) && t.cols[i] == c:
+			vals[k] = t.vals[i]
+		default:
+			return Tuple{}, false
+		}
+	}
+	return Tuple{cols: out.names, vals: vals}, true
+}
+
 // Merge returns t ▷ u: the tuple over dom t ∪ dom u taking u's value wherever
 // the two disagree (the paper's s ⊔ t with right bias).
 func (t Tuple) Merge(u Tuple) Tuple {
@@ -178,27 +213,70 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// Key returns a canonical, injective string encoding of t, usable as a Go
-// map key. Tuples with different domains or values always get different
-// keys.
-func (t Tuple) Key() string {
-	var b []byte
+// keySize returns the exact encoded length of Key(), so buffers can be
+// allocated once instead of grown.
+func (t Tuple) keySize() int {
+	n := 0
+	for i, c := range t.cols {
+		n += 2 + len(c) + t.vals[i].EncodedSize()
+	}
+	return n
+}
+
+// valuesKeySize returns the exact encoded length of ValuesKey().
+func (t Tuple) valuesKeySize() int {
+	n := 0
+	for _, v := range t.vals {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+// AppendKey appends the canonical injective encoding of t (see Key) to b
+// and returns the extended slice. Callers on hot paths pass a reused
+// scratch buffer (b[:0]) to avoid allocating a fresh key per operation.
+func (t Tuple) AppendKey(b []byte) []byte {
+	if need := len(b) + t.keySize(); cap(b) < need {
+		nb := make([]byte, len(b), need)
+		copy(nb, b)
+		b = nb
+	}
 	for i, c := range t.cols {
 		b = append(b, byte(len(c)>>8), byte(len(c)))
 		b = append(b, c...)
 		b = t.vals[i].AppendEncode(b)
 	}
+	return b
+}
+
+// Key returns a canonical, injective string encoding of t, usable as a Go
+// map key. Tuples with different domains or values always get different
+// keys.
+func (t Tuple) Key() string {
+	b := t.AppendKey(make([]byte, 0, t.keySize()))
 	return string(b)
+}
+
+// AppendValuesKey appends the values-only encoding of t (see ValuesKey) to
+// b and returns the extended slice; the scratch-buffer contract matches
+// AppendKey.
+func (t Tuple) AppendValuesKey(b []byte) []byte {
+	if need := len(b) + t.valuesKeySize(); cap(b) < need {
+		nb := make([]byte, len(b), need)
+		copy(nb, b)
+		b = nb
+	}
+	for _, v := range t.vals {
+		b = v.AppendEncode(b)
+	}
+	return b
 }
 
 // ValuesKey returns an injective encoding of only the values of t, in column
 // order. It is used as a data-structure key when the column set is fixed by
 // context (all keys in one map share a domain).
 func (t Tuple) ValuesKey() string {
-	var b []byte
-	for _, v := range t.vals {
-		b = v.AppendEncode(b)
-	}
+	b := t.AppendValuesKey(make([]byte, 0, t.valuesKeySize()))
 	return string(b)
 }
 

@@ -3,6 +3,7 @@ package ipcap_test
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/systems/ipcap"
@@ -78,11 +79,105 @@ func newTables(t *testing.T) map[string]ipcap.FlowTable {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sharded, err := ipcap.NewShardedFlowTable(ipcap.DefaultFlowDecomp(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]ipcap.FlowTable{
 		"handcoded":        ipcap.NewHandFlowTable(),
 		"synth":            synth,
 		"synth-transposed": transposed,
 		"generated":        ipcap.NewGenFlowTable(),
+		"sharded":          sharded,
+	}
+}
+
+// TestShardedFlowTableConcurrent accounts the same trace from many
+// goroutines (split round-robin, so flows interleave arbitrarily across
+// workers) and requires the totals to match a sequential hand-coded run —
+// Account's per-shard exclusive section must not lose increments.
+func TestShardedFlowTableConcurrent(t *testing.T) {
+	trace := workload.PacketTrace(8000, 16, 64, 7)
+	oracle := ipcap.NewHandFlowTable()
+	for _, p := range trace {
+		info, err := ipcap.ParseIPv4(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, _, ok := ipcap.Classify(info)
+		if !ok {
+			continue
+		}
+		if err := oracle.Account(key, int64(info.Length)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sharded, err := ipcap.NewShardedFlowTable(ipcap.DefaultFlowDecomp(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(trace); i += workers {
+				info, err := ipcap.ParseIPv4(trace[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				key, _, ok := ipcap.Classify(info)
+				if !ok {
+					continue
+				}
+				if err := sharded.Account(key, int64(info.Length)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	want := map[ipcap.FlowKey]ipcap.FlowStats{}
+	if err := oracle.Flows(func(k ipcap.FlowKey, s ipcap.FlowStats) bool {
+		want[k] = s
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[ipcap.FlowKey]ipcap.FlowStats{}
+	if err := sharded.Flows(func(k ipcap.FlowKey, s ipcap.FlowStats) bool {
+		got[k] = s
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d flows, want %d", len(got), len(want))
+	}
+	for k, s := range want {
+		if got[k] != s {
+			t.Errorf("flow %+v: got %+v, want %+v", k, got[k], s)
+		}
+	}
+
+	// Batched drop clears the table shard-group by shard-group.
+	keys := make([]ipcap.FlowKey, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	if err := sharded.DropBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Len() != 0 {
+		t.Errorf("%d flows left after DropBatch", sharded.Len())
 	}
 }
 

@@ -124,11 +124,53 @@ func (v Value) AppendEncode(dst []byte) []byte {
 	return append(dst, v.s...)
 }
 
+// EncodedSize returns len(v.AppendEncode(nil)) without encoding: 9 bytes
+// for an integer, 5+len(s) for a string. Callers use it to preallocate
+// exact-capacity key buffers.
+func (v Value) EncodedSize() int {
+	if v.kind == Int {
+		return 9
+	}
+	return 5 + len(v.s)
+}
+
 // EncodeKey returns the binary encoding of v as a string suitable for use as
 // a Go map key.
 func (v Value) EncodeKey() string {
 	return string(v.AppendEncode(make([]byte, 0, 16)))
 }
+
+// HashInto folds v's encoding into a running FNV-1a hash h without
+// allocating; seed with HashSeed. Feeding the same value sequence always
+// yields the same hash, so it can key shard routing.
+func (v Value) HashInto(h uint64) uint64 {
+	const prime = 1099511628211
+	if v.kind == Int {
+		h ^= 'i'
+		h *= prime
+		u := uint64(v.i)
+		for shift := 56; shift >= 0; shift -= 8 {
+			h ^= (u >> shift) & 0xff
+			h *= prime
+		}
+		return h
+	}
+	h ^= 's'
+	h *= prime
+	n := uint32(len(v.s))
+	for shift := 24; shift >= 0; shift -= 8 {
+		h ^= uint64((n >> shift) & 0xff)
+		h *= prime
+	}
+	for i := 0; i < len(v.s); i++ {
+		h ^= uint64(v.s[i])
+		h *= prime
+	}
+	return h
+}
+
+// HashSeed is the FNV-1a offset basis used to start a HashInto chain.
+const HashSeed uint64 = 14695981039346656037
 
 // Hash returns a 64-bit FNV-1a hash of the value's encoding.
 func (v Value) Hash() uint64 {
