@@ -6,9 +6,15 @@ GO ?= go
 BENCH ?= .
 COUNT ?= 6
 
-.PHONY: ci vet build test race bench bench-sharded fmt-check
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled fmt-check
 
 ci: vet build race
+
+# The race gate plus an explicit rerun of the compiled-vs-interpreter
+# differential tests (plan-level and engine-level) — the properties that
+# must hold before anything touching the compiled tier merges.
+ci-race: vet build race
+	$(GO) test -race -count 2 -run 'Differential' ./internal/plan ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -32,3 +38,9 @@ bench:
 
 bench-sharded:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedThroughput' -count $(COUNT) .
+
+# Interpreted-vs-compiled pairs for every plan shape, as `go test -json`
+# events; BENCH_compiled.json is the committed snapshot of the machine the
+# compiled tier landed on.
+bench-compiled:
+	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled)$$' -benchmem -count $(COUNT) -json ./internal/plan > BENCH_compiled.json

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	autotune [-workload graph|ipcap|scheduler] [-maxedges N] [-timeout D]
-//	         [-assignments N] [-top N] [-scale N]
+//	         [-assignments N] [-top N] [-scale N] [-workers N]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 	assignments := flag.Int("assignments", 4, "data-structure assignments tried per shape")
 	top := flag.Int("top", 15, "ranked candidates to print")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
+	workers := flag.Int("workers", 1, "concurrent benchmark workers (keep 1 for trustworthy wall-clock rankings; 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	spec, bench, err := pick(*wl, *scale)
@@ -47,6 +48,7 @@ func main() {
 		Palette:        []dstruct.Kind{dstruct.HTableKind, dstruct.AVLKind, dstruct.DListKind},
 		MaxAssignments: *assignments,
 		Timeout:        *timeout,
+		Workers:        *workers,
 	}, bench)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)

@@ -9,6 +9,7 @@
 //	paperbench table1
 //	paperbench parity [-scale N]
 //	paperbench sharded [-flows N] [-ops N] [-readpct N] [-shards N]
+//	paperbench compiled [-scale N]
 //	paperbench all
 //
 // Absolute numbers depend on the machine (and on this being an interpreted
@@ -49,13 +50,17 @@ func main() {
 		err = parity(args)
 	case "sharded":
 		err = sharded(args)
+	case "compiled":
+		err = compiled(args)
 	case "all":
 		if err = fig12(); err == nil {
 			if err = table1(); err == nil {
 				if err = parity(nil); err == nil {
 					if err = sharded(nil); err == nil {
-						if err = fig11(nil); err == nil {
-							err = fig13(nil)
+						if err = compiled(nil); err == nil {
+							if err = fig11(nil); err == nil {
+								err = fig13(nil)
+							}
 						}
 					}
 				}
@@ -71,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|all} [flags]")
 	os.Exit(2)
 }
 
@@ -112,6 +117,33 @@ func sharded(args []string) error {
 			speedup = fmt.Sprintf("%.2f×", r.OpsPerSec/b)
 		}
 		fmt.Printf("%-17s %-12d %-12.4f %-14.0f %s\n", r.Engine, r.Goroutines, r.Seconds, r.OpsPerSec, speedup)
+	}
+	fmt.Println()
+	return nil
+}
+
+// compiled prints the execution-tier table: each workload runs on the same
+// engine and plans with compiled closure programs on and off, and the two
+// runs must agree on a checksum.
+func compiled(args []string) error {
+	fs := flag.NewFlagSet("compiled", flag.ExitOnError)
+	cfg := experiments.DefaultCompiledConfig()
+	fs.IntVar(&cfg.Scale, "scale", cfg.Scale, "workload scale multiplier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("== Execution tiers: compiled closure programs vs the plan interpreter ==")
+	rows, err := experiments.RunCompiled(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-12s %-12s %-10s %s\n", "workload", "interp(s)", "compiled(s)", "speedup", "behaviour")
+	for _, r := range rows {
+		agree := "identical"
+		if !r.Agree {
+			agree = "DIVERGED"
+		}
+		fmt.Printf("%-18s %-12.4f %-12.4f %-10.2f %s\n", r.Workload, r.InterpSecs, r.CompiledSecs, r.Speedup(), agree)
 	}
 	fmt.Println()
 	return nil

@@ -237,3 +237,52 @@ func TestShapeStringsAreReadable(t *testing.T) {
 		}
 	}
 }
+
+// TestTuneParallelDeterministic: the worker-pool sweep must produce exactly
+// the sequential sweep's results — same winners, same costs, same order —
+// for any worker count. The benchmark's cost is a pure function of the
+// candidate (a hash of its rendering), so completion order is the only
+// thing that could differ between runs, and it must not matter.
+func TestTuneParallelDeterministic(t *testing.T) {
+	spec := graphSpec()
+	bench := func(r *core.Relation, _ time.Time) (float64, error) {
+		h := uint64(14695981039346656037)
+		for _, b := range []byte(r.Decomp().String()) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		if h%13 == 0 {
+			return 0, autotuner.ErrTimeout // some candidates "fail", deterministically
+		}
+		return float64(h % 1000), nil
+	}
+	opts := autotuner.Options{
+		MaxEdges: 2, KeyArity: 1,
+		Palette:        []dstruct.Kind{dstruct.HTableKind, dstruct.DListKind},
+		MaxAssignments: 8,
+	}
+	opts.Workers = 1
+	seq, err := autotuner.Tune(spec, opts, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		opts.Workers = workers
+		par, err := autotuner.Tune(spec, opts, bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results vs sequential %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			s, p := seq[i], par[i]
+			if s.Shape != p.Shape || s.Cost != p.Cost || s.Tried != p.Tried || s.Failed != p.Failed {
+				t.Fatalf("workers=%d result %d differs:\nseq %+v\npar %+v", workers, i, s, p)
+			}
+			if s.Decomp.String() != p.Decomp.String() {
+				t.Fatalf("workers=%d result %d chose %s, sequential chose %s",
+					workers, i, p.Decomp, s.Decomp)
+			}
+		}
+	}
+}

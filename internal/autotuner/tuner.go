@@ -2,7 +2,9 @@ package autotuner
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +37,13 @@ type Options struct {
 	MaxAssignments int
 	// Timeout is the per-benchmark deadline. 0 = none.
 	Timeout time.Duration
+	// Workers bounds the goroutines benchmarking candidates concurrently.
+	// 0 means GOMAXPROCS; 1 runs the classic sequential sweep. Results are
+	// deterministic for any worker count — candidates are reduced in
+	// enumeration order regardless of completion order — but a benchmark
+	// whose cost metric is wall-clock time should use 1, since concurrent
+	// candidates distort each other's timings.
+	Workers int
 }
 
 func (o *Options) palette() []dstruct.Kind {
@@ -106,26 +115,75 @@ func Tune(spec *core.Spec, opts Options, bench Benchmark) ([]Result, error) {
 	if len(shapes) == 0 {
 		return nil, fmt.Errorf("autotuner: no adequate decompositions with ≤ %d edges", opts.MaxEdges)
 	}
-	var results []Result
-	for _, shape := range shapes {
-		res := Result{Shape: shape.CanonicalShape(), Failed: true}
+	// Flatten the (shape × assignment) nest into one job list so a bounded
+	// worker pool can chew through every candidate; each candidate already
+	// gets its own fresh relation inside runOne, so jobs share nothing.
+	type job struct {
+		shape int
+		cand  *decomp.Decomp
+		cost  float64
+		err   error
+	}
+	var jobs []*job
+	for si, shape := range shapes {
 		for _, cand := range Assignments(spec, shape, opts.palette(), opts.MaxAssignments) {
-			cost, err := runOne(spec, cand, opts.Timeout, bench)
-			res.Tried++
-			if err != nil {
-				if res.Failed {
-					res.Err = err
+			jobs = append(jobs, &job{shape: si, cand: cand})
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			j.cost, j.err = runOne(spec, j.cand, opts.Timeout, bench)
+		}
+	} else {
+		next := make(chan *job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					j.cost, j.err = runOne(spec, j.cand, opts.Timeout, bench)
 				}
-				continue
-			}
-			if res.Failed || cost < res.Cost {
-				res.Decomp, res.Cost, res.Failed, res.Err = cand, cost, false, nil
-			}
+			}()
 		}
-		if res.Decomp == nil {
-			res.Decomp = shape
+		for _, j := range jobs {
+			next <- j
 		}
-		results = append(results, res)
+		close(next)
+		wg.Wait()
+	}
+
+	// Reduce in enumeration order: per shape, the first minimum-cost
+	// assignment wins, exactly as the sequential sweep decided — completion
+	// order never influences the outcome.
+	results := make([]Result, len(shapes))
+	for si, shape := range shapes {
+		results[si] = Result{Shape: shape.CanonicalShape(), Failed: true}
+	}
+	for _, j := range jobs {
+		res := &results[j.shape]
+		res.Tried++
+		if j.err != nil {
+			if res.Failed {
+				res.Err = j.err
+			}
+			continue
+		}
+		if res.Failed || j.cost < res.Cost {
+			res.Decomp, res.Cost, res.Failed, res.Err = j.cand, j.cost, false, nil
+		}
+	}
+	for si := range results {
+		if results[si].Decomp == nil {
+			results[si].Decomp = shapes[si]
+		}
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Failed != results[j].Failed {

@@ -35,6 +35,14 @@ type Relation struct {
 	// CachePlans controls memoization of query plans per (input, output)
 	// column signature. On by default; the ablation benchmark turns it off.
 	CachePlans bool
+
+	// CompilePrograms controls the compiled execution tier: when a plan is
+	// promoted into the plan cache, it is also lowered to a closure program
+	// (plan.Compile) and every later query with that shape runs the program
+	// instead of the interpreter. On by default; turning it off (or turning
+	// CachePlans off, which disables promotion) pins every query to the
+	// interpreter — the ablation the differential tests and benchmarks use.
+	CompilePrograms bool
 }
 
 // New checks the specification, verifies the decomposition is adequate for
@@ -58,11 +66,12 @@ func New(spec *Spec, d *decomp.Decomp) (*Relation, error) {
 		}
 	}
 	r := &Relation{
-		spec:       spec,
-		dcmp:       d,
-		inst:       instance.New(d, spec.FDs),
-		plans:      newPlanCache(),
-		CachePlans: true,
+		spec:            spec,
+		dcmp:            d,
+		inst:            instance.New(d, spec.FDs),
+		plans:           newPlanCache(),
+		CachePlans:      true,
+		CompilePrograms: true,
 	}
 	r.planner = plan.NewPlanner(d, spec.FDs, nil)
 	return r, nil
@@ -116,7 +125,23 @@ func (r *Relation) planFor(input, output relation.Cols) (*plan.Candidate, error)
 		return c, nil
 	}
 	return r.plans.do(string(buf), func() (*plan.Candidate, error) {
-		return r.planner.Best(input, output)
+		c, err := r.planner.Best(input, output)
+		if err != nil {
+			return nil, err
+		}
+		// Promotion into the cache is when a plan earns compilation: the
+		// planning cost is already being paid once per shape, so the (small)
+		// compile cost rides along, and every later hit runs the program.
+		// Slot indices are a pure function of the decomposition, so the
+		// program compiled against this instance is valid for every shard
+		// sharing the cache. A plan the compiler cannot lower keeps Prog nil
+		// and runs interpreted — the interpreter stays the oracle.
+		if r.CompilePrograms {
+			if prog, perr := plan.Compile(r.inst, c.Op, input, output); perr == nil {
+				c.Prog = prog
+			}
+		}
+		return c, nil
 	})
 }
 
@@ -128,6 +153,15 @@ func (r *Relation) PlanDescription(input, output []string) (string, error) {
 		return "", err
 	}
 	return c.Op.String(), nil
+}
+
+// PlanCandidate returns the plan candidate the engine would run for a
+// query binding exactly the input columns and projecting the output
+// columns — cached (and therefore compiled, when CompilePrograms is on) if
+// plan caching is enabled. It exposes the promotion state for tests and
+// diagnostics; cand.Prog == nil means the shape runs on the interpreter.
+func (r *Relation) PlanCandidate(input, output []string) (*plan.Candidate, error) {
+	return r.planFor(relation.NewCols(input...), relation.NewCols(output...))
 }
 
 // Insert implements insert r t. The tuple must bind exactly the relation's
@@ -172,6 +206,9 @@ func (r *Relation) Query(s relation.Tuple, out []string) ([]relation.Tuple, erro
 	if err != nil {
 		return nil, err
 	}
+	if cand.Prog != nil {
+		return cand.Prog.Collect(r.inst, s, cand.EstimatedRows()), nil
+	}
 	return plan.CollectSized(r.inst, cand.Op, s, outCols, cand.EstimatedRows()), nil
 }
 
@@ -189,10 +226,18 @@ func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tup
 	})
 }
 
+// queryFunc streams matching tuples to f. The tuples f sees bind at least
+// the columns of out but may be transient views — every internal caller
+// projects (which copies) before retaining, and the public QueryFunc wraps f
+// in a projection.
 func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relation.Tuple) bool) error {
 	cand, err := r.planFor(s.Dom(), out)
 	if err != nil {
 		return err
+	}
+	if cand.Prog != nil {
+		cand.Prog.StreamView(r.inst, s, f)
+		return nil
 	}
 	plan.Exec(r.inst, cand.Op, s, f)
 	return nil

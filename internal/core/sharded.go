@@ -543,10 +543,15 @@ func (r *Relation) queryPoint(s relation.Tuple, out []string) ([]relation.Tuple,
 		}
 	}
 	var res []relation.Tuple
-	plan.Exec(r.inst, cand.Op, s, func(t relation.Tuple) bool {
+	emit := func(t relation.Tuple) bool {
 		res = append(res, t.Project(outCols))
 		return false // a superkey pattern matches at most one tuple
-	})
+	}
+	if cand.Prog != nil {
+		cand.Prog.StreamView(r.inst, s, emit)
+	} else {
+		plan.Exec(r.inst, cand.Op, s, emit)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// CompiledConfig scales the compiled-vs-interpreted comparison.
+type CompiledConfig struct {
+	// Scale multiplies every workload size; 1 ≈ a second or two total.
+	Scale int
+}
+
+// DefaultCompiledConfig returns the laptop-scale defaults.
+func DefaultCompiledConfig() CompiledConfig { return CompiledConfig{Scale: 1} }
+
+// CompiledRow is one workload's outcome under both execution tiers. The
+// same engine, decomposition, and plans run in both columns; the only
+// difference is whether promoted plans execute as compiled closure
+// programs or on the plan interpreter.
+type CompiledRow struct {
+	Workload     string
+	InterpSecs   float64
+	CompiledSecs float64
+	Agree        bool // identical checksums across both tiers
+}
+
+// Speedup is interpreted time over compiled time.
+func (r CompiledRow) Speedup() float64 {
+	if r.CompiledSecs == 0 {
+		return 0
+	}
+	return r.InterpSecs / r.CompiledSecs
+}
+
+// RunCompiled measures the compiled execution tier against the interpreter
+// on three workload shapes: the scheduler's mixed query/update trace, a
+// scan-heavy successor sweep, and full-relation enumeration through
+// Query's collect path. Each workload runs twice on fresh relations that
+// differ only in the CompilePrograms switch, and must produce identical
+// checksums — the differential guarantee, measured at workload scale.
+func RunCompiled(cfg CompiledConfig) ([]CompiledRow, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	rows := make([]CompiledRow, 0, 3)
+	for _, w := range []struct {
+		name string
+		run  func(r *core.Relation) (int64, error)
+	}{
+		{"scheduler trace", schedulerTraceWork(cfg.Scale)},
+		{"graph successors", graphSuccessorWork(cfg.Scale)},
+		{"graph enumerate", graphEnumerateWork(cfg.Scale)},
+	} {
+		row := CompiledRow{Workload: w.name}
+		var sums [2]int64
+		for i, compile := range []bool{false, true} {
+			r, err := newCompiledBenchRelation(w.name)
+			if err != nil {
+				return nil, err
+			}
+			r.CompilePrograms = compile
+			start := time.Now()
+			sum, err := w.run(r)
+			if err != nil {
+				return nil, fmt.Errorf("%s (compile=%v): %w", w.name, compile, err)
+			}
+			secs := time.Since(start).Seconds()
+			sums[i] = sum
+			if compile {
+				row.CompiledSecs = secs
+			} else {
+				row.InterpSecs = secs
+			}
+		}
+		row.Agree = sums[0] == sums[1]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func newCompiledBenchRelation(workload string) (*core.Relation, error) {
+	if workload == "scheduler trace" {
+		return core.New(SchedulerSpec(), paperex.SchedulerDecomp())
+	}
+	return core.New(GraphSpec(), paperex.GraphDecomp5())
+}
+
+// schedulerTraceWork replays the §6.1 scheduler trace — point updates,
+// keyed lookups, and state/namespace scans — and returns its checksum.
+func schedulerTraceWork(scale int) func(r *core.Relation) (int64, error) {
+	ops := workload.SchedulerTrace(60_000*scale, 8, 200, 17)
+	return func(r *core.Relation) (int64, error) {
+		_, checksum, err := RunSchedulerBench(r, ops)
+		return checksum, err
+	}
+}
+
+// graphSuccessorWork loads a road network and repeatedly streams every
+// node's successor list — the pure scan shape where per-row dispatch cost
+// dominates and the compiled tier helps most.
+func graphSuccessorWork(scale int) func(r *core.Relation) (int64, error) {
+	const gridN = 24
+	edges := workload.RoadNetwork(gridN, 11)
+	nodes := workload.NodeCount(gridN)
+	return func(r *core.Relation) (int64, error) {
+		for _, e := range edges {
+			if err := r.Insert(paperex.EdgeTuple(e.Src, e.Dst, e.Weight)); err != nil {
+				return 0, err
+			}
+		}
+		r.Reprofile()
+		var checksum int64
+		for round := 0; round < 60*scale; round++ {
+			for v := 0; v < nodes; v++ {
+				err := r.QueryFunc(relation.NewTuple(relation.BindInt("src", int64(v))),
+					[]string{"dst", "weight"}, func(t relation.Tuple) bool {
+						checksum += t.MustGet("dst").Int() + t.MustGet("weight").Int()
+						return true
+					})
+				if err != nil {
+					return 0, err
+				}
+			}
+		}
+		return checksum, nil
+	}
+}
+
+// graphEnumerateWork exercises Query's materializing collect path — fused
+// projection + dedup in the compiled tier — by repeatedly enumerating a
+// two-column projection of the whole edge relation.
+func graphEnumerateWork(scale int) func(r *core.Relation) (int64, error) {
+	const gridN = 24
+	edges := workload.RoadNetwork(gridN, 11)
+	return func(r *core.Relation) (int64, error) {
+		for _, e := range edges {
+			if err := r.Insert(paperex.EdgeTuple(e.Src, e.Dst, e.Weight)); err != nil {
+				return 0, err
+			}
+		}
+		r.Reprofile()
+		var checksum int64
+		for round := 0; round < 40*scale; round++ {
+			res, err := r.Query(relation.NewTuple(), []string{"src", "dst"})
+			if err != nil {
+				return 0, err
+			}
+			for _, t := range res {
+				checksum += t.MustGet("src").Int() ^ t.MustGet("dst").Int()
+			}
+		}
+		return checksum, nil
+	}
+}

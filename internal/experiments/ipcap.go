@@ -68,6 +68,9 @@ func Fig13(cfg Fig13Config) ([]Fig13Row, error) {
 		Palette:        cfg.Palette,
 		MaxAssignments: cfg.MaxAssignments,
 		Timeout:        cfg.Timeout,
+		// The figure ranks candidates by wall-clock seconds; concurrent
+		// candidates would time each other's contention, so sweep serially.
+		Workers: 1,
 	}, func(r *core.Relation, deadline time.Time) (float64, error) {
 		return RunIpcapBench(r, trace, cfg.FlushEvery, deadline)
 	})

@@ -207,6 +207,31 @@ func (n *Node) UnitAt(in *Instance, u *decomp.Unit) relation.Tuple {
 	return n.slots[in.unitSlots[u]].unit
 }
 
+// SlotOfEdge resolves map edge e to its slot index, for compiled query
+// programs that capture the index once instead of re-resolving the edge on
+// every row. Slot layout is a pure function of the decomposition (New walks
+// primitives in the same preorder for every instance), so an index resolved
+// against one instance is valid for every instance of the same decomposition
+// — which is what lets shards share one compiled program.
+func (in *Instance) SlotOfEdge(e *decomp.MapEdge) (int, bool) {
+	i, ok := in.edgeSlots[e]
+	return i, ok
+}
+
+// SlotOfUnit resolves unit primitive u to its slot index; see SlotOfEdge for
+// the cross-instance validity guarantee.
+func (in *Instance) SlotOfUnit(u *decomp.Unit) (int, bool) {
+	i, ok := in.unitSlots[u]
+	return i, ok
+}
+
+// MapAtSlot returns the data structure at a slot index resolved by
+// SlotOfEdge — MapAt without the per-call edge→slot map lookup.
+func (n *Node) MapAtSlot(i int) dstruct.Map[*Node] { return n.slots[i].m }
+
+// UnitAtSlot returns the unit tuple at a slot index resolved by SlotOfUnit.
+func (n *Node) UnitAtSlot(i int) relation.Tuple { return n.slots[i].unit }
+
 // Refs returns the node's reference count (incoming edge instances); the
 // root is held alive by the instance itself.
 func (n *Node) Refs() int { return n.refs }

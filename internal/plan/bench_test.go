@@ -1,0 +1,218 @@
+package plan_test
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/paperex"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// benchGraph builds a graph5 instance with n×fan edges: n sources with fan
+// successors each. Scan-heavy queries over it are the shape the compiled
+// tier exists to accelerate.
+func benchGraph(b *testing.B, n, fan int) *instance.Instance {
+	b.Helper()
+	in := instance.New(paperex.GraphDecomp5(), paperex.GraphFDs())
+	for src := 0; src < n; src++ {
+		for i := 0; i < fan; i++ {
+			if _, err := in.Insert(paperex.EdgeTuple(int64(src), int64((src+i+1)%n), int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return in
+}
+
+// benchPlan picks the best plan for input → output and compiles it; the
+// interpreted and compiled benchmarks below run the identical plan tree.
+func benchPlan(b *testing.B, in *instance.Instance, input, output relation.Cols) (*plan.Candidate, *plan.Program) {
+	b.Helper()
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+	cand, err := pl.Best(input, output)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := plan.Compile(in, cand.Op, input, output)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cand, prog
+}
+
+// The forward-scan shape: fixed src, scan its successor list, emit
+// (dst, weight) — Figure 11's F benchmark inner loop.
+
+func BenchmarkScanInterpreted(b *testing.B) {
+	in := benchGraph(b, 64, 64)
+	input, output := cols("src"), cols("dst", "weight")
+	cand, _ := benchPlan(b, in, input, output)
+	pat := relation.NewTuple(relation.BindInt("src", 7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
+			n++
+			return true
+		})
+		if n != 64 {
+			b.Fatalf("scan saw %d rows", n)
+		}
+	}
+}
+
+func BenchmarkScanCompiled(b *testing.B) {
+	in := benchGraph(b, 64, 64)
+	input, output := cols("src"), cols("dst", "weight")
+	_, prog := benchPlan(b, in, input, output)
+	pat := relation.NewTuple(relation.BindInt("src", 7))
+	n := 0
+	f := func(t relation.Tuple) bool {
+		n++
+		return true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		prog.StreamView(in, pat, f)
+		if n != 64 {
+			b.Fatalf("scan saw %d rows", n)
+		}
+	}
+}
+
+// The full-enumeration shape: no input, traverse everything and emit all
+// three columns. On graph5 the best plan is a nested scan (src, then dst).
+
+func BenchmarkEnumerateInterpreted(b *testing.B) {
+	in := benchGraph(b, 64, 32)
+	input, output := cols(), cols("src", "dst", "weight")
+	cand, _ := benchPlan(b, in, input, output)
+	pat := relation.NewTuple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
+			n++
+			return true
+		})
+		if n != 64*32 {
+			b.Fatalf("enumeration saw %d rows", n)
+		}
+	}
+}
+
+func BenchmarkEnumerateCompiled(b *testing.B) {
+	in := benchGraph(b, 64, 32)
+	input, output := cols(), cols("src", "dst", "weight")
+	_, prog := benchPlan(b, in, input, output)
+	pat := relation.NewTuple()
+	n := 0
+	f := func(t relation.Tuple) bool {
+		n++
+		return true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		prog.StreamView(in, pat, f)
+		if n != 64*32 {
+			b.Fatalf("enumeration saw %d rows", n)
+		}
+	}
+}
+
+// The join shape: the scheduler's 〈ns, state〉 → {pid} query of §4.1, whose
+// best plan under measured stats joins both sides of the root.
+
+func schedJoinBench(b *testing.B) (*instance.Instance, relation.Tuple, relation.Cols, relation.Cols) {
+	b.Helper()
+	in := instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	for ns := 0; ns < 16; ns++ {
+		for pid := 0; pid < 32; pid++ {
+			state := paperex.StateS
+			if pid%4 == 0 {
+				state = paperex.StateR
+			}
+			if _, err := in.Insert(paperex.SchedulerTuple(int64(ns), int64(pid), state, int64(pid))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	pat := relation.NewTuple(relation.BindInt("ns", 7), relation.BindInt("state", paperex.StateR))
+	return in, pat, cols("ns", "state"), cols("pid")
+}
+
+func BenchmarkJoinInterpreted(b *testing.B) {
+	in, pat, input, output := schedJoinBench(b)
+	cand, _ := benchPlan(b, in, input, output)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
+			n++
+			return true
+		})
+		if n != 8 {
+			b.Fatalf("join saw %d rows", n)
+		}
+	}
+}
+
+func BenchmarkJoinCompiled(b *testing.B) {
+	in, pat, input, output := schedJoinBench(b)
+	_, prog := benchPlan(b, in, input, output)
+	n := 0
+	f := func(t relation.Tuple) bool {
+		n++
+		return true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		prog.StreamView(in, pat, f)
+		if n != 8 {
+			b.Fatalf("join saw %d rows", n)
+		}
+	}
+}
+
+// The Collect shape: dedup + materialization included, as Relation.Query
+// runs it. Compiled Collect fuses projection and dedup into the emit loop.
+
+func BenchmarkCollectInterpreted(b *testing.B) {
+	in := benchGraph(b, 64, 64)
+	input, output := cols("src"), cols("dst")
+	cand, _ := benchPlan(b, in, input, output)
+	pat := relation.NewTuple(relation.BindInt("src", 7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := plan.CollectSized(in, cand.Op, pat, output, cand.EstimatedRows())
+		if len(res) != 64 {
+			b.Fatalf("collect saw %d rows", len(res))
+		}
+	}
+}
+
+func BenchmarkCollectCompiled(b *testing.B) {
+	in := benchGraph(b, 64, 64)
+	input, output := cols("src"), cols("dst")
+	cand, prog := benchPlan(b, in, input, output)
+	pat := relation.NewTuple(relation.BindInt("src", 7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := prog.Collect(in, pat, cand.EstimatedRows())
+		if len(res) != 64 {
+			b.Fatalf("collect saw %d rows", len(res))
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package plan_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/fd"
+	"repro/internal/instance"
+	"repro/internal/paperex"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// sortedKeys renders a tuple multiset as sorted canonical keys, so two
+// executions can be compared without assuming a traversal order.
+func sortedKeys(ts []relation.Tuple) []string {
+	keys := make([]string, len(ts))
+	for i, t := range ts {
+		keys[i] = t.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledDifferential is the compiled tier's oracle test: every
+// Check-valid candidate plan for every input column subset of both corpus
+// fixtures must (a) compile, and (b) produce — for hit and miss patterns,
+// for the full bound-column output and a strict subset of it — exactly the
+// interpreter's results, both through the deduplicating Collect path and as
+// a raw streamed multiset.
+func TestCompiledDifferential(t *testing.T) {
+	fixtures := []struct {
+		name string
+		mk   func() *instance.Instance
+		gen  func(r *rand.Rand) relation.Tuple
+	}{
+		{"scheduler", func() *instance.Instance {
+			return instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+		}, func(r *rand.Rand) relation.Tuple {
+			return paperex.SchedulerTuple(int64(r.Intn(3)), int64(r.Intn(4)),
+				[]int64{paperex.StateR, paperex.StateS}[r.Intn(2)], int64(r.Intn(6)))
+		}},
+		{"graph5", func() *instance.Instance {
+			return instance.New(paperex.GraphDecomp5(), paperex.GraphFDs())
+		}, func(r *rand.Rand) relation.Tuple {
+			return paperex.EdgeTuple(int64(r.Intn(4)), int64(r.Intn(4)), int64(r.Intn(4)))
+		}},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(307))
+			in := fx.mk()
+			oracle := relation.Empty(in.Decomp().Cols())
+			for i := 0; i < 40; i++ {
+				tup := fx.gen(rnd)
+				if !in.FDs().HoldsOnInsert(oracle, tup) {
+					continue
+				}
+				_ = oracle.Insert(tup)
+				if _, err := in.Insert(tup); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pl := plan.NewPlanner(in.Decomp(), in.FDs(), plan.MeasuredStats(in))
+			names := in.Decomp().Cols().Names()
+			full := oracle.All()
+			compiled := 0
+			for inMask := 0; inMask < 1<<len(names); inMask++ {
+				var inCols []string
+				for i, n := range names {
+					if inMask&(1<<i) != 0 {
+						inCols = append(inCols, n)
+					}
+				}
+				input := cols(inCols...)
+				patterns := []relation.Tuple{
+					full[rnd.Intn(len(full))].Project(input),
+					fx.gen(rnd).Project(input),
+				}
+				for _, cand := range pl.All(input) {
+					b, err := plan.Check(in.Decomp(), in.FDs(), cand.Op, input)
+					if err != nil {
+						continue // planner-internal intermediate, not executable standalone
+					}
+					outputs := []relation.Cols{b}
+					if b.Len() > 1 {
+						outputs = append(outputs, cols(b.Names()[0]))
+					}
+					for _, output := range outputs {
+						prog, err := plan.Compile(in, cand.Op, input, output)
+						if err != nil {
+							t.Fatalf("input %v plan %s: compile failed: %v", input, cand.Op, err)
+						}
+						compiled++
+						for _, pat := range patterns {
+							got := prog.Collect(in, pat, 0)
+							want := plan.Collect(in, cand.Op, pat, output)
+							if !sameKeys(sortedKeys(got), sortedKeys(want)) {
+								t.Fatalf("input %v → %v plan %s pattern %v:\ncompiled %v\ninterp   %v",
+									input, output, cand.Op, pat, got, want)
+							}
+							var gotS, wantS []relation.Tuple
+							prog.Stream(in, pat, func(t relation.Tuple) bool {
+								gotS = append(gotS, t)
+								return true
+							})
+							plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
+								wantS = append(wantS, t.Project(output))
+								return true
+							})
+							if !sameKeys(sortedKeys(gotS), sortedKeys(wantS)) {
+								t.Fatalf("input %v → %v plan %s pattern %v: streamed multisets differ:\ncompiled %v\ninterp   %v",
+									input, output, cand.Op, pat, gotS, wantS)
+							}
+						}
+					}
+				}
+			}
+			if compiled == 0 {
+				t.Fatal("no plans compiled")
+			}
+			t.Logf("%d (plan, output) pairs compiled and verified", compiled)
+		})
+	}
+}
+
+// TestCompiledEmptyInstance runs the corpus decompositions empty: every
+// valid plan must agree with the interpreter when no tuple was ever
+// inserted (fresh maps, never-written unit slots).
+func TestCompiledEmptyInstance(t *testing.T) {
+	for _, mk := range []func() *instance.Instance{
+		func() *instance.Instance {
+			return instance.New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+		},
+		func() *instance.Instance {
+			return instance.New(paperex.GraphDecomp5(), paperex.GraphFDs())
+		},
+	} {
+		in := mk()
+		pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+		input := cols()
+		for _, cand := range pl.All(input) {
+			b, err := plan.Check(in.Decomp(), in.FDs(), cand.Op, input)
+			if err != nil {
+				continue
+			}
+			prog, err := plan.Compile(in, cand.Op, input, b)
+			if err != nil {
+				t.Fatalf("plan %s: compile failed: %v", cand.Op, err)
+			}
+			got := prog.Collect(in, relation.NewTuple(), 0)
+			want := plan.Collect(in, cand.Op, relation.NewTuple(), b)
+			if !sameKeys(sortedKeys(got), sortedKeys(want)) {
+				t.Fatalf("empty instance, plan %s: compiled %v, interp %v", cand.Op, got, want)
+			}
+		}
+	}
+}
+
+// unitRootDecomp is the degenerate decomposition whose root is a bare unit
+// holding the whole (at most one) tuple — legal under the FD ∅ → {a, b}. On
+// an empty instance its unit tuple is empty, which is the one place partial
+// unit tuples reach query execution; the compiled slow path must reproduce
+// the interpreter's Matches/Merge semantics on them exactly.
+func unitRootDecomp() (*decomp.Decomp, fd.Set) {
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("x", nil, []string{"a", "b"}, decomp.U("a", "b")),
+	}, "x")
+	fds := fd.NewSet(fd.FD{From: relation.NewCols(), To: relation.NewCols("a", "b")})
+	return d, fds
+}
+
+func TestCompiledPartialUnit(t *testing.T) {
+	d, fds := unitRootDecomp()
+	in := instance.New(d, fds)
+	pl := plan.NewPlanner(d, fds, nil)
+	patterns := []relation.Tuple{
+		relation.NewTuple(),
+		relation.NewTuple(relation.BindInt("a", 5)),
+		relation.NewTuple(relation.BindInt("a", 5), relation.BindInt("b", 6)),
+	}
+	check := func(stage string) {
+		for _, pat := range patterns {
+			for _, cand := range pl.All(pat.Dom()) {
+				b, err := plan.Check(d, fds, cand.Op, pat.Dom())
+				if err != nil {
+					continue
+				}
+				prog, err := plan.Compile(in, cand.Op, pat.Dom(), b)
+				if err != nil {
+					t.Fatalf("%s: compile failed: %v", stage, err)
+				}
+				got := prog.Collect(in, pat, 0)
+				want := plan.Collect(in, cand.Op, pat, b)
+				if !sameKeys(sortedKeys(got), sortedKeys(want)) {
+					t.Fatalf("%s pattern %v: compiled %v, interp %v", stage, pat, got, want)
+				}
+				// Run the same pooled program again: unset flags from the
+				// partial run must not leak into the next execution.
+				again := prog.Collect(in, pat, 0)
+				if !sameKeys(sortedKeys(again), sortedKeys(got)) {
+					t.Fatalf("%s pattern %v: second run diverged: %v vs %v", stage, pat, again, got)
+				}
+			}
+		}
+	}
+	check("empty")
+	if _, err := in.Insert(relation.NewTuple(relation.BindInt("a", 5), relation.BindInt("b", 6))); err != nil {
+		t.Fatal(err)
+	}
+	check("populated")
+}
+
+// TestCompiledEarlyStop verifies that an emit callback returning false stops
+// the whole compiled traversal, exactly like the interpreter's propagation.
+func TestCompiledEarlyStop(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols(), in.Decomp().Cols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(in, cand.Op, cols(), in.Decomp().Cols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	done := prog.Stream(in, relation.NewTuple(), func(relation.Tuple) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early-stopped compiled execution emitted %d tuples, want 1", count)
+	}
+	if done {
+		t.Errorf("Stream reported completion despite the early stop")
+	}
+	// A full run over the same pooled program must still see everything.
+	count = 0
+	done = prog.Stream(in, relation.NewTuple(), func(relation.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 3 || !done {
+		t.Errorf("full run after early stop emitted %d tuples (done=%v), want 3 (true)", count, done)
+	}
+}
+
+// TestCompiledStreamView verifies the view-tuple contract: the values are
+// right while the callback runs, and projecting copies them out safely.
+func TestCompiledStreamView(t *testing.T) {
+	in := schedInstance(t)
+	out := in.Decomp().Cols()
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := plan.Compile(in, cand.Op, cols(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaView []relation.Tuple
+	prog.StreamView(in, relation.NewTuple(), func(t relation.Tuple) bool {
+		viaView = append(viaView, t.Project(out)) // copy out of the view
+		return true
+	})
+	var viaStream []relation.Tuple
+	prog.Stream(in, relation.NewTuple(), func(t relation.Tuple) bool {
+		viaStream = append(viaStream, t)
+		return true
+	})
+	if !sameKeys(sortedKeys(viaView), sortedKeys(viaStream)) {
+		t.Errorf("StreamView results %v differ from Stream results %v", viaView, viaStream)
+	}
+}
+
+// TestCompileRejectsUnboundLookupKey: a hand-built plan that looks up a key
+// the input does not bind must fail to compile (the same shape plan.Check
+// rejects), so the engine can fall back to the interpreter.
+func TestCompileRejectsUnboundLookupKey(t *testing.T) {
+	in := schedInstance(t)
+	d := in.Decomp()
+	edgeXY := d.EdgesOf("x")[0] // x –ns→ y
+	edgeYW := d.EdgesOf("y")[0] // y –pid→ w
+	unitW := d.UnitsOf("w")[0]
+	bad := &plan.LR{Side: plan.Left, Sub: &plan.Lookup{Edge: edgeXY, Sub: &plan.Scan{Edge: edgeYW, Sub: &plan.Unit{U: unitW}}}}
+	if _, err := plan.Compile(in, bad, cols("state"), cols("cpu")); err == nil {
+		t.Errorf("compiled a lookup with an unbound key")
+	}
+	// The same plan compiles when ns is an input column.
+	if _, err := plan.Compile(in, bad, cols("ns"), cols("cpu")); err != nil {
+		t.Errorf("valid plan failed to compile: %v", err)
+	}
+}
+
+// TestCompileRejectsUnboundOutput: requesting an output column the plan
+// never binds is a compile error, not a silent empty column.
+func TestCompileRejectsUnboundOutput(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols("ns", "pid"), cols("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Compile(in, cand.Op, cols("ns", "pid"), cols("nonexistent")); err == nil {
+		t.Errorf("compiled a program for an output column the plan never binds")
+	}
+}
+
+// TestEstimateRows pins the satellite fix: Collect with no caller hint uses
+// the planner's default-statistics estimate, clamped like EstimatedRows.
+func TestEstimateRows(t *testing.T) {
+	in := schedInstance(t)
+	pl := plan.NewPlanner(in.Decomp(), in.FDs(), nil)
+	cand, err := pl.Best(cols(), in.Decomp().Cols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := plan.EstimateRows(in.Decomp(), cand.Op)
+	if got < 1 || got > 1<<12 {
+		t.Errorf("EstimateRows = %d, outside the [1, 4096] clamp", got)
+	}
+	// A lookup-only plan yields at most one row per constraint.
+	point, err := pl.Best(cols("ns", "pid"), cols("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.EstimateRows(in.Decomp(), point.Op); got != 1 {
+		t.Errorf("EstimateRows(point plan) = %d, want 1", got)
+	}
+}

@@ -75,6 +75,13 @@ type Candidate struct {
 	// plan is a pure lookup chain (no scans, no joins) and therefore yields
 	// at most one result per constraint. Nil otherwise.
 	Point *PointPlan
+
+	// Prog is the general compiled form of Op (see Compile): a closure
+	// program handling every operator shape, including scans and joins. It
+	// is not set by Best — the engine compiles it lazily when it caches the
+	// candidate, because compilation needs an instance and the output
+	// columns. Nil means "use the interpreter".
+	Prog *Program
 }
 
 // EstimatedRows returns the planner's row estimate for the candidate,
@@ -209,6 +216,17 @@ func (pl *Planner) enumerate(prim decomp.Primitive, a relation.Cols) []Candidate
 	default:
 		panic(fmt.Sprintf("plan: unknown primitive %T", prim))
 	}
+}
+
+// EstimateRows returns the row estimate for op on decomposition d under
+// default statistics, clamped exactly like Candidate.EstimatedRows. It lets
+// callers that hold a bare plan (no Candidate) size result buffers the same
+// way the engine does.
+func EstimateRows(d *decomp.Decomp, op Op) int {
+	pl := &Planner{d: d, stats: DefaultStats}
+	_, rows := pl.estimate(op, d.RootBinding().Def)
+	c := Candidate{rows: rows}
+	return c.EstimatedRows()
 }
 
 // Estimate recomputes the cost of an existing plan under the planner's

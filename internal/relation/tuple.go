@@ -50,6 +50,17 @@ func NewTuple(bs ...Binding) Tuple {
 // Bind is shorthand for Binding{col, v}.
 func Bind(col string, v value.Value) Binding { return Binding{Col: col, Val: v} }
 
+// SortedTuple wraps pre-sorted parallel column/value slices as a Tuple
+// without copying or validation: cols must be strictly sorted ascending and
+// vals[i] is the value of cols[i]. The tuple aliases both slices, so the
+// caller must treat them as frozen for the tuple's lifetime (or, for
+// transient lookup keys, until the callee returns). It is the zero-cost
+// constructor for hot paths — compiled query programs that already hold
+// values in column order — where NewTuple's sort and copy would dominate.
+func SortedTuple(cols []string, vals []value.Value) Tuple {
+	return Tuple{cols: cols, vals: vals}
+}
+
 // BindInt binds col to the integer v.
 func BindInt(col string, v int64) Binding { return Binding{Col: col, Val: value.OfInt(v)} }
 
