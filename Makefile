@@ -5,16 +5,27 @@
 GO ?= go
 BENCH ?= .
 COUNT ?= 6
+FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled fmt-check
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled fmt-check faultinject
 
-ci: vet build race
+ci: vet build race faultinject
 
 # The race gate plus an explicit rerun of the compiled-vs-interpreter
 # differential tests (plan-level and engine-level) — the properties that
-# must hold before anything touching the compiled tier merges.
+# must hold before anything touching the compiled tier merges — and the
+# concurrent fault-injection schedule, whose containment paths (fan-out
+# recover, lock release on contained panics) are what -race is for.
 ci-race: vet build race
 	$(GO) test -race -count 2 -run 'Differential' ./internal/plan ./internal/core
+	$(GO) test -race -count 2 -run 'Concurrent|Randomized' ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
+
+# The fault-injection gate: exhaustive per-step injection over the harness
+# corpus plus FAULTSEEDS randomized schedules per case. `make ci` runs it
+# with the default seed count; raise FAULTSEEDS for a soak.
+faultinject:
+	$(GO) test -count 1 ./internal/faultinject
+	$(GO) test -count 1 ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,115 @@
+package core
+
+// This file is the failure-semantics boundary of the engine tiers. Every
+// mutation on a Relation is atomic: the instance layer plans before it
+// writes and rolls written state back through its undo log on error or
+// panic, and here escaping panics become ordinary errors instead of
+// unwinding through a tier's lock. The one unmaskable failure — a rollback
+// that itself fails — poisons the relation: it degrades to read-only,
+// rejecting further mutations with ErrPoisoned while still serving queries.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/relation"
+)
+
+// ErrPoisoned reports that a relation's undo-log rollback failed at some
+// earlier point, so its instance may be torn. A poisoned relation rejects
+// every mutation and keeps serving (best-effort) queries.
+var ErrPoisoned = errors.New("core: relation is poisoned (a rollback failed; state may be torn)")
+
+// PanicError is a panic recovered at the engine API boundary: a crash in
+// plan execution, a data structure, or an injected fault. By the time the
+// caller sees it, the instance has already been rolled back — or the
+// relation poisoned when rolling back failed.
+type PanicError struct {
+	Op    string // the API operation, e.g. "insert"
+	Value any    // the recovered panic value
+	Stack []byte // stack at recovery, for diagnostics
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic during %s: %v", e.Op, e.Value)
+}
+
+// Unwrap exposes a panic value that already was an error (for example an
+// injected fault), so errors.Is and errors.As see through the containment
+// wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// containRead converts a panic escaping a read-only operation into an error.
+// Deferred at the top of every query path; it never writes relation state,
+// so it is safe under a read lock.
+func containRead(op string, err *error) {
+	if p := recover(); p != nil {
+		*err = &PanicError{Op: op, Value: p, Stack: debug.Stack()}
+	}
+}
+
+// containMut is the mutation-side boundary: it converts an escaping panic to
+// an error and, whenever the instance reports a failed rollback — whether
+// the failure surfaced as a panic or as a returned error — poisons the
+// relation. Deferred while the tier's write lock is held, so the flag needs
+// no further synchronization.
+func (r *Relation) containMut(op string, err *error) {
+	p := recover()
+	if p != nil {
+		*err = &PanicError{Op: op, Value: p, Stack: debug.Stack()}
+	}
+	if r.inst.Torn() && !r.poisoned {
+		r.poisoned = true
+		if *err == nil {
+			*err = ErrPoisoned
+		}
+	}
+}
+
+// Poisoned reports whether a failed rollback has degraded the relation to
+// read-only.
+func (r *Relation) Poisoned() bool { return r.poisoned }
+
+// removeContained is instance.RemoveTuple with panics converted to errors,
+// for compound mutations that must compensate for already-applied steps
+// before returning. The instance itself is already rolled back either way.
+func (r *Relation) removeContained(t relation.Tuple) (ok bool, err error) {
+	defer containRead("remove", &err)
+	return r.inst.RemoveTuple(t)
+}
+
+// insertContained is instance.Insert with panics converted to errors.
+func (r *Relation) insertContained(t relation.Tuple) (ok bool, err error) {
+	defer containRead("insert", &err)
+	return r.inst.Insert(t)
+}
+
+// compensateInsert restores tuples that an aborted compound mutation had
+// already removed, most recent first. The tuples were just removed from a
+// well-formed instance, so re-insertion must succeed; if it does not (only
+// reachable when the substrate keeps failing), the relation is poisoned.
+func (r *Relation) compensateInsert(ts []relation.Tuple) {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ok, err := r.insertContained(ts[i]); err != nil || !ok {
+			r.poisoned = true
+			return
+		}
+	}
+}
+
+// compensateRemove is the inverse: it removes tuples an aborted compound
+// mutation had already inserted, most recent first, poisoning on failure.
+func (r *Relation) compensateRemove(ts []relation.Tuple) {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ok, err := r.removeContained(ts[i]); err != nil || !ok {
+			r.poisoned = true
+			return
+		}
+	}
+}

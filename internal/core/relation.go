@@ -43,6 +43,10 @@ type Relation struct {
 	// CachePlans off, which disables promotion) pins every query to the
 	// interpreter — the ablation the differential tests and benchmarks use.
 	CompilePrograms bool
+
+	// poisoned degrades the relation to read-only after a failed rollback;
+	// see ErrPoisoned. Only written under the owning tier's write lock.
+	poisoned bool
 }
 
 // New checks the specification, verifies the decomposition is adequate for
@@ -166,10 +170,22 @@ func (r *Relation) PlanCandidate(input, output []string) (*plan.Candidate, error
 
 // Insert implements insert r t. The tuple must bind exactly the relation's
 // columns with the declared types. With CheckFDs it also verifies the
-// functional dependencies are preserved.
+// functional dependencies are preserved. Insert is atomic: on any error —
+// including a panic from plan execution or a data structure, which is
+// returned as a *PanicError — the relation is unchanged.
 func (r *Relation) Insert(t relation.Tuple) error {
+	_, err := r.insert(t)
+	return err
+}
+
+// insert is Insert reporting whether the relation changed, for batch undo.
+func (r *Relation) insert(t relation.Tuple) (changed bool, err error) {
+	if r.poisoned {
+		return false, ErrPoisoned
+	}
+	defer r.containMut("insert", &err)
 	if err := r.spec.CheckTuple(t, true); err != nil {
-		return err
+		return false, err
 	}
 	if r.CheckFDs {
 		for _, f := range r.spec.FDs.All() {
@@ -179,22 +195,22 @@ func (r *Relation) Insert(t relation.Tuple) error {
 				return !conflict
 			})
 			if err != nil {
-				return err
+				return false, err
 			}
 			if conflict {
-				return fmt.Errorf("core: insert of %v violates FD %v", t, f)
+				return false, fmt.Errorf("core: insert of %v violates FD %v", t, f)
 			}
 		}
 	}
-	_, err := r.inst.Insert(t)
-	return err
+	return r.inst.Insert(t)
 }
 
 // Query implements query r s C: it returns π_C of the tuples extending s,
 // de-duplicated and in deterministic order. It is a convenience wrapper;
 // performance-sensitive clients should use QueryFunc, which streams like
 // the paper's generated iterators.
-func (r *Relation) Query(s relation.Tuple, out []string) ([]relation.Tuple, error) {
+func (r *Relation) Query(s relation.Tuple, out []string) (res []relation.Tuple, err error) {
+	defer containRead("query", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return nil, err
 	}
@@ -216,7 +232,8 @@ func (r *Relation) Query(s relation.Tuple, out []string) ([]relation.Tuple, erro
 // iterators: f is called with π_C(t) for each matching tuple t, stopping if
 // f returns false. Like the paper's constant-space query execution it does
 // not eliminate duplicate projections.
-func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tuple) bool) error {
+func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tuple) bool) (err error) {
+	defer containRead("query", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return err
 	}
@@ -249,7 +266,8 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 // may be nil for a half-open range. When the chosen plan scans an ordered
 // structure keyed by col, the bound turns into a seek instead of a filter.
 // Results are de-duplicated and deterministic, like Query.
-func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
+func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value, out []string) (res []relation.Tuple, rerr error) {
+	defer containRead("query-range", &rerr)
 	cand, outCols, err := r.rangePlan(s, col, out)
 	if err != nil {
 		return nil, err
@@ -259,7 +277,7 @@ func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value,
 	// plan.CollectSized; duplicate projections cost no allocation.
 	hint := cand.EstimatedRows()
 	seen := make(map[string]struct{}, hint)
-	res := make([]relation.Tuple, 0, hint)
+	res = make([]relation.Tuple, 0, hint)
 	var buf []byte
 	r.execRange(cand, s, lo, hi, col, func(t relation.Tuple) bool {
 		p := t.Project(outCols)
@@ -275,7 +293,8 @@ func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value,
 }
 
 // QueryRangeFunc is the streaming form of QueryRange.
-func (r *Relation) QueryRangeFunc(s relation.Tuple, col string, lo, hi *value.Value, out []string, f func(relation.Tuple) bool) error {
+func (r *Relation) QueryRangeFunc(s relation.Tuple, col string, lo, hi *value.Value, out []string, f func(relation.Tuple) bool) (rerr error) {
+	defer containRead("query-range", &rerr)
 	cand, outCols, err := r.rangePlan(s, col, out)
 	if err != nil {
 		return err
@@ -323,32 +342,53 @@ func (r *Relation) execRange(cand *plan.Candidate, s relation.Tuple, lo, hi *val
 // Remove implements remove r s: it removes every tuple extending s and
 // returns how many were removed. Per §4.5 it finds the doomed tuples with a
 // query plan and breaks the edges crossing the decomposition cut for each.
+// The whole pattern removal is atomic: a failure partway through the doomed
+// list re-inserts the already-removed prefix before returning the error.
 func (r *Relation) Remove(s relation.Tuple) (int, error) {
+	removed, err := r.remove(s)
+	return len(removed), err
+}
+
+// remove is Remove returning the removed tuples themselves, for batch undo.
+func (r *Relation) remove(s relation.Tuple) (removed []relation.Tuple, err error) {
+	if r.poisoned {
+		return nil, ErrPoisoned
+	}
+	defer r.containMut("remove", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
-		return 0, err
+		return nil, err
 	}
 	var doomed []relation.Tuple
 	if err := r.queryFunc(s, r.spec.Cols(), func(t relation.Tuple) bool {
 		doomed = append(doomed, t.Project(r.spec.Cols()))
 		return true
 	}); err != nil {
-		return 0, err
+		return nil, err
 	}
-	n := 0
 	for _, t := range doomed {
-		if r.inst.RemoveTuple(t) {
-			n++
+		ok, rerr := r.removeContained(t)
+		if rerr != nil {
+			r.compensateInsert(removed)
+			return nil, rerr
+		}
+		if ok {
+			removed = append(removed, t)
 		}
 	}
-	return n, nil
+	return removed, nil
 }
 
 // Update implements the restricted dupdate of §4.5: the pattern s must be a
 // key for the relation (∆ ⊢ dom s → columns) and u must not bind any column
 // of s. It updates in place when the touched columns live only in unit
-// nodes below the cut; otherwise it removes and reinserts. It returns the
-// number of tuples updated (0 or 1, since s is a key).
-func (r *Relation) Update(s, u relation.Tuple) (int, error) {
+// nodes below the cut; otherwise it removes and reinserts — atomically: a
+// failed reinsert restores the removed tuple before the error is returned.
+// It returns the number of tuples updated (0 or 1, since s is a key).
+func (r *Relation) Update(s, u relation.Tuple) (n int, err error) {
+	if r.poisoned {
+		return 0, ErrPoisoned
+	}
+	defer r.containMut("update", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return 0, err
 	}
@@ -378,12 +418,31 @@ func (r *Relation) Update(s, u relation.Tuple) (int, error) {
 			return 0, err
 		}
 	}
-	if r.inst.UpdateInPlace(match, u) {
+	ok, uerr := r.inst.UpdateInPlace(match, u)
+	if uerr != nil {
+		return 0, uerr
+	}
+	if ok {
 		return 1, nil
 	}
-	r.inst.RemoveTuple(match)
-	if _, err := r.inst.Insert(merged); err != nil {
-		return 0, err
+	return r.replace(match, merged)
+}
+
+// replace is the remove+reinsert fallback of dupdate, made atomic: the
+// stored tuple match is removed and merged inserted; if the insert fails,
+// the removed tuple is restored before the error is returned, so the
+// relation never exposes the intermediate state with neither tuple.
+func (r *Relation) replace(match, merged relation.Tuple) (int, error) {
+	removed, rerr := r.removeContained(match)
+	if rerr != nil {
+		return 0, rerr
+	}
+	if !removed {
+		return 0, nil
+	}
+	if _, ierr := r.insertContained(merged); ierr != nil {
+		r.compensateInsert([]relation.Tuple{match})
+		return 0, ierr
 	}
 	return 1, nil
 }

@@ -292,9 +292,11 @@ func (sr *ShardedRelation) QueryRange(pat relation.Tuple, col string, lo, hi *va
 // InsertBatch inserts many tuples, grouping them by shard and applying each
 // group under a single lock acquisition — the per-op lock traffic of N
 // inserts collapses to one acquisition per touched shard, and distinct
-// shards apply their groups in parallel. The batch is not atomic: on error
-// the earlier tuples of the failing shard's group stay inserted and the
-// first error (by shard index) is returned.
+// shards apply their groups in parallel. Each shard's group applies with
+// per-shard undo: on error the failing shard removes the tuples of its group
+// it had already inserted and returns the first error (by shard index),
+// while the other shards' groups commit or roll back independently — a
+// failing shard never strands its peers mid-batch.
 func (sr *ShardedRelation) InsertBatch(ts []relation.Tuple) error {
 	if len(ts) == 0 {
 		return nil
@@ -313,9 +315,15 @@ func (sr *ShardedRelation) InsertBatch(ts []relation.Tuple) error {
 		}
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		var done []relation.Tuple
 		for _, t := range groups[i] {
-			if err := sh.r.Insert(t); err != nil {
+			changed, err := sh.r.insert(t)
+			if err != nil {
+				sh.r.compensateRemove(done)
 				return err
+			}
+			if changed {
+				done = append(done, t)
 			}
 		}
 		return nil
@@ -325,7 +333,9 @@ func (sr *ShardedRelation) InsertBatch(ts []relation.Tuple) error {
 // RemoveBatch removes by many patterns under one lock acquisition per
 // touched shard. Patterns binding the shard key go only to their shard;
 // broadcast patterns run on every shard. It returns the total number of
-// tuples removed; like InsertBatch it is not atomic across shards.
+// tuples removed. Like InsertBatch it applies per-shard undo: a shard whose
+// group fails re-inserts everything its group had removed and contributes
+// zero to the count, without disturbing the other shards' groups.
 func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
 	if len(pats) == 0 {
 		return 0, nil
@@ -338,12 +348,16 @@ func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
 		}
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		var undone []relation.Tuple
 		for _, pat := range groups[i] {
-			n, err := sh.r.Remove(pat)
-			counts[i] += n
+			removed, err := sh.r.remove(pat)
 			if err != nil {
+				sh.r.compensateInsert(undone)
+				counts[i] = 0
 				return err
 			}
+			counts[i] += len(removed)
+			undone = append(undone, removed...)
 		}
 		return nil
 	})
@@ -362,7 +376,8 @@ func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
 // the read and the write take the compiled point paths when the shard key is
 // FD-certified, so a counter increment costs two map descents, not two
 // generic plan executions.
-func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple, found bool) (relation.Tuple, error)) error {
+func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple, found bool) (relation.Tuple, error)) (uerr error) {
+	defer containRead("upsert", &uerr)
 	i, err := sr.ro.mustRoute(pat)
 	if err != nil {
 		return err
@@ -410,7 +425,7 @@ func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple,
 // say) without a global lock. pat must bind the whole shard key, and f must
 // only touch tuples sharing pat's shard-key valuation — tuples routed to
 // other shards are invisible to it.
-func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error) error {
+func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error) (ferr error) {
 	i, err := sr.ro.mustRoute(pat)
 	if err != nil {
 		return err
@@ -418,6 +433,7 @@ func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error
 	sh := &sr.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer containRead("exclusive", &ferr)
 	return f(sh.r)
 }
 
@@ -473,14 +489,37 @@ func (sr *ShardedRelation) All() ([]relation.Tuple, error) {
 	return sr.Query(relation.NewTuple(), sr.spec.Cols().Names())
 }
 
+// Poisoned reports whether any shard has degraded to read-only after a
+// failed rollback. Mutations on the other shards keep working — poisoning
+// is per shard, exactly like the per-shard undo that precedes it.
+func (sr *ShardedRelation) Poisoned() bool {
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.RLock()
+		p := sh.r.Poisoned()
+		sh.mu.RUnlock()
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
 // fanOut runs f once per shard on the bounded worker pool and returns the
 // lowest-indexed error. With a single worker it degenerates to an inline
-// sequential loop — no goroutines, no channel traffic.
+// sequential loop — no goroutines, no channel traffic. Each shard's work is
+// wrapped in panic containment inside the worker itself: a panic in a
+// goroutine cannot be recovered by the caller, so without this a single
+// crashing shard would kill the process and strand its peers' locks.
 func (sr *ShardedRelation) fanOut(f func(int, *relShard) error) error {
+	run := func(i int) (err error) {
+		defer containRead("shard fan-out", &err)
+		return f(i, &sr.shards[i])
+	}
 	if cap(sr.sem) == 1 {
 		var first error
 		for i := range sr.shards {
-			if err := f(i, &sr.shards[i]); err != nil && first == nil {
+			if err := run(i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -496,7 +535,7 @@ func (sr *ShardedRelation) fanOut(f func(int, *relShard) error) error {
 				<-sr.sem
 				wg.Done()
 			}()
-			errs[i] = f(i, &sr.shards[i])
+			errs[i] = run(i)
 		}(i)
 	}
 	wg.Wait()
@@ -514,7 +553,8 @@ func (sr *ShardedRelation) fanOut(f func(int, *relShard) error) error {
 // whole query runs as a flat map descent; otherwise the general executor
 // runs with an early stop. ShardedRelation uses it for routed queries once
 // construction has certified the shard key as a key.
-func (r *Relation) queryPoint(s relation.Tuple, out []string) ([]relation.Tuple, error) {
+func (r *Relation) queryPoint(s relation.Tuple, out []string) (res []relation.Tuple, err error) {
+	defer containRead("query", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return nil, err
 	}
@@ -542,7 +582,6 @@ func (r *Relation) queryPoint(s relation.Tuple, out []string) ([]relation.Tuple,
 			return []relation.Tuple{res}, nil
 		}
 	}
-	var res []relation.Tuple
 	emit := func(t relation.Tuple) bool {
 		res = append(res, t.Project(outCols))
 		return false // a superkey pattern matches at most one tuple
@@ -562,10 +601,14 @@ func (r *Relation) queryPoint(s relation.Tuple, out []string) ([]relation.Tuple,
 // point plan and the new values are written in place when the decomposition
 // allows; anything the fast path cannot handle falls back to the generic
 // Update.
-func (r *Relation) updatePoint(s, u relation.Tuple) (int, error) {
+func (r *Relation) updatePoint(s, u relation.Tuple) (n int, err error) {
 	if r.CheckFDs {
 		return r.Update(s, u)
 	}
+	if r.poisoned {
+		return 0, ErrPoisoned
+	}
+	defer r.containMut("update", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return 0, err
 	}
@@ -590,19 +633,25 @@ func (r *Relation) updatePoint(s, u relation.Tuple) (int, error) {
 	// When the pattern itself binds every map-edge key, it can drive the
 	// in-place walk directly — no full match tuple is ever built. pp.Get
 	// above proved the match exists.
-	if r.inst.EdgeKeyCols().SubsetOf(s.Dom()) && r.inst.UpdateInPlace(s, u) {
-		return 1, nil
+	if r.inst.EdgeKeyCols().SubsetOf(s.Dom()) {
+		ok, uerr := r.inst.UpdateInPlace(s, u)
+		if uerr != nil {
+			return 0, uerr
+		}
+		if ok {
+			return 1, nil
+		}
 	}
 	match, ok := s.MergeProject(unit, r.spec.Cols())
 	if !ok {
 		return r.Update(s, u)
 	}
-	if r.inst.UpdateInPlace(match, u) {
+	ok, uerr := r.inst.UpdateInPlace(match, u)
+	if uerr != nil {
+		return 0, uerr
+	}
+	if ok {
 		return 1, nil
 	}
-	r.inst.RemoveTuple(match)
-	if _, err := r.inst.Insert(match.Merge(u)); err != nil {
-		return 0, err
-	}
-	return 1, nil
+	return r.replace(match, match.Merge(u))
 }

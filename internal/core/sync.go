@@ -83,3 +83,14 @@ func (s *SyncRelation) CheckInvariants() error {
 	defer s.mu.RUnlock()
 	return s.r.CheckInvariants()
 }
+
+// Poisoned reports whether the wrapped relation has degraded to read-only
+// after a failed rollback. Panics from plan execution and mutation are
+// recovered inside the wrapped Relation's API while this tier's lock is
+// held, so a crashing operation surfaces as an error to one caller instead
+// of poisoning the lock for all of them.
+func (s *SyncRelation) Poisoned() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.Poisoned()
+}

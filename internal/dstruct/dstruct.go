@@ -88,8 +88,14 @@ type Map[V any] interface {
 
 // New constructs an empty Map of the given kind. It panics on an unknown
 // kind; decomposition validation rejects unknown kinds long before a Map is
-// built.
+// built. While a faultinject plane is installed the map is wrapped with
+// injection points (see fault.go); otherwise the bare structure is returned
+// and injection costs nothing.
 func New[V any](k Kind) Map[V] {
+	return wrapFault(newBare[V](k))
+}
+
+func newBare[V any](k Kind) Map[V] {
 	switch k {
 	case DListKind:
 		return NewDList[V]()

@@ -1,0 +1,218 @@
+// Package faultinject is a deterministic, step-counted fault plane for the
+// engine's atomicity tests, in the spirit of FoundationDB's simulation
+// testing and of "Simple Testing Can Prevent Most Critical Failures"
+// (OSDI 2014): every potentially-failing step of a mutation is numbered, and
+// a harness can demand that step k fail — either by returning an injected
+// error (at sites that can surface errors) or by panicking (at any site) —
+// and then assert that the mutation left no torn state behind.
+//
+// The plane is installed globally (Install) and captured by components at
+// construction time: instance.New snapshots the active plane into the
+// instance, and dstruct.New wraps each data structure only when a plane is
+// active. When no plane is installed — every production configuration —
+// mutation hot paths pay a single nil-check per injection site and data
+// structures are not wrapped at all, so injection is compiled out of the hot
+// path in the sense that matters: no atomics, no locks, no indirection.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects how an armed fault manifests.
+type Mode uint8
+
+const (
+	// Error makes the armed step return an *Injected error from the
+	// injection point. Only sites declared error-capable (the instance
+	// mutation steps) fire in this mode; error injection at a site that
+	// cannot return an error is recorded as skipped and does not fire.
+	Error Mode = iota
+	// Panic makes the armed step panic with an *Injected value, modelling a
+	// crash inside plan execution or a data-structure operation.
+	Panic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Error {
+		return "error"
+	}
+	return "panic"
+}
+
+// Injected is the payload of an injected fault: the error returned in Error
+// mode and the panic value in Panic mode.
+type Injected struct {
+	Site string // injection-site label, e.g. "instance.insert.link"
+	Step int64  // 1-based step count at which the fault fired
+	Mode Mode
+}
+
+// Error implements error.
+func (i *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at step %d (%s)", i.Mode, i.Step, i.Site)
+}
+
+// PointInfo describes one injection point reached while tracing: its site
+// label and whether it can surface an injected error (as opposed to only a
+// panic).
+type PointInfo struct {
+	Site     string
+	CanError bool
+}
+
+// A Plane counts injection points and fires a scheduled fault. All methods
+// are safe for concurrent use; firing is single-shot unless armed with
+// ArmFrom. The zero Plane is usable and disarmed.
+type Plane struct {
+	mu     sync.Mutex
+	step   int64
+	fireAt int64 // 0 = disarmed
+	from   bool  // fire at every step >= fireAt, not just the first
+	mode   Mode
+	trace  bool
+	points []PointInfo
+	fired  []Injected
+}
+
+// NewPlane returns a disarmed plane.
+func NewPlane() *Plane { return &Plane{} }
+
+// Reset zeroes the step counter, disarms the plane, and clears the trace and
+// firing records. Harnesses call it between the seeding phase and the
+// mutation under test so step numbers are stable per mutation.
+func (p *Plane) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.step = 0
+	p.fireAt = 0
+	p.from = false
+	p.points = p.points[:0]
+	p.fired = p.fired[:0]
+}
+
+// Trace toggles recording of every reached injection point (see Points).
+func (p *Plane) Trace(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trace = on
+	if on {
+		p.points = p.points[:0]
+	}
+}
+
+// Points returns a copy of the injection points reached since tracing was
+// enabled, in order. Index i describes step i+1.
+func (p *Plane) Points() []PointInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PointInfo, len(p.points))
+	copy(out, p.points)
+	return out
+}
+
+// Steps returns the number of injection points passed since the last Reset.
+func (p *Plane) Steps() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.step
+}
+
+// Arm schedules a single fault at the given 1-based step.
+func (p *Plane) Arm(step int64, mode Mode) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fireAt = step
+	p.from = false
+	p.mode = mode
+	p.fired = p.fired[:0]
+}
+
+// ArmFrom schedules a fault at every step from the given one on. It models a
+// persistently failing substrate — in particular it makes undo-log rollback
+// itself fail, which is how the harness reaches the poisoned-relation path.
+func (p *Plane) ArmFrom(step int64, mode Mode) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fireAt = step
+	p.from = true
+	p.mode = mode
+	p.fired = p.fired[:0]
+}
+
+// Disarm cancels any scheduled fault without resetting the step counter.
+func (p *Plane) Disarm() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fireAt = 0
+	p.from = false
+}
+
+// Fired returns a copy of the faults that actually fired since the last
+// Arm/ArmFrom/Reset.
+func (p *Plane) Fired() []Injected {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Injected, len(p.fired))
+	copy(out, p.fired)
+	return out
+}
+
+// Point is one injection point. Every call counts one step. If the plane is
+// armed for this step it fires: in Panic mode it panics with an *Injected;
+// in Error mode it returns an *Injected error when canError is set and does
+// nothing otherwise (the step is still counted). Call sites that cannot
+// propagate an error pass canError=false and may ignore the result.
+func (p *Plane) Point(site string, canError bool) error {
+	p.mu.Lock()
+	p.step++
+	if p.trace {
+		p.points = append(p.points, PointInfo{Site: site, CanError: canError})
+	}
+	fire := p.fireAt > 0 && (p.step == p.fireAt || (p.from && p.step > p.fireAt))
+	if fire && p.mode == Error && !canError {
+		fire = false
+		if !p.from {
+			p.fireAt = 0 // the scheduled step cannot error; stand down
+		}
+	}
+	if !fire {
+		p.mu.Unlock()
+		return nil
+	}
+	inj := Injected{Site: site, Step: p.step, Mode: p.mode}
+	p.fired = append(p.fired, inj)
+	if !p.from {
+		p.fireAt = 0 // single shot
+	}
+	mode := p.mode
+	p.mu.Unlock()
+	if mode == Panic {
+		panic(&inj)
+	}
+	return &inj
+}
+
+// active is the globally installed plane, captured by instances and data
+// structures at construction time.
+var active atomic.Pointer[Plane]
+
+// Install makes p the plane that newly constructed instances and data
+// structures will report their steps to. Passing nil uninstalls.
+func Install(p *Plane) {
+	active.Store(p)
+}
+
+// Uninstall removes the installed plane. Components that captured it keep
+// their reference; harnesses should discard those components too.
+func Uninstall() {
+	active.Store(nil)
+}
+
+// Active returns the installed plane, or nil when fault injection is off.
+func Active() *Plane {
+	return active.Load()
+}

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPointCountsAndSingleShot(t *testing.T) {
+	p := NewPlane()
+	for i := 0; i < 5; i++ {
+		if err := p.Point("s", true); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+	if p.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", p.Steps())
+	}
+	p.Reset()
+	p.Arm(2, Error)
+	if err := p.Point("a", true); err != nil {
+		t.Fatalf("step 1 fired early: %v", err)
+	}
+	err := p.Point("b", true)
+	if err == nil {
+		t.Fatal("armed step 2 did not fire")
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Site != "b" || inj.Step != 2 || inj.Mode != Error {
+		t.Fatalf("injected = %+v", inj)
+	}
+	// Single shot: later steps pass.
+	if err := p.Point("c", true); err != nil {
+		t.Fatalf("fired twice: %v", err)
+	}
+	if got := p.Fired(); len(got) != 1 || got[0].Site != "b" {
+		t.Fatalf("Fired = %v", got)
+	}
+}
+
+func TestErrorModeSkipsPanicOnlySites(t *testing.T) {
+	p := NewPlane()
+	p.Arm(1, Error)
+	if err := p.Point("panic-only", false); err != nil {
+		t.Fatalf("error fired at a panic-only site: %v", err)
+	}
+	// The plane stands down rather than firing at the wrong step later.
+	if err := p.Point("can-error", true); err != nil {
+		t.Fatalf("stood-down plane fired: %v", err)
+	}
+	if len(p.Fired()) != 0 {
+		t.Fatalf("Fired = %v", p.Fired())
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	p := NewPlane()
+	p.Arm(1, Panic)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		inj, ok := r.(*Injected)
+		if !ok || inj.Mode != Panic {
+			t.Fatalf("panic value = %#v", r)
+		}
+	}()
+	_ = p.Point("s", false)
+}
+
+func TestArmFromFiresPersistently(t *testing.T) {
+	p := NewPlane()
+	p.ArmFrom(2, Error)
+	if err := p.Point("a", true); err != nil {
+		t.Fatal("step 1 fired")
+	}
+	if err := p.Point("b", true); err == nil {
+		t.Fatal("step 2 did not fire")
+	}
+	if err := p.Point("c", true); err == nil {
+		t.Fatal("step 3 did not fire (ArmFrom is persistent)")
+	}
+	if len(p.Fired()) != 2 {
+		t.Fatalf("Fired = %v", p.Fired())
+	}
+}
+
+func TestTraceRecordsPoints(t *testing.T) {
+	p := NewPlane()
+	p.Trace(true)
+	_ = p.Point("x", true)
+	_ = p.Point("y", false)
+	pts := p.Points()
+	if len(pts) != 2 || pts[0] != (PointInfo{Site: "x", CanError: true}) || pts[1] != (PointInfo{Site: "y", CanError: false}) {
+		t.Fatalf("Points = %v", pts)
+	}
+	p.Reset()
+	if len(p.Points()) != 0 || p.Steps() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestInstallActive(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("plane installed at start")
+	}
+	p := NewPlane()
+	Install(p)
+	if Active() != p {
+		t.Fatal("Active != installed plane")
+	}
+	Uninstall()
+	if Active() != nil {
+		t.Fatal("Uninstall left a plane")
+	}
+}

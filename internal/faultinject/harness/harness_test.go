@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+var (
+	faultSeeds = flag.Int("faultseeds", 2, "randomized fault schedules per corpus case")
+	faultOps   = flag.Int("faultops", 120, "operations per randomized schedule")
+)
+
+func withPlane(t *testing.T) *faultinject.Plane {
+	t.Helper()
+	p := faultinject.NewPlane()
+	faultinject.Install(p)
+	t.Cleanup(faultinject.Uninstall)
+	return p
+}
+
+// TestExhaustiveInjection is the harness's core guarantee: for every corpus
+// decomposition, a fault at every reachable step of every mutation leaves
+// the instance well-formed and α unchanged.
+func TestExhaustiveInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			Exhaust(t, p, c)
+		})
+	}
+}
+
+// TestRandomizedSchedules replays seed-driven op/fault schedules against a
+// mirror oracle; raise -faultseeds (see `make faultinject`) for a longer
+// soak.
+func TestRandomizedSchedules(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			for seed := int64(1); seed <= int64(*faultSeeds); seed++ {
+				Randomized(t, p, c, seed, *faultOps)
+			}
+		})
+	}
+}
+
+// TestConcurrentInjection drives the sharded engine from several goroutines
+// with faults being armed concurrently; `make ci-race` reruns it under the
+// race detector.
+func TestConcurrentInjection(t *testing.T) {
+	p := withPlane(t)
+	Concurrent(t, p, 4, 300)
+}

@@ -1,0 +1,199 @@
+package instance
+
+// White-box tests of the two-phase mutation path: planning detects FD
+// conflicts before any write, the undo log restores the exact pre-mutation
+// instance when the apply phase fails (injected errors and panics alike),
+// and a failing rollback is the one case that marks the instance torn.
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/faultinject"
+	"repro/internal/fd"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+// TestPlanRejectsConflictBeforeWriting is the torn-insert regression test.
+// The decomposition gives w two unit slots (c at slot 0, d at slot 1) behind
+// one shared node, so a conflicting insert used to write the first unit
+// before detecting the conflict on the second, leaving a torn node. The
+// planning pass must now reject the insert without touching either slot.
+func TestPlanRejectsConflictBeforeWriting(t *testing.T) {
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"a"}, []string{"c", "d"},
+			decomp.J(decomp.U("c"), decomp.U("d"))),
+		decomp.Let("x", nil, []string{"a", "c", "d"},
+			decomp.M(dstruct.HTableKind, "w", "a")),
+	}, "x")
+	fds := fd.NewSet(fd.FD{From: relation.NewCols("a"), To: relation.NewCols("c", "d")})
+	in := New(d, fds)
+	tup := func(a, c, dv int64) relation.Tuple {
+		return relation.NewTuple(relation.BindInt("a", a), relation.BindInt("c", c), relation.BindInt("d", dv))
+	}
+	if ok, err := in.Insert(tup(1, 2, 3)); err != nil || !ok {
+		t.Fatalf("seed insert: ok=%v err=%v", ok, err)
+	}
+	w := mustChild(t, in.root, 0, relation.NewTuple(relation.BindInt("a", 1)))
+
+	// Manufacture the state the old code could be caught in: the c unit
+	// empty, the d unit populated. A conflicting insert must leave the c
+	// slot empty instead of filling it on the way to the d conflict.
+	w.slots[0].unit = relation.NewTuple()
+	if ok, err := in.Insert(tup(1, 2, 9)); err == nil {
+		t.Fatalf("conflicting insert accepted (ok=%v)", ok)
+	}
+	if w.slots[0].unit.Len() != 0 {
+		t.Fatalf("planning wrote unit c = %v before detecting the d conflict", w.slots[0].unit)
+	}
+}
+
+// schedFI builds a freshly seeded scheduler instance under an installed
+// fault plane (so its maps are wrapped and injection points are live).
+func schedFI(t *testing.T, p *faultinject.Plane) *Instance {
+	t.Helper()
+	p.Disarm()
+	in := New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	for _, tup := range []relation.Tuple{
+		paperex.SchedulerTuple(1, 1, paperex.StateS, 7),
+		paperex.SchedulerTuple(1, 2, paperex.StateR, 4),
+	} {
+		if ok, err := in.Insert(tup); err != nil || !ok {
+			t.Fatalf("seed insert %v: ok=%v err=%v", tup, ok, err)
+		}
+	}
+	return in
+}
+
+func installPlane(t *testing.T) *faultinject.Plane {
+	t.Helper()
+	p := faultinject.NewPlane()
+	faultinject.Install(p)
+	t.Cleanup(faultinject.Uninstall)
+	return p
+}
+
+// traceMutation counts the injection steps of one mutation by running it
+// once with tracing on a sacrificial instance.
+func tracePoints(t *testing.T, p *faultinject.Plane, mut func(in *Instance) error) []faultinject.PointInfo {
+	t.Helper()
+	in := schedFI(t, p)
+	p.Reset()
+	p.Trace(true)
+	if err := mut(in); err != nil {
+		t.Fatalf("trace run failed: %v", err)
+	}
+	pts := p.Points()
+	p.Trace(false)
+	p.Reset()
+	if len(pts) == 0 {
+		t.Fatal("mutation passed no injection points")
+	}
+	return pts
+}
+
+func runRecovered(mut func() error) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	return mut(), false
+}
+
+// TestMutationsRollBackAtEveryStep injects a fault — returned error at the
+// error-capable instance sites, panic at every site — at each step of an
+// insert and a remove, and asserts the instance afterwards is well-formed,
+// represents exactly the pre-mutation relation, and accepts a retry.
+func TestMutationsRollBackAtEveryStep(t *testing.T) {
+	p := installPlane(t)
+	tup := paperex.SchedulerTuple(2, 1, paperex.StateR, 9)
+	gone := paperex.SchedulerTuple(1, 1, paperex.StateS, 7)
+	muts := []struct {
+		name string
+		run  func(in *Instance) error
+	}{
+		{"insert", func(in *Instance) error { _, err := in.Insert(tup); return err }},
+		{"remove", func(in *Instance) error { _, err := in.RemoveTuple(gone); return err }},
+	}
+	for _, mu := range muts {
+		t.Run(mu.name, func(t *testing.T) {
+			pts := tracePoints(t, p, mu.run)
+			for step := 1; step <= len(pts); step++ {
+				for _, mode := range []faultinject.Mode{faultinject.Error, faultinject.Panic} {
+					if mode == faultinject.Error && !pts[step-1].CanError {
+						continue
+					}
+					in := schedFI(t, p)
+					oracle := in.Relation()
+					before := in.Len()
+					p.Reset()
+					p.Arm(int64(step), mode)
+					err, panicked := runRecovered(func() error { return mu.run(in) })
+					fired := len(p.Fired()) > 0
+					p.Disarm()
+					if !fired {
+						t.Fatalf("step %d/%v: fault did not fire", step, mode)
+					}
+					if mode == faultinject.Error && err == nil {
+						t.Fatalf("step %d: injected error not surfaced", step)
+					}
+					if mode == faultinject.Panic && !panicked {
+						t.Fatalf("step %d: injected panic did not propagate", step)
+					}
+					if in.Torn() {
+						t.Fatalf("step %d/%v: single fault tore the instance", step, mode)
+					}
+					if werr := in.CheckWF(); werr != nil {
+						t.Fatalf("step %d/%v: instance not well-formed after rollback: %v", step, mode, werr)
+					}
+					if in.Len() != before || !in.Relation().Equal(oracle) {
+						t.Fatalf("step %d/%v: α changed after failed mutation", step, mode)
+					}
+					if err := mu.run(in); err != nil {
+						t.Fatalf("step %d/%v: retry after rollback failed: %v", step, mode, err)
+					}
+					if werr := in.CheckWF(); werr != nil {
+						t.Fatalf("step %d/%v: retry left instance ill-formed: %v", step, mode, werr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDoubleFaultMarksTorn arms a persistent panic fault starting at the
+// second link write of an insert: the apply phase panics with a non-empty
+// undo log, and replaying the log hits the still-armed fault again. That —
+// and only that — must mark the instance torn.
+func TestDoubleFaultMarksTorn(t *testing.T) {
+	p := installPlane(t)
+	tup := paperex.SchedulerTuple(2, 1, paperex.StateR, 9)
+	pts := tracePoints(t, p, func(in *Instance) error { _, err := in.Insert(tup); return err })
+	step, links := 0, 0
+	for i, pi := range pts {
+		if pi.Site == "instance.insert.link" {
+			links++
+			if links == 2 {
+				step = i + 1
+				break
+			}
+		}
+	}
+	if step == 0 {
+		t.Fatalf("insert of %v has %d link writes, need 2 (points: %v)", tup, links, pts)
+	}
+	in := schedFI(t, p)
+	p.Reset()
+	p.ArmFrom(int64(step), faultinject.Panic)
+	_, panicked := runRecovered(func() error { _, err := in.Insert(tup); return err })
+	p.Disarm()
+	if !panicked {
+		t.Fatal("persistent fault did not panic the insert")
+	}
+	if !in.Torn() {
+		t.Fatal("rollback hit the armed fault but the instance is not torn")
+	}
+}

@@ -6,16 +6,20 @@ import (
 	"repro/internal/relation"
 )
 
-// Insert implements dinsert (§4.4): it inserts the full tuple t, finding or
-// creating the node instance for every decomposition variable in
-// topologically-sorted order and linking every map edge. It reports whether
-// the relation changed (false if t was already present).
+// Insert implements dinsert (§4.4) in validate-then-apply two-phase form: a
+// read-only planning pass locates or allocates the node for every
+// decomposition variable and computes the full set of unit and edge writes,
+// detecting FD conflicts before any state changes; the apply pass executes
+// the planned writes, recording compensating actions in the undo log so that
+// a failure mid-apply (an injected fault or a panicking data structure)
+// restores the instance exactly. It reports whether the relation changed
+// (false if t was already present).
 //
 // The caller is responsible for FD preservation (Lemma 4(a) requires
 // ∆ ⊨ r ∪ {t}); the engine in package core checks it. Insert still detects
 // the violations that would corrupt the instance — a path leading to a node
-// whose unit disagrees with t — and reports them as errors rather than
-// silently overwriting shared state.
+// whose unit disagrees with t — and, because detection now happens in the
+// planning pass, rejects them without touching shared nodes.
 func (in *Instance) Insert(t relation.Tuple) (bool, error) {
 	if !t.Dom().Equal(in.dcmp.Cols()) {
 		return false, fmt.Errorf("instance: insert of %v into relation over %v", t, in.dcmp.Cols())
@@ -23,55 +27,128 @@ func (in *Instance) Insert(t relation.Tuple) (bool, error) {
 	if in.Contains(t) {
 		return false, nil
 	}
+	if err := in.planInsert(t); err != nil {
+		return false, err
+	}
+	if err := in.applyInsert(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
 
-	// Find or create the node for each variable, root first, locating
-	// existing nodes through any incoming map edge from an already-located
-	// parent (§4.4's example does exactly this for the shared node w).
-	located := make(map[string]*Node, len(in.dcmp.Bindings()))
-	for _, b := range in.dcmp.TopoDown() {
+// planInsert is the read-only planning pass: find or create the node for
+// each variable, root first, locating existing nodes through any incoming
+// map edge from an already-located parent (§4.4's example does exactly this
+// for the shared node w), and record every unit and edge write the apply
+// pass must perform. Nodes allocated here are garbage if the plan is
+// rejected — they are not linked into the instance.
+func (in *Instance) planInsert(t relation.Tuple) error {
+	scr := &in.scr
+	scr.reset(len(in.updWalk))
+	for i := range in.updWalk {
+		w := &in.updWalk[i]
 		var n *Node
-		if b.Var == in.dcmp.Root() {
+		fresh := false
+		if i == 0 {
 			n = in.root
 		} else {
-			for _, e := range in.dcmp.InEdges(b.Var) {
-				parent := located[e.Parent]
-				if child, ok := parent.MapAt(in, e).Get(t.Project(e.Key)); ok {
+			for _, ue := range w.in {
+				if scr.fresh[ue.parent] {
+					continue // a node allocated by this plan has empty maps
+				}
+				pn := scr.nodes[ue.parent]
+				var child *Node
+				var ok bool
+				if ue.col != "" {
+					v, _ := t.Get(ue.col)
+					child, ok = pn.slots[ue.slot].m.GetByValue(v)
+				} else {
+					child, ok = pn.slots[ue.slot].m.Get(t.Project(ue.e.Key))
+				}
+				if ok {
 					n = child
 					break
 				}
 			}
 			if n == nil {
-				n = in.newNode(b.Var)
+				n = in.newNode(in.updWalk[i].name)
+				fresh = true
 			}
 		}
-		// Fill unit slots; an existing node whose unit disagrees with t
+		scr.nodes[i] = n
+		scr.fresh[i] = fresh
+		// Plan unit writes; an existing node whose unit disagrees with t
 		// means the insert would violate the functional dependencies.
-		for _, u := range in.dcmp.UnitsOf(b.Var) {
-			want := t.Project(u.Cols)
-			i := in.layouts[b.Var].index[u]
-			if got := n.slots[i].unit; got.Len() != 0 && !got.Equal(want) {
-				return false, fmt.Errorf("instance: insert of %v violates the functional dependencies: node %s already holds %v", t, b.Var, got)
+		for _, uu := range w.units {
+			want := t.Project(uu.u.Cols)
+			if fresh {
+				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: want})
+				continue
 			}
-			n.slots[i].unit = want
+			got := n.slots[uu.slot].unit
+			switch {
+			case got.Len() == 0:
+				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: want, logUndo: true})
+			case !got.Equal(want):
+				return fmt.Errorf("instance: insert of %v violates the functional dependencies: node %s already holds %v", t, in.updWalk[i].name, got)
+			}
 		}
-		located[b.Var] = n
 	}
-
-	// Link every map edge, bumping the child's reference count for each
-	// newly created entry.
-	for _, e := range in.dcmp.Edges() {
-		parent, child := located[e.Parent], located[e.Target]
-		m := parent.MapAt(in, e)
-		k := t.Project(e.Key)
-		if existing, ok := m.Get(k); ok {
-			if existing != child {
-				return false, fmt.Errorf("instance: insert of %v violates the functional dependencies: edge %s→%s key %v points elsewhere", t, e.Parent, e.Target, k)
+	// Plan the map-edge links, bumping the child's reference count for each
+	// new entry; an existing entry pointing at a different node is an FD
+	// violation, caught here before anything is written.
+	for _, le := range in.linkEdges {
+		parent, child := scr.nodes[le.parent], scr.nodes[le.target]
+		k := t.Project(le.e.Key)
+		if !scr.fresh[le.parent] {
+			if existing, ok := parent.slots[le.slot].m.Get(k); ok {
+				if existing != child {
+					return fmt.Errorf("instance: insert of %v violates the functional dependencies: edge %s→%s key %v points elsewhere", t, le.e.Parent, le.e.Target, k)
+				}
+				continue
 			}
-			continue
 		}
-		m.Put(k, child)
-		child.refs++
+		scr.links = append(scr.links, linkWrite{parent: parent, slot: le.slot, key: k, child: child})
+	}
+	return nil
+}
+
+// applyInsert executes the planned writes. Unit writes into pre-existing
+// nodes are logged for undo; writes into nodes this plan allocated are not
+// (an unlinked node is garbage either way). Each link is logged so rollback
+// unlinks it and drops the reference it added.
+func (in *Instance) applyInsert() (err error) {
+	in.undo.reset()
+	defer in.containApply()
+	for i := range in.scr.units {
+		uw := &in.scr.units[i]
+		if in.fi != nil {
+			if ferr := in.fi.Point("instance.insert.unit", true); ferr != nil {
+				return in.abort(ferr)
+			}
+		}
+		if uw.logUndo {
+			in.undo.pushUnit(uw.n, uw.slot, uw.n.slots[uw.slot].unit)
+		}
+		uw.n.slots[uw.slot].unit = uw.val
+	}
+	for i := range in.scr.links {
+		lw := &in.scr.links[i]
+		if in.fi != nil {
+			if ferr := in.fi.Point("instance.insert.link", true); ferr != nil {
+				return in.abort(ferr)
+			}
+		}
+		lw.parent.slots[lw.slot].m.Put(lw.key, lw.child)
+		lw.child.refs++
+		in.undo.pushUnlink(lw.parent, lw.slot, lw.key, lw.child)
+	}
+	if in.fi != nil {
+		if ferr := in.fi.Point("instance.insert.commit", true); ferr != nil {
+			return in.abort(ferr)
+		}
 	}
 	in.count++
-	return true, nil
+	in.undo.reset()
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/dstruct"
+	"repro/internal/faultinject"
 	"repro/internal/fd"
 	"repro/internal/relation"
 )
@@ -74,12 +75,84 @@ type Instance struct {
 	// the full stored tuple.
 	edgeKeyCols relation.Cols
 
+	// linkEdges is every map edge resolved to walk indices and slots, in
+	// d.Edges() order; rmBreaks is its subset crossing the full-column cut
+	// (parent above, target below) and rmXvars the walk indices above the
+	// cut, in topological order. All three are precomputed so the two-phase
+	// mutations neither allocate per-variable maps nor re-resolve edges.
+	linkEdges []linkEdge
+	rmBreaks  []linkEdge
+	rmXvars   []int
+
+	// scr and undo are reusable per-mutation buffers: scr holds the writes
+	// the planning pass computed, undo the compensations of the apply pass.
+	// Mutations are serialized by the engine tiers, so one of each suffices.
+	scr  mutScratch
+	undo undoLog
+
+	// fi is the fault-injection plane captured at construction time, nil in
+	// every production configuration; torn records a failed rollback (see
+	// Torn).
+	fi   *faultinject.Plane
+	torn bool
+
 	// CleanupEmpty controls whether removal deallocates maps that become
 	// empty (§4.5: "Our implementation deallocates empty maps to minimize
 	// space consumption"). It is a flag so the design choice can be
 	// ablated; leaving garbage nodes behind never affects the represented
 	// relation, only memory.
 	CleanupEmpty bool
+}
+
+// linkEdge is one map edge resolved against the walk: the walk indices of
+// its parent and target variables and the map's slot in the parent node.
+type linkEdge struct {
+	parent int
+	target int
+	slot   int
+	e      *decomp.MapEdge
+}
+
+// unitWrite and linkWrite are planned writes: the output of a planning pass,
+// the input of an apply pass.
+type unitWrite struct {
+	n       *Node
+	slot    int
+	val     relation.Tuple
+	logUndo bool // existing node: log the previous unit for rollback
+}
+
+type linkWrite struct {
+	parent *Node
+	slot   int
+	key    relation.Tuple
+	child  *Node
+}
+
+// mutScratch is the reusable planning buffer: nodes and fresh are indexed by
+// walk position (nodes[i] is the located or allocated node of variable i,
+// fresh[i] whether this plan allocated it), units and links the writes in
+// apply order.
+type mutScratch struct {
+	nodes []*Node
+	fresh []bool
+	units []unitWrite
+	links []linkWrite
+}
+
+func (s *mutScratch) reset(n int) {
+	if cap(s.nodes) < n {
+		s.nodes = make([]*Node, n)
+		s.fresh = make([]bool, n)
+	}
+	s.nodes = s.nodes[:n]
+	s.fresh = s.fresh[:n]
+	for i := range s.nodes {
+		s.nodes[i] = nil
+		s.fresh[i] = false
+	}
+	s.units = s.units[:0]
+	s.links = s.links[:0]
 }
 
 // New implements dempty: it creates an instance representing the empty
@@ -91,6 +164,7 @@ func New(d *decomp.Decomp, fds fd.Set) *Instance {
 		fds:          fds,
 		layouts:      make(map[string]*layout, len(d.Bindings())),
 		fullCut:      d.Cut(fds, d.Cols()),
+		fi:           faultinject.Active(),
 		CleanupEmpty: true,
 	}
 	for _, b := range d.Bindings() {
@@ -129,8 +203,10 @@ func New(d *decomp.Decomp, fds fd.Set) *Instance {
 	return inst
 }
 
-// updVar is one step of the precomputed UpdateInPlace walk.
+// updVar is one step of the precomputed node-location walk shared by the
+// two-phase mutations (Insert, RemoveTuple, UpdateInPlace).
 type updVar struct {
+	name  string    // the variable, for error messages
 	in    []updEdge // in-edges to try when locating this variable's node
 	units []updUnit // unit slots of this variable
 }
@@ -156,6 +232,7 @@ func (in *Instance) buildUpdWalk() {
 	in.updWalk = make([]updVar, len(topo))
 	for i, b := range topo {
 		w := &in.updWalk[i]
+		w.name = b.Var
 		for _, e := range in.dcmp.InEdges(b.Var) {
 			ue := updEdge{parent: idx[e.Parent], slot: in.edgeSlots[e], e: e}
 			if e.Key.Len() == 1 {
@@ -165,6 +242,16 @@ func (in *Instance) buildUpdWalk() {
 		}
 		for _, u := range in.dcmp.UnitsOf(b.Var) {
 			w.units = append(w.units, updUnit{slot: in.unitSlots[u], u: u})
+		}
+		if !in.fullCut[b.Var] {
+			in.rmXvars = append(in.rmXvars, i)
+		}
+	}
+	for _, e := range in.dcmp.Edges() {
+		le := linkEdge{parent: idx[e.Parent], target: idx[e.Target], slot: in.edgeSlots[e], e: e}
+		in.linkEdges = append(in.linkEdges, le)
+		if !in.fullCut[e.Parent] && in.fullCut[e.Target] {
+			in.rmBreaks = append(in.rmBreaks, le)
 		}
 	}
 }

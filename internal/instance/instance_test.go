@@ -32,6 +32,16 @@ func mustInsert(t *testing.T, in *instance.Instance, tup relation.Tuple) {
 	}
 }
 
+// removeOK removes tup, failing the test on error, and reports presence.
+func removeOK(t *testing.T, in *instance.Instance, tup relation.Tuple) bool {
+	t.Helper()
+	ok, err := in.RemoveTuple(tup)
+	if err != nil {
+		t.Fatalf("RemoveTuple(%v): %v", tup, err)
+	}
+	return ok
+}
+
 func checkAgainst(t *testing.T, in *instance.Instance, want *relation.Relation) {
 	t.Helper()
 	if err := in.CheckWF(); err != nil {
@@ -74,7 +84,7 @@ func TestPaperFigure9(t *testing.T) {
 	_ = oracle.Insert(t3)
 	checkAgainst(t, in, oracle) // instance (b) — the full r_s of Equation (1)
 
-	if !in.RemoveTuple(t3) {
+	if !removeOK(t, in, t3) {
 		t.Fatalf("RemoveTuple(t3) = false")
 	}
 	oracle.Remove(t3)
@@ -137,12 +147,12 @@ func TestContains(t *testing.T) {
 
 func TestRemoveAbsent(t *testing.T) {
 	in := newSched(t)
-	if in.RemoveTuple(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)) {
+	if removeOK(t, in, paperex.SchedulerTuple(1, 1, paperex.StateS, 7)) {
 		t.Errorf("removed absent tuple")
 	}
 	mustInsert(t, in, paperex.SchedulerTuple(1, 1, paperex.StateS, 7))
 	// Same key, different cpu: not the stored tuple, must not remove.
-	if in.RemoveTuple(paperex.SchedulerTuple(1, 1, paperex.StateS, 9)) {
+	if removeOK(t, in, paperex.SchedulerTuple(1, 1, paperex.StateS, 9)) {
 		t.Errorf("removed tuple with mismatched cpu")
 	}
 	if in.Len() != 1 {
@@ -154,7 +164,7 @@ func TestRemoveLastTupleEmptiesInstance(t *testing.T) {
 	in := newSched(t)
 	tup := paperex.SchedulerTuple(1, 1, paperex.StateS, 7)
 	mustInsert(t, in, tup)
-	if !in.RemoveTuple(tup) {
+	if !removeOK(t, in, tup) {
 		t.Fatalf("remove failed")
 	}
 	checkAgainst(t, in, relation.Empty(paperex.SchedulerCols()))
@@ -177,7 +187,7 @@ func TestRemoveWithoutCleanup(t *testing.T) {
 		_ = oracle.Insert(tup)
 	}
 	for _, tup := range tups[:2] {
-		in.RemoveTuple(tup)
+		removeOK(t, in, tup)
 		oracle.Remove(tup)
 		if got := in.Relation(); !got.Equal(oracle) {
 			t.Fatalf("without cleanup: α =\n%vwant\n%v", got, oracle)
@@ -195,8 +205,8 @@ func TestUpdateInPlace(t *testing.T) {
 		t.Fatalf("cpu not updatable in place")
 	}
 	u := relation.NewTuple(relation.BindInt("cpu", 99))
-	if !in.UpdateInPlace(tup, u) {
-		t.Fatalf("UpdateInPlace failed")
+	if ok, err := in.UpdateInPlace(tup, u); err != nil || !ok {
+		t.Fatalf("UpdateInPlace = %v, %v", ok, err)
 	}
 	want := relation.FromTuples(paperex.SchedulerCols(), paperex.SchedulerTuple(1, 1, paperex.StateS, 99))
 	checkAgainst(t, in, want)
@@ -206,8 +216,8 @@ func TestUpdateInPlace(t *testing.T) {
 	if in.CanUpdateInPlace(relation.NewCols("state")) {
 		t.Errorf("state reported updatable in place")
 	}
-	if in.UpdateInPlace(paperex.SchedulerTuple(1, 1, paperex.StateS, 99), relation.NewTuple(relation.BindString("state", "R"))) {
-		t.Errorf("UpdateInPlace applied a key-column update")
+	if ok, err := in.UpdateInPlace(paperex.SchedulerTuple(1, 1, paperex.StateS, 99), relation.NewTuple(relation.BindString("state", "R"))); err != nil || ok {
+		t.Errorf("UpdateInPlace key-column update = %v, %v", ok, err)
 	}
 }
 
@@ -221,7 +231,7 @@ func TestSharedNodeRefcounts(t *testing.T) {
 	if err := in.CheckWF(); err != nil {
 		t.Fatal(err)
 	}
-	in.RemoveTuple(tup)
+	removeOK(t, in, tup)
 	if err := in.CheckWF(); err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +260,7 @@ func TestGraphDecompositions(t *testing.T) {
 			}
 			checkAgainst(t, in, oracle)
 			for _, e := range edges[:2] {
-				if !in.RemoveTuple(e) {
+				if !removeOK(t, in, e) {
 					t.Fatalf("remove %v failed", e)
 				}
 				oracle.Remove(e)
@@ -325,7 +335,7 @@ func TestLemma4Preservation(t *testing.T) {
 			for step := 0; step < 400; step++ {
 				tup := cfg.tuple(rnd)
 				if rnd.Intn(3) == 0 {
-					removed := in.RemoveTuple(tup)
+					removed := removeOK(t, in, tup)
 					want := oracle.Contains(tup)
 					if removed != want {
 						t.Fatalf("step %d: RemoveTuple(%v) = %v, want %v", step, tup, removed, want)
@@ -383,7 +393,7 @@ func TestDeepDecomposition(t *testing.T) {
 			relation.BindInt("c", int64(rnd.Intn(3))),
 			relation.BindInt("d", int64(rnd.Intn(3))))
 		if rnd.Intn(4) == 0 {
-			in.RemoveTuple(tup)
+			removeOK(t, in, tup)
 			oracle.Remove(tup)
 		} else if fds.HoldsOnInsert(oracle, tup) {
 			_ = oracle.Insert(tup)
@@ -403,13 +413,13 @@ func TestReinsertAfterRemoveWithoutCleanup(t *testing.T) {
 	in.CleanupEmpty = false
 	tup := paperex.SchedulerTuple(1, 1, paperex.StateS, 7)
 	mustInsert(t, in, tup)
-	if !in.RemoveTuple(tup) {
+	if !removeOK(t, in, tup) {
 		t.Fatal("remove failed")
 	}
 	mustInsert(t, in, tup)
 	checkAgainst(t, in, relation.FromTuples(paperex.SchedulerCols(), tup))
 	// And the tuple can change state on reinsertion after removal.
-	if !in.RemoveTuple(tup) {
+	if !removeOK(t, in, tup) {
 		t.Fatal("second remove failed")
 	}
 	tup2 := paperex.SchedulerTuple(1, 1, paperex.StateR, 9)

@@ -7,55 +7,89 @@ import (
 )
 
 // RemoveTuple implements the per-tuple core of dremove (§4.5) for a full
-// tuple t: it computes the decomposition cut (X, Y) — here for the full
-// column set, under which every node below the cut represents exactly t —
-// breaks every edge instance crossing the cut, frees the unreachable nodes
-// below it, and (optionally, see CleanupEmpty) deallocates maps above the
-// cut that became empty. Pattern-level removal is built on top of this by
-// the engine: it queries the matching tuples with a query plan and removes
-// each.
+// tuple t, in the same validate-then-apply form as Insert: the planning pass
+// locates the instance of every variable above the full-column cut (X, Y)
+// without writing anything; the apply pass breaks every edge instance
+// crossing the cut (under which every node below represents exactly t),
+// frees the unreachable nodes below it, and (optionally, see CleanupEmpty)
+// deallocates maps above the cut that became empty — logging every write in
+// the undo log so a mid-apply failure restores the instance. Pattern-level
+// removal is built on top of this by the engine: it queries the matching
+// tuples with a query plan and removes each.
 //
-// It reports whether t was present.
-func (in *Instance) RemoveTuple(t relation.Tuple) bool {
+// It reports whether t was present. A non-nil error means the removal was
+// rolled back; the instance is unchanged unless the error wraps ErrTorn.
+func (in *Instance) RemoveTuple(t relation.Tuple) (bool, error) {
 	if !t.Dom().Equal(in.dcmp.Cols()) || !in.Contains(t) {
-		return false
+		return false, nil
 	}
-
-	// Locate the instance of every variable above the cut (X). Edges never
-	// point from Y back into X, so X nodes are reachable through X-only
-	// paths, all of whose map keys are bound by t.
-	located := make(map[string]*Node, len(in.dcmp.Bindings()))
-	var xvars []string // in TopoDown order (parents first)
-	for _, b := range in.dcmp.TopoDown() {
-		if in.fullCut[b.Var] {
-			continue // below the cut
-		}
-		if b.Var == in.dcmp.Root() {
-			located[b.Var] = in.root
-		} else {
-			for _, e := range in.dcmp.InEdges(b.Var) {
-				if child, ok := located[e.Parent].MapAt(in, e).Get(t.Project(e.Key)); ok {
-					located[b.Var] = child
-					break
-				}
-			}
-			if located[b.Var] == nil {
-				// Contains(t) held, so every X node must be reachable.
-				panic(fmt.Sprintf("instance: node %s not found while removing %v", b.Var, t))
-			}
-		}
-		xvars = append(xvars, b.Var)
+	if err := in.planRemove(t); err != nil {
+		return false, err
 	}
+	if err := in.applyRemove(t); err != nil {
+		return false, err
+	}
+	return true, nil
+}
 
-	// Break every edge crossing the cut.
-	for _, e := range in.dcmp.Edges() {
-		if in.fullCut[e.Parent] || !in.fullCut[e.Target] {
+// planRemove locates the instance of every variable above the cut (X). Edges
+// never point from Y back into X, so X nodes are reachable through X-only
+// paths, all of whose map keys are bound by t.
+func (in *Instance) planRemove(t relation.Tuple) error {
+	scr := &in.scr
+	scr.reset(len(in.updWalk))
+	for _, i := range in.rmXvars {
+		if i == 0 {
+			scr.nodes[0] = in.root
 			continue
 		}
-		m := located[e.Parent].MapAt(in, e)
-		k := t.Project(e.Key)
+		w := &in.updWalk[i]
+		var n *Node
+		for _, ue := range w.in {
+			pn := scr.nodes[ue.parent]
+			var child *Node
+			var ok bool
+			if ue.col != "" {
+				v, _ := t.Get(ue.col)
+				child, ok = pn.slots[ue.slot].m.GetByValue(v)
+			} else {
+				child, ok = pn.slots[ue.slot].m.Get(t.Project(ue.e.Key))
+			}
+			if ok {
+				n = child
+				break
+			}
+		}
+		if n == nil {
+			// Contains(t) held, so every X node must be reachable; a miss
+			// means the instance was already inconsistent. Surface it as an
+			// error rather than a panic through the caller's lock.
+			return fmt.Errorf("instance: node %s not found while removing %v", w.name, t)
+		}
+		scr.nodes[i] = n
+	}
+	return nil
+}
+
+// applyRemove executes the removal from the plan, logging compensations.
+func (in *Instance) applyRemove(t relation.Tuple) (err error) {
+	in.undo.reset()
+	defer in.containApply()
+	scr := &in.scr
+
+	// Break every edge crossing the cut.
+	for _, le := range in.rmBreaks {
+		parent := scr.nodes[le.parent]
+		m := parent.slots[le.slot].m
+		k := t.Project(le.e.Key)
+		if in.fi != nil {
+			if ferr := in.fi.Point("instance.remove.break", true); ferr != nil {
+				return in.abort(ferr)
+			}
+		}
 		if child, ok := m.Get(k); ok {
 			m.Delete(k)
+			in.undo.pushRelink(parent, le.slot, k, child)
 			in.release(child)
 		}
 	}
@@ -63,32 +97,48 @@ func (in *Instance) RemoveTuple(t relation.Tuple) bool {
 	// Deallocate maps above the cut that became empty, deepest first so the
 	// cleanup cascades toward the root.
 	if in.CleanupEmpty {
-		for i := len(xvars) - 1; i >= 0; i-- {
-			v := xvars[i]
-			if v == in.dcmp.Root() || !in.isEmptyNode(located[v]) {
+		for x := len(in.rmXvars) - 1; x >= 0; x-- {
+			i := in.rmXvars[x]
+			if i == 0 || !in.isEmptyNode(scr.nodes[i]) {
 				continue
 			}
-			for _, e := range in.dcmp.InEdges(v) {
-				m := located[e.Parent].MapAt(in, e)
-				k := t.Project(e.Key)
-				if child, ok := m.Get(k); ok && child == located[v] {
+			for _, ue := range in.updWalk[i].in {
+				pn := scr.nodes[ue.parent]
+				m := pn.slots[ue.slot].m
+				k := t.Project(ue.e.Key)
+				if child, ok := m.Get(k); ok && child == scr.nodes[i] {
+					if in.fi != nil {
+						if ferr := in.fi.Point("instance.remove.cleanup", true); ferr != nil {
+							return in.abort(ferr)
+						}
+					}
 					m.Delete(k)
-					located[v].refs--
+					child.refs--
+					in.undo.pushRef(child)
+					in.undo.pushRelink(pn, ue.slot, k, child)
 				}
 			}
 		}
 	}
 
+	if in.fi != nil {
+		if ferr := in.fi.Point("instance.remove.commit", true); ferr != nil {
+			return in.abort(ferr)
+		}
+	}
 	in.count--
-	return true
+	in.undo.reset()
+	return nil
 }
 
 // release decrements a node's reference count and, when it becomes
-// unreachable, recursively releases everything it points to. Below a
-// full-column cut every reachable node represents only the removed tuple,
-// so the recursive free is exact.
+// unreachable, recursively releases everything it points to, logging each
+// decrement so rollback can resurrect the subtree. Below a full-column cut
+// every reachable node represents only the removed tuple, so the recursive
+// free is exact.
 func (in *Instance) release(n *Node) {
 	n.refs--
+	in.undo.pushRef(n)
 	if n.refs > 0 {
 		return
 	}
@@ -106,25 +156,42 @@ func (in *Instance) release(n *Node) {
 // the pattern s is a key for the relation and the update u touches only
 // columns stored in unit primitives — never a map key or a variable's bound
 // columns — the matched tuple's nodes can be reused and the new values
-// written directly into the units.
+// written directly into the units. Like Insert and RemoveTuple it runs in
+// two phases: the planning pass locates every node and computes the merged
+// unit values, the apply pass writes them with undo logging.
 //
 // t locates the stored tuple being updated: it must agree with that tuple
 // and bind every map-edge key column (EdgeKeyCols) — the full stored tuple
 // always qualifies, but a keyed engine can pass just the key pattern when it
 // covers the edge keys. The engine verifies the match exists with a query
 // before calling, which is why no extra presence check runs here.
-// UpdateInPlace reports whether it applied; if not, the engine falls back to
-// remove + insert.
-func (in *Instance) UpdateInPlace(t, u relation.Tuple) bool {
+// UpdateInPlace reports whether it applied; (false, nil) means the update
+// cannot run in place and the engine falls back to remove + insert, while a
+// non-nil error means the update was rejected or rolled back.
+func (in *Instance) UpdateInPlace(t, u relation.Tuple) (bool, error) {
 	if !in.CanUpdateInPlace(u.Dom()) {
-		return false
+		return false, nil
 	}
+	if !in.edgeKeyCols.SubsetOf(t.Dom()) {
+		// A locator missing edge-key columns used to drive the walk into a
+		// miss and panic; reject it up front instead.
+		return false, fmt.Errorf("instance: update locator %v does not bind the map-edge key columns %v", t, in.edgeKeyCols)
+	}
+	if err := in.planUpdate(t, u); err != nil {
+		return false, err
+	}
+	if err := in.applyUpdate(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// planUpdate locates the node of every variable and computes the merged unit
+// values without writing anything.
+func (in *Instance) planUpdate(t, u relation.Tuple) error {
+	scr := &in.scr
+	scr.reset(len(in.updWalk))
 	udom := u.Dom()
-	var locArr [16]*Node
-	located := locArr[:0]
-	if len(in.updWalk) > len(locArr) {
-		located = make([]*Node, 0, len(in.updWalk))
-	}
 	for i := range in.updWalk {
 		w := &in.updWalk[i]
 		var n *Node
@@ -132,7 +199,7 @@ func (in *Instance) UpdateInPlace(t, u relation.Tuple) bool {
 			n = in.root
 		} else {
 			for _, ue := range w.in {
-				pn := located[ue.parent]
+				pn := scr.nodes[ue.parent]
 				var child *Node
 				var ok bool
 				if ue.col != "" {
@@ -147,22 +214,41 @@ func (in *Instance) UpdateInPlace(t, u relation.Tuple) bool {
 				}
 			}
 			if n == nil {
-				panic(fmt.Sprintf("instance: node not found while updating %v", t))
+				return fmt.Errorf("instance: node %s not found while updating %v", w.name, t)
 			}
 		}
-		located = append(located, n)
+		scr.nodes[i] = n
 		for _, uu := range w.units {
 			switch {
 			case uu.u.Cols.Equal(udom):
 				// The update binds exactly this unit's columns: the merged
 				// unit is u itself (right bias), no merge or projection.
-				n.slots[uu.slot].unit = u
+				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: u, logUndo: true})
 			case uu.u.Cols.Intersects(udom):
-				n.slots[uu.slot].unit = n.slots[uu.slot].unit.Merge(u.Project(uu.u.Cols))
+				merged := n.slots[uu.slot].unit.Merge(u.Project(uu.u.Cols))
+				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: merged, logUndo: true})
 			}
 		}
 	}
-	return true
+	return nil
+}
+
+// applyUpdate writes the planned unit values, logging the previous tuples.
+func (in *Instance) applyUpdate() (err error) {
+	in.undo.reset()
+	defer in.containApply()
+	for i := range in.scr.units {
+		uw := &in.scr.units[i]
+		if in.fi != nil {
+			if ferr := in.fi.Point("instance.update.unit", true); ferr != nil {
+				return in.abort(ferr)
+			}
+		}
+		in.undo.pushUnit(uw.n, uw.slot, uw.n.slots[uw.slot].unit)
+		uw.n.slots[uw.slot].unit = uw.val
+	}
+	in.undo.reset()
+	return nil
 }
 
 // CanUpdateInPlace reports whether an update binding the columns ucols can

@@ -1,0 +1,119 @@
+package instance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// ErrTorn reports the one failure mode the engine cannot mask: a mutation
+// failed mid-apply and replaying its undo log also failed, so the instance
+// may no longer be well-formed. Errors wrapping ErrTorn make the owning
+// core.Relation flip its Poisoned flag and refuse further mutations.
+var ErrTorn = errors.New("instance: rollback failed, instance may be torn")
+
+// Torn reports whether an undo-log rollback has ever failed on this
+// instance. A torn instance makes no well-formedness promises; the engine
+// degrades it to read-only.
+func (in *Instance) Torn() bool { return in.torn }
+
+type undoKind uint8
+
+const (
+	undoUnit   undoKind = iota // restore a unit slot's previous tuple
+	undoUnlink                 // delete a map entry the mutation added, dropping its ref
+	undoRelink                 // re-add a map entry the mutation deleted
+	undoRef                    // re-increment a reference count the mutation dropped
+)
+
+// An undoEntry is one compensating action. For undoUnit and undoRef, n is
+// the node whose slot or refcount changes; for the edge kinds it is the
+// parent node holding the map.
+type undoEntry struct {
+	kind  undoKind
+	n     *Node
+	slot  int
+	unit  relation.Tuple
+	key   relation.Tuple
+	child *Node
+}
+
+// An undoLog records compensating actions for the writes of one mutation's
+// apply phase, in apply order. Replaying it in reverse restores the exact
+// pre-mutation node graph: every unit slot, map entry, and reference count.
+// (Iteration order inside a map that had an entry deleted and re-added may
+// differ; α and well-formedness are unaffected.)
+type undoLog struct {
+	entries []undoEntry
+}
+
+func (u *undoLog) reset() { u.entries = u.entries[:0] }
+
+func (u *undoLog) pushUnit(n *Node, slot int, prev relation.Tuple) {
+	u.entries = append(u.entries, undoEntry{kind: undoUnit, n: n, slot: slot, unit: prev})
+}
+
+func (u *undoLog) pushUnlink(parent *Node, slot int, key relation.Tuple, child *Node) {
+	u.entries = append(u.entries, undoEntry{kind: undoUnlink, n: parent, slot: slot, key: key, child: child})
+}
+
+func (u *undoLog) pushRelink(parent *Node, slot int, key relation.Tuple, child *Node) {
+	u.entries = append(u.entries, undoEntry{kind: undoRelink, n: parent, slot: slot, key: key, child: child})
+}
+
+func (u *undoLog) pushRef(n *Node) {
+	u.entries = append(u.entries, undoEntry{kind: undoRef, n: n})
+}
+
+// rollback replays the log in reverse and clears it. A panic during replay
+// (a failing data structure, or an injected double fault) is caught and
+// returned as an error; the caller marks the instance torn.
+func (u *undoLog) rollback() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("instance: panic while rolling back: %v", p)
+		}
+	}()
+	for i := len(u.entries) - 1; i >= 0; i-- {
+		e := &u.entries[i]
+		switch e.kind {
+		case undoUnit:
+			e.n.slots[e.slot].unit = e.unit
+		case undoUnlink:
+			e.n.slots[e.slot].m.Delete(e.key)
+			e.child.refs--
+		case undoRelink:
+			e.n.slots[e.slot].m.Put(e.key, e.child)
+		case undoRef:
+			e.n.refs++
+		}
+	}
+	u.entries = u.entries[:0]
+	return nil
+}
+
+// abort is the error exit of an apply phase: it rolls the recorded writes
+// back and returns the cause. If rollback itself fails the instance is
+// marked torn and the returned error wraps ErrTorn.
+func (in *Instance) abort(cause error) error {
+	if rerr := in.undo.rollback(); rerr != nil {
+		in.torn = true
+		return fmt.Errorf("%w (cause: %v; rollback: %v)", ErrTorn, cause, rerr)
+	}
+	return cause
+}
+
+// containApply is deferred around every apply phase: a panic escaping the
+// writes (a data-structure failure or an injected fault) triggers the same
+// undo-log rollback as an error exit, and then propagates. The core API
+// boundary converts the re-raised panic into an error; by the time it does,
+// the instance is already restored — or flagged torn when restoring failed.
+func (in *Instance) containApply() {
+	if p := recover(); p != nil {
+		if rerr := in.undo.rollback(); rerr != nil {
+			in.torn = true
+		}
+		panic(p)
+	}
+}

@@ -1,0 +1,123 @@
+package instance
+
+// White-box negative tests for CheckWF: each case corrupts a well-formed
+// scheduler instance (Figure 2(a)) in one targeted way and asserts that the
+// Figure 5 checker reports the violation with the expected diagnosis. The
+// positive direction — mutations preserve well-formedness — is covered by
+// the property tests and the fault-injection harness; these tests establish
+// that the checker those suites rely on actually detects each class of
+// corruption.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+// wfFixture builds the scheduler instance holding (1,1,S,7) and (1,2,R,4)
+// and returns it together with the shared unit node w for (ns=1, pid=1).
+//
+// Slot layout (preorder of each definition): the root x has the ns-keyed
+// hash table to y at slot 0 and the state-keyed vector to z at slot 1; y has
+// its pid-keyed hash table to w at slot 0; z its (ns,pid)-keyed list to w at
+// slot 0; w its cpu unit at slot 0.
+func wfFixture(t *testing.T) (*Instance, *Node) {
+	t.Helper()
+	in := New(paperex.SchedulerDecomp(), paperex.SchedulerFDs())
+	for _, tup := range []relation.Tuple{
+		paperex.SchedulerTuple(1, 1, paperex.StateS, 7),
+		paperex.SchedulerTuple(1, 2, paperex.StateR, 4),
+	} {
+		if ok, err := in.Insert(tup); err != nil || !ok {
+			t.Fatalf("seed insert %v: ok=%v err=%v", tup, ok, err)
+		}
+	}
+	if err := in.CheckWF(); err != nil {
+		t.Fatalf("fixture not well-formed: %v", err)
+	}
+	y := mustChild(t, in.root, 0, relation.NewTuple(relation.BindInt("ns", 1)))
+	w := mustChild(t, y, 0, relation.NewTuple(relation.BindInt("pid", 1)))
+	return in, w
+}
+
+func mustChild(t *testing.T, n *Node, slot int, key relation.Tuple) *Node {
+	t.Helper()
+	c, ok := n.slots[slot].m.Get(key)
+	if !ok {
+		t.Fatalf("no child of %s at slot %d for key %v", n.Var, slot, key)
+	}
+	return c
+}
+
+func TestCheckWFDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, in *Instance, w *Node)
+		want    string // substring of the CheckWF error
+	}{
+		{
+			name: "refcount skew on a shared node",
+			corrupt: func(t *testing.T, in *Instance, w *Node) {
+				w.refs++
+			},
+			want: "has refcount",
+		},
+		{
+			name: "nonzero root refcount",
+			corrupt: func(t *testing.T, in *Instance, w *Node) {
+				in.root.refs++
+			},
+			want: "root has refcount",
+		},
+		{
+			name: "unit disagrees with its declared columns",
+			corrupt: func(t *testing.T, in *Instance, w *Node) {
+				w.slots[0].unit = relation.NewTuple(relation.BindInt("bogus", 7))
+			},
+			want: "unit of w holds",
+		},
+		{
+			name: "dangling edge with a wrong-domain key",
+			corrupt: func(t *testing.T, in *Instance, w *Node) {
+				y := mustChild(t, in.root, 0, relation.NewTuple(relation.BindInt("ns", 1)))
+				y.slots[0].m.Put(relation.NewTuple(relation.BindInt("bogus", 9)), w)
+				w.refs++ // keep the refcount consistent so the key domain is the violation
+			},
+			want: "edge y→w has key",
+		},
+		{
+			name: "dangling edge reaching a shared node with the wrong valuation",
+			corrupt: func(t *testing.T, in *Instance, w *Node) {
+				y := mustChild(t, in.root, 0, relation.NewTuple(relation.BindInt("ns", 1)))
+				y.slots[0].m.Put(relation.NewTuple(relation.BindInt("pid", 9)), w)
+				w.refs++
+			},
+			want: "shared node w reached with valuations",
+		},
+		{
+			name: "join side missing a tuple (dangling join)",
+			corrupt: func(t *testing.T, in *Instance, w *Node) {
+				z := mustChild(t, in.root, 1, relation.NewTuple(relation.BindInt("state", paperex.StateS)))
+				z.slots[0].m.Delete(relation.NewTuple(
+					relation.BindInt("ns", 1), relation.BindInt("pid", 1)))
+				w.refs-- // the deleted entry held one of w's references
+			},
+			want: "has dangling tuples",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, w := wfFixture(t)
+			tc.corrupt(t, in, w)
+			err := in.CheckWF()
+			if err == nil {
+				t.Fatal("CheckWF accepted the corrupted instance")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("CheckWF = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}

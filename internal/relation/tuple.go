@@ -112,6 +112,23 @@ func (t Tuple) Project(c Cols) Tuple {
 	return Tuple{cols: cols, vals: vals}
 }
 
+// ProjectStrict is Project for callers that require every column of C to be
+// bound: it returns an error naming the first unbound column instead of
+// silently dropping it (as Project does) or panicking (as MustGet does).
+// The engine's mutation paths use it so a malformed caller tuple surfaces as
+// an error through the API rather than a panic through a tier's lock.
+func (t Tuple) ProjectStrict(c Cols) (Tuple, error) {
+	p := t.Project(c)
+	if p.Len() != c.Len() {
+		for _, name := range c.Names() {
+			if !t.Dom().Has(name) {
+				return Tuple{}, fmt.Errorf("relation: column %q unbound in tuple %v", name, t)
+			}
+		}
+	}
+	return p, nil
+}
+
 // Extends reports t ⊇ s: t binds every column of s to the same value.
 func (t Tuple) Extends(s Tuple) bool {
 	i := 0
