@@ -7,9 +7,21 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled fmt-check faultinject
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled fmt-check faultinject lint
 
-ci: vet build race faultinject
+ci: vet build race faultinject lint
+
+# The static-analysis plane, both halves: the decomposition linter over
+# every checked-in spec (relvet0xx — adequacy, storage redundancy, cost
+# smells), the Go-plane multichecker over the whole module (relvet1xx —
+# engine misuse in client and generated packages), and the codegen
+# contract (relvet105 — regenerated output must be gofmt-idempotent and
+# analyzer-clean). All three must exit 0 on a healthy checkout; there are
+# no standing suppressions.
+lint: build
+	$(GO) run ./cmd/relc -lint spec/*.rel
+	$(GO) run ./cmd/relvet ./...
+	$(GO) run ./cmd/relvet -gen spec/*.rel
 
 # The race gate plus an explicit rerun of the compiled-vs-interpreter
 # differential tests (plan-level and engine-level) — the properties that

@@ -32,6 +32,8 @@ func main() {
 	top := flag.Int("top", 15, "ranked candidates to print")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	workers := flag.Int("workers", 1, "concurrent benchmark workers (keep 1 for trustworthy wall-clock rankings; 0 = GOMAXPROCS)")
+	lintShapes := flag.Bool("lint", false, "prune shapes the decomposition linter flags, and explain each exclusion")
+	suppress := flag.String("suppress", "", "comma-separated lint codes to ignore when pruning (with -lint)")
 	flag.Parse()
 
 	spec, bench, err := pick(*wl, *scale)
@@ -49,27 +51,52 @@ func main() {
 		MaxAssignments: *assignments,
 		Timeout:        *timeout,
 		Workers:        *workers,
+		Lint:           *lintShapes,
+		LintSuppress:   splitCodes(*suppress),
 	}, bench)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autotune: %v\n", err)
 		os.Exit(1)
 	}
 
-	finished, failed := 0, 0
+	finished, failed, prunedN := 0, 0, 0
 	for _, r := range results {
-		if r.Failed {
+		switch {
+		case r.Pruned:
+			prunedN++
+		case r.Failed:
 			failed++
-		} else {
+		default:
 			finished++
 		}
 	}
-	fmt.Printf("%d decomposition shapes: %d finished, %d did not complete\n\n", len(results), finished, failed)
+	fmt.Printf("%d decomposition shapes: %d finished, %d did not complete, %d pruned by lint\n\n",
+		len(results), finished, failed, prunedN)
 	for i, r := range results {
 		if i >= *top || r.Failed {
 			break
 		}
 		fmt.Printf("#%d  %.4fs\n%s\n\n", i+1, r.Cost, indent(r.Decomp.String()))
 	}
+	if prunedN > 0 {
+		fmt.Printf("pruned shapes (never benchmarked):\n")
+		for _, r := range results {
+			if !r.Pruned {
+				continue
+			}
+			fmt.Printf("%s\n", indent(r.Decomp.String()))
+			for _, d := range r.Diags {
+				fmt.Printf("        ↳ %v\n", d)
+			}
+		}
+	}
+}
+
+func splitCodes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }
 
 func pick(wl string, scale int) (*core.Spec, autotuner.Benchmark, error) {

@@ -6,10 +6,17 @@
 // Usage:
 //
 //	relc [-o DIR] [-pkg NAME] [-decomp NAME] [-check] FILE.rel
+//	relc -lint [-suppress CODES] FILE.rel...
 //
 // With -check the input is only validated (structure + adequacy + operation
 // planning); nothing is written. Without -decomp, every decomposition in
 // the file is compiled, each into its own package named after it.
+//
+// With -lint the files are parsed leniently and run through the
+// decomposition linter (internal/lint): every finding is printed as a
+// positioned file:line:col diagnostic with its relvet0xx code, and the
+// exit status is 1 when any finding survives -suppress. Unlike -check,
+// -lint keeps going past rejected declarations so it can explain them.
 package main
 
 import (
@@ -17,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/dsl"
+	"repro/internal/lint"
 )
 
 func main() {
@@ -27,11 +36,21 @@ func main() {
 	pkg := flag.String("pkg", "", "package name override (single-decomposition compiles only)")
 	which := flag.String("decomp", "", "compile only the named decomposition")
 	check := flag.Bool("check", false, "validate only; write nothing")
+	doLint := flag.Bool("lint", false, "lint the files and print positioned diagnostics; write nothing")
+	suppress := flag.String("suppress", "", "comma-separated lint codes to drop (with -lint)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: relc [-o DIR] [-pkg NAME] [-decomp NAME] [-check] FILE.rel\n")
+		fmt.Fprintf(os.Stderr, "       relc -lint [-suppress CODES] FILE.rel...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *doLint {
+		if flag.NArg() == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runLint(flag.Args(), *suppress))
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -42,14 +61,45 @@ func main() {
 	}
 }
 
+// runLint lints each file and prints the findings; it returns the exit
+// status (0 clean, 1 findings, 2 unreadable/unparsable input).
+func runLint(paths []string, suppress string) int {
+	opts := lint.Options{}
+	if suppress != "" {
+		opts.Suppress = strings.Split(suppress, ",")
+	}
+	status := 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relc: %v\n", err)
+			return 2
+		}
+		file, err := dsl.ParseLenient(path, string(src))
+		if err != nil {
+			// Syntax or spec errors are fatal even to the lenient parser.
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			status = 2
+			continue
+		}
+		for _, d := range lint.CheckFile(file, opts) {
+			fmt.Printf("%v\n", d)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
 func run(path, out, pkg, which string, checkOnly bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	file, err := dsl.Parse(string(src))
+	file, err := dsl.ParseFile(path, string(src))
 	if err != nil {
-		return fmt.Errorf("%s:%v", path, err)
+		return err
 	}
 	if len(file.Decomps) == 0 {
 		return fmt.Errorf("%s declares no decompositions", path)

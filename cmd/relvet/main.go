@@ -1,0 +1,190 @@
+// Command relvet is the Go-plane half of the static-analysis suite: a
+// multichecker that vets client code and generated code for misuse of the
+// relation engine (the relvet1xx codes of internal/vet), plus a codegen
+// mode asserting RELC output is gofmt-idempotent and analyzer-clean
+// (relvet105), and a catalogue mode documenting every code of both
+// planes. The decomposition-plane linter (relvet0xx) runs via
+// `relc -lint`; this command deliberately shares its diagnostic currency
+// so CI output from both reads identically.
+//
+// Usage:
+//
+//	relvet [-suppress CODES] [PACKAGES...]   vet Go packages (default ./...)
+//	relvet -gen FILE.rel...                  regenerate and vet codegen output
+//	relvet -codes                            print the code catalogue
+//
+// Suppression in Go sources is per-line: a `//relvet:ignore relvet101`
+// comment on the finding's line (or alone on the line above) silences
+// that code; a bare `//relvet:ignore` silences every code on the line.
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/codegen"
+	"repro/internal/diag"
+	"repro/internal/dsl"
+	"repro/internal/lint"
+	"repro/internal/vet"
+)
+
+func main() {
+	genMode := flag.Bool("gen", false, "treat arguments as .rel files: regenerate their packages in memory and vet the output")
+	codes := flag.Bool("codes", false, "print the catalogue of relvet codes and exit")
+	suppress := flag.String("suppress", "", "comma-separated codes to drop")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: relvet [-suppress CODES] [PACKAGES...]\n")
+		fmt.Fprintf(os.Stderr, "       relvet -gen FILE.rel...\n")
+		fmt.Fprintf(os.Stderr, "       relvet -codes\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *codes:
+		printCatalogue()
+	case *genMode:
+		os.Exit(runGen(flag.Args(), splitCodes(*suppress)))
+	default:
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		os.Exit(runVet(patterns, splitCodes(*suppress)))
+	}
+}
+
+func splitCodes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// runVet loads and type-checks the packages and applies the relvet1xx
+// analyzers.
+func runVet(patterns, suppress []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relvet: %v\n", err)
+		return 2
+	}
+	ds := diag.Filter(analysis.Run(pkgs, vet.Analyzers()), suppress)
+	printDiags(ds)
+	if len(ds) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runGen re-runs the compiler on each .rel file in memory and holds the
+// output to the relvet105 contract: gofmt idempotence plus a clean run
+// of the same analyzers client code faces. Nothing is written to disk.
+func runGen(paths, suppress []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "relvet: -gen needs .rel files\n")
+		return 2
+	}
+	var ds []diag.Diagnostic
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relvet: %v\n", err)
+			return 2
+		}
+		file, err := dsl.ParseLenient(path, string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 2
+		}
+		for i := range file.Decomps {
+			nd := &file.Decomps[i]
+			if nd.D == nil {
+				// relc -lint explains rejected declarations; here they
+				// simply have no output to vet.
+				continue
+			}
+			files, err := codegen.Generate(nd.For, nd.D, codegen.Options{Package: nd.Name, Ops: nd.Ops})
+			if err != nil {
+				ds = append(ds, diag.Errorf(nd.Pos, vet.CodeDirtyCodegen, nd.Name,
+					"decomposition %q does not generate: %v", nd.Name, err))
+				continue
+			}
+			for fname, content := range files {
+				ds = append(ds, vetGenerated(nd.Pos, nd.Name+"/"+fname, content)...)
+			}
+		}
+	}
+	ds = diag.Filter(ds, suppress)
+	printDiags(ds)
+	if len(ds) > 0 {
+		return 1
+	}
+	fmt.Printf("relvet: generated code clean for %s\n", strings.Join(paths, " "))
+	return 0
+}
+
+// vetGenerated applies the relvet105 contract to one generated file.
+func vetGenerated(pos diag.Pos, name string, content []byte) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	formatted, err := format.Source(content)
+	if err != nil {
+		return []diag.Diagnostic{diag.Errorf(pos, vet.CodeDirtyCodegen, name,
+			"generated file %s does not parse: %v", name, err)}
+	}
+	if !bytes.Equal(formatted, content) {
+		ds = append(ds, diag.Errorf(pos, vet.CodeDirtyCodegen, name,
+			"generated file %s is not gofmt-idempotent", name))
+	}
+	pkg, err := analysis.CheckSource(".", name, content, "./...")
+	if err != nil {
+		return append(ds, diag.Errorf(pos, vet.CodeDirtyCodegen, name,
+			"generated file %s does not type-check: %v", name, err))
+	}
+	for _, d := range analysis.Run([]*analysis.Package{pkg}, vet.Analyzers()) {
+		d.Message = fmt.Sprintf("generated code: %s", d.Message)
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+func printDiags(ds []diag.Diagnostic) {
+	cwd, _ := os.Getwd()
+	for _, d := range ds {
+		if cwd != "" && filepath.IsAbs(d.Pos.File) {
+			if rel, err := filepath.Rel(cwd, d.Pos.File); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.File = rel
+			}
+		}
+		fmt.Printf("%v\n", d)
+	}
+}
+
+// printCatalogue documents both planes: the decomposition linter's codes
+// (internal/lint, run by `relc -lint` and the autotuner) and the Go-plane
+// analyzers here.
+func printCatalogue() {
+	fmt.Printf("decomposition plane (relc -lint, autotune -lint):\n")
+	for _, i := range lint.Codes() {
+		printInfo(i)
+	}
+	fmt.Printf("\ngo plane (relvet):\n")
+	for _, i := range vet.Codes() {
+		printInfo(i)
+	}
+	fmt.Printf("\nsuppression: .rel findings via -suppress CODE,...; Go findings via //relvet:ignore CODE comments or -suppress\n")
+}
+
+func printInfo(i lint.Info) {
+	fmt.Printf("  %s  %-7s  %s\n", i.Code, i.Severity, i.Summary)
+	fmt.Printf("           grounding: %s\n", i.Grounding)
+}

@@ -1,0 +1,178 @@
+// Package analysis is a small, dependency-free skeleton of the go/analysis
+// vocabulary: analyzers run over type-checked packages and report
+// positioned findings. The standard golang.org/x/tools module is not a
+// dependency of this repository, so the package reimplements the two
+// pieces the relvet suite needs — a loader (loader.go) that type-checks
+// packages offline from the build cache's export data, and the
+// Analyzer/Pass protocol here — on the standard library alone.
+//
+// Findings are rendered as diag.Diagnostics, the same currency the
+// decomposition linter uses, so cmd/relvet can interleave both planes in
+// one sorted report. Source lines can opt out of a finding with a
+//
+//	//relvet:ignore relvet101 relvet102
+//
+// comment on the same line or the line above; a bare //relvet:ignore
+// suppresses every code on that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// An Analyzer is one check over a type-checked package.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Code     diag.Code
+	Severity diag.Severity
+	Run      func(*Pass)
+}
+
+// A Pass carries one (package, analyzer) pairing. The analyzer inspects
+// Pkg and calls Reportf for each finding.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings []finding
+}
+
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, finding{pos, fmt.Sprintf(format, args...)})
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings as sorted diagnostics. //relvet:ignore suppressions are
+// honoured here, after the analyzers run, so analyzers stay oblivious to
+// the mechanism.
+func Run(pkgs []*Package, analyzers []*Analyzer) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, pkg := range pkgs {
+		ig := ignoresFor(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				pos := pkg.Fset.Position(f.pos)
+				if ig.suppressed(pos.Filename, pos.Line, a.Code) {
+					continue
+				}
+				ds = append(ds, diag.Diagnostic{
+					Pos:      diag.Pos{File: pos.Filename, Line: pos.Line, Col: pos.Column},
+					Code:     a.Code,
+					Severity: a.Severity,
+					Node:     a.Name,
+					Message:  f.msg,
+				})
+			}
+		}
+	}
+	diag.Sort(ds)
+	return ds
+}
+
+// ignoreSet maps file → line → codes suppressed on that line (nil slice
+// means every code).
+type ignoreSet map[string]map[int][]diag.Code
+
+const ignoreMarker = "//relvet:ignore"
+
+// ignoresFor scans a package's comments for //relvet:ignore markers. A
+// marker suppresses its own line and, when it is the only thing on its
+// line, the line below — the two places a human puts it.
+func ignoresFor(pkg *Package) ignoreSet {
+	ig := ignoreSet{}
+	add := func(file string, line int, codes []diag.Code) {
+		m := ig[file]
+		if m == nil {
+			m = map[int][]diag.Code{}
+			ig[file] = m
+		}
+		if codes == nil {
+			m[line] = nil // suppress everything, overriding any code list
+			return
+		}
+		if cur, seen := m[line]; seen && cur == nil {
+			return
+		}
+		m[line] = append(m[line], codes...)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreMarker)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				var codes []diag.Code
+				for _, w := range strings.Fields(rest) {
+					codes = append(codes, diag.Code(w))
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, codes)
+				if pos.Column == 1 || onlyCommentOnLine(pkg, f, c) {
+					add(pos.Filename, pos.Line+1, codes)
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// onlyCommentOnLine reports whether comment c is a whole-line comment
+// (nothing but whitespace before it), in which case it also guards the
+// following line.
+func onlyCommentOnLine(pkg *Package, f *ast.File, c *ast.Comment) bool {
+	pos := pkg.Fset.Position(c.Pos())
+	// A trailing comment shares its line with the node it follows; a
+	// whole-line comment starts the line (possibly indented). Without the
+	// raw source we approximate: treat it as whole-line if no declared
+	// node of the file starts earlier on the same line. Scanning
+	// declarations is enough — statements live inside declarations.
+	whole := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !whole {
+			return false
+		}
+		np := pkg.Fset.Position(n.Pos())
+		if np.Filename == pos.Filename && np.Line == pos.Line && np.Column < pos.Column {
+			whole = false
+		}
+		return whole
+	})
+	return whole
+}
+
+// suppressed reports whether a finding of code at file:line is covered by
+// an ignore marker.
+func (ig ignoreSet) suppressed(file string, line int, code diag.Code) bool {
+	m, ok := ig[file]
+	if !ok {
+		return false
+	}
+	codes, ok := m[line]
+	if !ok {
+		return false
+	}
+	if codes == nil {
+		return true
+	}
+	for _, c := range codes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}

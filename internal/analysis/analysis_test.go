@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/diag"
+)
+
+// callCounter flags every function call — a maximally noisy analyzer that
+// exercises the loader, the Pass protocol, and suppression.
+var callCounter = &analysis.Analyzer{
+	Name:     "callcount",
+	Doc:      "flags every call expression (test analyzer)",
+	Code:     "relvet999",
+	Severity: diag.Warning,
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// TestLoadTypeChecks loads a real package of this repository offline and
+// checks that type information is populated.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := analysis.Load("..", "repro/internal/diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Types.Scope().Lookup("Diagnostic") == nil {
+		t.Fatalf("type information missing: %v", p.Types)
+	}
+	if len(p.Info.Defs) == 0 {
+		t.Error("no definitions recorded")
+	}
+}
+
+// TestIgnoreSuppression runs the noisy analyzer over the fixture and
+// checks exactly the unannotated calls surface.
+func TestIgnoreSuppression(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./testdata/ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := analysis.Run(pkgs, []*analysis.Analyzer{callCounter})
+	var lines []int
+	for _, d := range ds {
+		if !strings.HasSuffix(d.Pos.File, "ignore.go") {
+			t.Fatalf("finding in unexpected file: %v", d)
+		}
+		lines = append(lines, d.Pos.Line)
+	}
+	// Surviving calls: "flagged" (line 8) and "other-code" (line 13,
+	// guarded only against relvet998). Same-line, line-above, and bare
+	// ignores suppress the rest.
+	want := []int{8, 13}
+	if len(lines) != len(want) {
+		t.Fatalf("findings on lines %v, want %v (all: %v)", lines, want, ds)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("findings on lines %v, want %v", lines, want)
+		}
+	}
+	for _, d := range ds {
+		if d.Code != "relvet999" || d.Severity != diag.Warning || d.Node != "callcount" {
+			t.Errorf("diagnostic fields wrong: %+v", d)
+		}
+	}
+}

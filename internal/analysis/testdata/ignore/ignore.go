@@ -1,0 +1,14 @@
+// Package ignoredemo is a fixture for the //relvet:ignore mechanism; the
+// loader test flags every function call in it and checks which survive.
+package ignoredemo
+
+import "fmt"
+
+func calls() {
+	fmt.Sprint("flagged")
+	fmt.Sprint("same-line") //relvet:ignore relvet999
+	//relvet:ignore relvet999
+	fmt.Sprint("line-above")
+	fmt.Sprint("bare")       //relvet:ignore
+	fmt.Sprint("other-code") //relvet:ignore relvet998
+}

@@ -199,6 +199,75 @@ func TestTuneRanksByCost(t *testing.T) {
 	}
 }
 
+func TestTuneLintPruning(t *testing.T) {
+	// With Lint on, shapes the decomposition linter flags (at size 3 the
+	// graph relation enumerates shadow joins — both branches keyed the
+	// same way) are never benchmarked, appear last, and carry the
+	// findings that condemned them; every other shape still runs.
+	spec := graphSpec()
+	benched := 0
+	bench := func(r *core.Relation, _ time.Time) (float64, error) {
+		benched++
+		return float64(benched), nil
+	}
+	results, err := autotuner.Tune(spec, autotuner.Options{
+		MaxEdges:       3,
+		KeyArity:       1,
+		Palette:        []dstruct.Kind{dstruct.HTableKind},
+		MaxAssignments: 1,
+		Lint:           true,
+	}, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	seenPruned := false
+	for _, res := range results {
+		if res.Pruned {
+			pruned++
+			seenPruned = true
+			if res.Tried != 0 {
+				t.Errorf("pruned shape was benchmarked %d times", res.Tried)
+			}
+			if len(res.Diags) == 0 {
+				t.Errorf("pruned shape carries no explaining diagnostics")
+			}
+			continue
+		}
+		if seenPruned {
+			t.Errorf("non-pruned result sorted after pruned ones")
+		}
+		if len(res.Diags) != 0 {
+			t.Errorf("un-pruned shape carries diagnostics: %v", res.Diags)
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("no shapes pruned; expected shadow joins at size 3")
+	}
+	if pruned == len(results) {
+		t.Fatal("every shape pruned")
+	}
+
+	// Suppressing the only firing code must restore the full sweep.
+	benched = 0
+	all, err := autotuner.Tune(spec, autotuner.Options{
+		MaxEdges:       3,
+		KeyArity:       1,
+		Palette:        []dstruct.Kind{dstruct.HTableKind},
+		MaxAssignments: 1,
+		Lint:           true,
+		LintSuppress:   []string{"relvet006"},
+	}, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range all {
+		if res.Pruned {
+			t.Errorf("shape pruned despite suppression: %v", res.Diags)
+		}
+	}
+}
+
 func TestTuneSurvivesPanickingCandidates(t *testing.T) {
 	spec := graphSpec()
 	calls := 0

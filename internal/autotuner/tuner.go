@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/diag"
 	"repro/internal/dstruct"
+	"repro/internal/lint"
 )
 
 // A Benchmark measures one candidate representation: it receives a fresh
@@ -44,6 +46,17 @@ type Options struct {
 	// whose cost metric is wall-clock time should use 1, since concurrent
 	// candidates distort each other's timings.
 	Workers int
+	// Lint prunes shapes the decomposition linter flags (redundant map
+	// edges, non-minimal keys, shadow joins — see internal/lint) before
+	// any benchmark runs. Pruned shapes still appear in the results,
+	// marked Pruned and carrying the lint findings that condemned them,
+	// so a tuning report can explain every exclusion. Pruning only
+	// shrinks benchmark time: the linted smells are storage-redundancy
+	// patterns whose un-flagged sibling shape is always also enumerated.
+	Lint bool
+	// LintSuppress drops specific lint codes (e.g. "relvet004") from the
+	// pruning set when Lint is on.
+	LintSuppress []string
 }
 
 func (o *Options) palette() []dstruct.Kind {
@@ -64,6 +77,11 @@ type Result struct {
 	Tried  int // assignments benchmarked
 	Failed bool
 	Err    error // last error when Failed
+
+	// Pruned marks shapes Options.Lint excluded before benchmarking;
+	// Diags holds the lint findings explaining why.
+	Pruned bool
+	Diags  []diag.Diagnostic
 }
 
 // Assignments returns the decomposition with every combination of palette
@@ -124,8 +142,19 @@ func Tune(spec *core.Spec, opts Options, bench Benchmark) ([]Result, error) {
 		cost  float64
 		err   error
 	}
+	pruned := make([][]diag.Diagnostic, len(shapes))
+	if opts.Lint {
+		for si, shape := range shapes {
+			if ds := diag.Filter(lint.CheckBuilt(spec, shape), opts.LintSuppress); len(ds) > 0 {
+				pruned[si] = ds
+			}
+		}
+	}
 	var jobs []*job
 	for si, shape := range shapes {
+		if pruned[si] != nil {
+			continue
+		}
 		for _, cand := range Assignments(spec, shape, opts.palette(), opts.MaxAssignments) {
 			jobs = append(jobs, &job{shape: si, cand: cand})
 		}
@@ -166,6 +195,10 @@ func Tune(spec *core.Spec, opts Options, bench Benchmark) ([]Result, error) {
 	results := make([]Result, len(shapes))
 	for si, shape := range shapes {
 		results[si] = Result{Shape: shape.CanonicalShape(), Failed: true}
+		if pruned[si] != nil {
+			results[si].Pruned = true
+			results[si].Diags = pruned[si]
+		}
 	}
 	for _, j := range jobs {
 		res := &results[j.shape]
@@ -186,6 +219,10 @@ func Tune(spec *core.Spec, opts Options, bench Benchmark) ([]Result, error) {
 		}
 	}
 	sort.Slice(results, func(i, j int) bool {
+		// Finished shapes by cost, then failed shapes, then pruned ones.
+		if results[i].Pruned != results[j].Pruned {
+			return !results[i].Pruned
+		}
 		if results[i].Failed != results[j].Failed {
 			return !results[i].Failed
 		}

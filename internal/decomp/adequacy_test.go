@@ -1,0 +1,211 @@
+package decomp_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/diag"
+	"repro/internal/dstruct"
+	"repro/internal/fd"
+	"repro/internal/relation"
+)
+
+// TestAdequacyDiagnosticsPerClause exercises every violation class of the
+// Figure 6 judgment, asserting that the diagnostic names the offending
+// node or edge and the violated clause.
+func TestAdequacyDiagnosticsPerClause(t *testing.T) {
+	abFD := fd.NewSet(fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b")})
+	cases := []struct {
+		name     string
+		d        *decomp.Decomp
+		cols     relation.Cols
+		fds      fd.Set
+		wantRule string
+		wantNode string
+		wantMsg  string // substring of the message
+	}{
+		{
+			name: "unit at root",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("x", nil, []string{"a"}, decomp.U("a")),
+			}, "x"),
+			cols:     relation.NewCols("a"),
+			fds:      fd.NewSet(),
+			wantRule: decomp.RuleUnitRoot,
+			wantNode: "x",
+			wantMsg:  "unit",
+		},
+		{
+			name: "unit without FD",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"a"}, []string{"b"}, decomp.U("b")),
+				decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w", "a")),
+			}, "x"),
+			cols:     relation.NewCols("a", "b"),
+			fds:      fd.NewSet(),
+			wantRule: decomp.RuleUnitFD,
+			wantNode: "w",
+			wantMsg:  "FDs do not imply",
+		},
+		{
+			name: "map target bound not implied",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"a", "c"}, []string{"b"}, decomp.U("b")),
+				decomp.Let("x", nil, []string{"a", "b", "c"}, decomp.M(dstruct.HTableKind, "w", "a")),
+			}, "x"),
+			cols:     relation.NewCols("a", "b", "c"),
+			fds:      fd.NewSet(fd.FD{From: relation.NewCols("a", "c"), To: relation.NewCols("b")}),
+			wantRule: decomp.RuleMapFD,
+			wantNode: "x→w",
+			wantMsg:  `edge "x"→"w"`,
+		},
+		{
+			name: "shared target missing path columns",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"a"}, []string{"c"}, decomp.U("c")),
+				decomp.Let("x", nil, []string{"a", "b", "c"},
+					decomp.J(
+						decomp.M(dstruct.HTableKind, "w", "a"),
+						decomp.M(dstruct.HTableKind, "w", "a", "b"))),
+			}, "x"),
+			cols: relation.NewCols("a", "b", "c"),
+			fds: fd.NewSet(
+				fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b", "c")},
+			),
+			wantRule: decomp.RuleMapShare,
+			wantNode: "x→w",
+			wantMsg:  "does not include path columns",
+		},
+		{
+			name: "join sides could disagree",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("l", []string{"a"}, []string{"b"}, decomp.U("b")),
+				decomp.Let("r", []string{"a"}, []string{"c"}, decomp.U("c")),
+				decomp.Let("x", nil, []string{"a", "b", "c"},
+					decomp.J(
+						decomp.M(dstruct.HTableKind, "l", "a"),
+						decomp.M(dstruct.HTableKind, "r", "a"))),
+			}, "x"),
+			cols: relation.NewCols("a", "b", "c"),
+			fds: fd.NewSet(
+				fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b")},
+				fd.FD{From: relation.NewCols("b")}, // a → b only; c undetermined
+			),
+			wantRule: decomp.RuleJoinFD,
+			wantNode: "x",
+			wantMsg:  "the two sides could disagree",
+		},
+		{
+			name: "declared cover mismatch",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"a"}, []string{"b", "zzz"}, decomp.U("b")),
+				decomp.Let("x", nil, []string{"a", "b", "zzz"}, decomp.M(dstruct.HTableKind, "w", "a")),
+			}, "x"),
+			cols: relation.NewCols("a", "b", "zzz"),
+			fds: fd.NewSet(
+				fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b", "zzz")}),
+			wantRule: decomp.RuleLetCover,
+			wantNode: "w",
+			wantMsg:  "declares cover",
+		},
+		{
+			name: "columns outside the relation",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"a"}, []string{"b"}, decomp.U("b")),
+				decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w", "a")),
+			}, "x"),
+			cols:     relation.NewCols("a"),
+			fds:      abFD,
+			wantRule: decomp.RuleLetScope,
+			wantNode: "w",
+			wantMsg:  "outside the relation's",
+		},
+		{
+			name: "root cover incomplete",
+			d: decomp.MustNew([]decomp.Binding{
+				decomp.Let("w", []string{"a"}, []string{"b"}, decomp.U("b")),
+				decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w", "a")),
+			}, "x"),
+			cols:     relation.NewCols("a", "b", "c"),
+			fds:      abFD,
+			wantRule: decomp.RuleRootCover,
+			wantNode: "x",
+			wantMsg:  "root covers",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds := c.d.AdequacyDiagnostics(c.cols, c.fds)
+			if len(ds) == 0 {
+				t.Fatalf("no diagnostics for inadequate decomposition")
+			}
+			found := false
+			for _, d := range ds {
+				if d.Rule == c.wantRule && !found {
+					found = true
+					if d.Node != c.wantNode {
+						t.Errorf("node = %q, want %q", d.Node, c.wantNode)
+					}
+					if !strings.Contains(d.Message, c.wantMsg) {
+						t.Errorf("message %q missing %q", d.Message, c.wantMsg)
+					}
+					if d.Code != decomp.AdequacyCode {
+						t.Errorf("code = %q, want %q", d.Code, decomp.AdequacyCode)
+					}
+					if d.Severity != diag.Error {
+						t.Errorf("severity = %v, want error", d.Severity)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic with rule %q; got %v", c.wantRule, ds)
+			}
+			// CheckAdequate surfaces the first diagnostic as a *diag.DiagError.
+			err := c.d.CheckAdequate(c.cols, c.fds)
+			if err == nil {
+				t.Fatalf("CheckAdequate accepted inadequate decomposition")
+			}
+			var de *diag.DiagError
+			if !errors.As(err, &de) {
+				t.Errorf("CheckAdequate error is %T, want *diag.DiagError", err)
+			}
+		})
+	}
+}
+
+// TestAdequacyDiagnosticsCollectsAllBindings checks that violations in
+// several bindings are all reported, not just the first.
+func TestAdequacyDiagnosticsCollectsAllBindings(t *testing.T) {
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("v", []string{"a"}, []string{"b"}, decomp.U("b")), // needs a → b
+		decomp.Let("w", []string{"a"}, []string{"c"}, decomp.U("c")), // needs a → c
+		decomp.Let("x", nil, []string{"a", "b", "c"},
+			decomp.J(
+				decomp.M(dstruct.HTableKind, "v", "a"),
+				decomp.M(dstruct.HTableKind, "w", "a"))),
+	}, "x")
+	ds := d.AdequacyDiagnostics(relation.NewCols("a", "b", "c"), fd.NewSet())
+	units := 0
+	for _, di := range ds {
+		if di.Rule == decomp.RuleUnitFD {
+			units++
+		}
+	}
+	if units != 2 {
+		t.Errorf("got %d AUNIT-FD diagnostics, want 2 (both bindings):\n%v", units, ds)
+	}
+}
+
+// TestAdequacyDiagnosticsAdequate asserts the paper fixtures stay clean.
+func TestAdequacyDiagnosticsAdequate(t *testing.T) {
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"a"}, []string{"b"}, decomp.U("b")),
+		decomp.Let("x", nil, []string{"a", "b"}, decomp.M(dstruct.HTableKind, "w", "a")),
+	}, "x")
+	fds := fd.NewSet(fd.FD{From: relation.NewCols("a"), To: relation.NewCols("b")})
+	if ds := d.AdequacyDiagnostics(relation.NewCols("a", "b"), fds); len(ds) != 0 {
+		t.Errorf("adequate decomposition produced diagnostics: %v", ds)
+	}
+}

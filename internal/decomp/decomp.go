@@ -12,6 +12,7 @@ package decomp
 import (
 	"fmt"
 
+	"repro/internal/diag"
 	"repro/internal/dstruct"
 	"repro/internal/relation"
 )
@@ -25,6 +26,7 @@ type Primitive interface {
 // Unit is the primitive C: a single tuple with columns C.
 type Unit struct {
 	Cols relation.Cols
+	Pos  diag.Pos // source position when parsed from a .rel file
 }
 
 // MapEdge is the primitive C –ψ→ v: an associative map, implemented by data
@@ -35,14 +37,16 @@ type MapEdge struct {
 	Key    relation.Cols
 	DS     dstruct.Kind
 	Target string
-	ID     int    // unique within the Decomp, assigned by New
-	Parent string // variable whose definition contains this edge, set by New
+	ID     int      // unique within the Decomp, assigned by New
+	Parent string   // variable whose definition contains this edge, set by New
+	Pos    diag.Pos // source position when parsed from a .rel file
 }
 
 // Join is the primitive pˆ1 ⋈ pˆ2, representing a relation as the natural
 // join of two sub-relations.
 type Join struct {
 	Left, Right Primitive
+	Pos         diag.Pos // source position when parsed from a .rel file
 }
 
 func (*Unit) isPrimitive()    {}
@@ -57,6 +61,7 @@ type Binding struct {
 	Bound relation.Cols
 	Cover relation.Cols
 	Def   Primitive
+	Pos   diag.Pos // source position when parsed from a .rel file
 }
 
 // A Decomp is a complete decomposition: an ordered list of bindings (each
@@ -131,7 +136,7 @@ func New(bindings []Binding, root string) (*Decomp, error) {
 func (d *Decomp) addPrim(parent string, p Primitive) (Primitive, error) {
 	switch p := p.(type) {
 	case *Unit:
-		return &Unit{Cols: p.Cols}, nil
+		return &Unit{Cols: p.Cols, Pos: p.Pos}, nil
 	case *MapEdge:
 		if p.Key.IsEmpty() {
 			return nil, fmt.Errorf("decomp: map edge in %q has empty key", parent)
@@ -145,7 +150,7 @@ func (d *Decomp) addPrim(parent string, p Primitive) (Primitive, error) {
 		if _, ok := d.byVar[p.Target]; !ok {
 			return nil, fmt.Errorf("decomp: map edge in %q targets unbound variable %q (forward references are not allowed)", parent, p.Target)
 		}
-		e := &MapEdge{Key: p.Key, DS: p.DS, Target: p.Target, ID: len(d.edges), Parent: parent}
+		e := &MapEdge{Key: p.Key, DS: p.DS, Target: p.Target, ID: len(d.edges), Parent: parent, Pos: p.Pos}
 		d.edges = append(d.edges, e)
 		d.inEdges[p.Target] = append(d.inEdges[p.Target], e)
 		return e, nil
@@ -158,7 +163,7 @@ func (d *Decomp) addPrim(parent string, p Primitive) (Primitive, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Join{Left: l, Right: r}, nil
+		return &Join{Left: l, Right: r, Pos: p.Pos}, nil
 	default:
 		return nil, fmt.Errorf("decomp: unknown primitive %T", p)
 	}
@@ -251,7 +256,7 @@ func (d *Decomp) WithKinds(kinds []dstruct.Kind) (*Decomp, error) {
 	}
 	var bs []Binding
 	for _, b := range d.bindings {
-		bs = append(bs, Binding{Var: b.Var, Bound: b.Bound, Cover: b.Cover, Def: reKind(b.Def, kinds)})
+		bs = append(bs, Binding{Var: b.Var, Bound: b.Bound, Cover: b.Cover, Def: reKind(b.Def, kinds), Pos: b.Pos})
 	}
 	return New(bs, d.root)
 }
@@ -259,11 +264,11 @@ func (d *Decomp) WithKinds(kinds []dstruct.Kind) (*Decomp, error) {
 func reKind(p Primitive, kinds []dstruct.Kind) Primitive {
 	switch p := p.(type) {
 	case *Unit:
-		return &Unit{Cols: p.Cols}
+		return &Unit{Cols: p.Cols, Pos: p.Pos}
 	case *MapEdge:
-		return &MapEdge{Key: p.Key, DS: kinds[p.ID], Target: p.Target}
+		return &MapEdge{Key: p.Key, DS: kinds[p.ID], Target: p.Target, Pos: p.Pos}
 	case *Join:
-		return &Join{Left: reKind(p.Left, kinds), Right: reKind(p.Right, kinds)}
+		return &Join{Left: reKind(p.Left, kinds), Right: reKind(p.Right, kinds), Pos: p.Pos}
 	default:
 		panic(fmt.Sprintf("decomp: unknown primitive %T", p))
 	}

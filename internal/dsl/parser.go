@@ -6,16 +6,27 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/diag"
 	"repro/internal/dstruct"
 	"repro/internal/fd"
 	"repro/internal/relation"
 )
 
 // A File is the result of parsing one .rel source: named relational
-// specifications and named decompositions bound to them.
+// specifications and named decompositions bound to them. Source positions
+// for lint diagnostics are threaded into the decomposition AST nodes
+// themselves (decomp.Binding.Pos and friends) and, for spec-level
+// artifacts, into the position tables here.
 type File struct {
+	Path      string // source file name, "" when parsed from a string
 	Relations []*core.Spec
 	Decomps   []NamedDecomp
+
+	// RelPos maps a relation name to its declaration position; FDPos maps
+	// it to one position per functional dependency, parallel to
+	// Spec.FDs.All().
+	RelPos map[string]diag.Pos
+	FDPos  map[string][]diag.Pos
 }
 
 // NamedDecomp is a decomposition declaration, tied to the relation it
@@ -24,8 +35,21 @@ type File struct {
 type NamedDecomp struct {
 	Name string
 	For  *core.Spec
-	D    *decomp.Decomp
-	Ops  []codegen.Op
+	// D is the built decomposition. Under ParseLenient it is nil when the
+	// declaration is structurally invalid (decomp.New rejected it); the
+	// raw bindings below let the linter diagnose why.
+	D   *decomp.Decomp
+	Ops []codegen.Op
+
+	Pos diag.Pos // position of the declaration
+	// RawBindings and Root are the source-level declaration before
+	// decomp.New: the linter analyses these so it can report findings —
+	// dead bindings, structural problems — that New turns into hard
+	// errors.
+	RawBindings []decomp.Binding
+	Root        string
+	// OpsPos holds one position per entry of Ops.
+	OpsPos []diag.Pos
 }
 
 // Relation returns the declared specification with the given name.
@@ -51,17 +75,38 @@ func (f *File) Decomp(name string) *NamedDecomp {
 // Parse parses a .rel source. Every decomposition is structurally
 // validated and checked adequate for its relation, so a successful parse
 // yields ready-to-compile input.
-func Parse(src string) (*File, error) {
+func Parse(src string) (*File, error) { return ParseFile("", src) }
+
+// ParseFile is Parse with a file name threaded into every recorded source
+// position, so diagnostics print file:line:col.
+func ParseFile(filename, src string) (*File, error) {
+	return parse(filename, src, true)
+}
+
+// ParseLenient parses for linting: syntax and specification errors are
+// still fatal (there is nothing coherent to analyse), but decomposition
+// declarations that decomp.New or the adequacy judgment would reject are
+// kept — with D nil when structurally invalid — so the linter can explain
+// the rejection as positioned diagnostics instead of one bare error.
+func ParseLenient(filename, src string) (*File, error) {
+	return parse(filename, src, false)
+}
+
+func parse(filename, src string, strict bool) (*File, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	file := &File{}
+	p := &parser{toks: toks, file: filename}
+	file := &File{
+		Path:   filename,
+		RelPos: make(map[string]diag.Pos),
+		FDPos:  make(map[string][]diag.Pos),
+	}
 	for p.peek().kind != tokEOF {
 		switch kw := p.peek(); {
 		case kw.kind == tokIdent && kw.text == "relation":
-			spec, err := p.relationDecl()
+			spec, fdPos, err := p.relationDecl()
 			if err != nil {
 				return nil, err
 			}
@@ -72,16 +117,20 @@ func Parse(src string) (*File, error) {
 				return nil, err
 			}
 			file.Relations = append(file.Relations, spec)
+			file.RelPos[spec.Name] = p.posOf(kw)
+			file.FDPos[spec.Name] = fdPos
 		case kw.kind == tokIdent && kw.text == "decomposition":
-			nd, err := p.decompDecl(file)
+			nd, err := p.decompDecl(file, strict)
 			if err != nil {
 				return nil, err
 			}
 			if file.Decomp(nd.Name) != nil {
 				return nil, p.errAt(kw, "decomposition %q declared twice", nd.Name)
 			}
-			if err := nd.D.CheckAdequate(nd.For.Cols(), nd.For.FDs); err != nil {
-				return nil, fmt.Errorf("decomposition %q: %w", nd.Name, err)
+			if strict {
+				if err := nd.D.CheckAdequate(nd.For.Cols(), nd.For.FDs); err != nil {
+					return nil, fmt.Errorf("decomposition %q: %w", nd.Name, err)
+				}
 			}
 			file.Decomps = append(file.Decomps, *nd)
 		case kw.kind == tokIdent && kw.text == "interface":
@@ -98,6 +147,12 @@ func Parse(src string) (*File, error) {
 type parser struct {
 	toks []token
 	pos  int
+	file string
+}
+
+// posOf converts a token to a diagnostic position.
+func (p *parser) posOf(t token) diag.Pos {
+	return diag.Pos{File: p.file, Line: t.line, Col: t.col}
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -127,6 +182,9 @@ func (p *parser) keyword(word string) error {
 }
 
 func (p *parser) errAt(t token, format string, args ...any) error {
+	if p.file != "" {
+		return fmt.Errorf("%s:%d:%d: %s", p.file, t.line, t.col, fmt.Sprintf(format, args...))
+	}
 	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
 }
 
@@ -138,32 +196,33 @@ func describe(t token) string {
 }
 
 // relationDecl := "relation" IDENT "{" "columns" "{" colDef,+ "}" fd* "}"
-func (p *parser) relationDecl() (*core.Spec, error) {
+// The second result holds one position per parsed functional dependency.
+func (p *parser) relationDecl() (*core.Spec, []diag.Pos, error) {
 	if err := p.keyword("relation"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	name, err := p.expect(tokIdent)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := p.expect(tokLBrace); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := p.keyword("columns"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := p.expect(tokLBrace); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	spec := &core.Spec{Name: name.text}
 	for {
 		col, err := p.expect(tokIdent)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ty, err := p.expect(tokIdent)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var colType core.ColType
 		switch ty.text {
@@ -172,7 +231,7 @@ func (p *parser) relationDecl() (*core.Spec, error) {
 		case "string":
 			colType = core.StringCol
 		default:
-			return nil, p.errAt(ty, "unknown column type %q (want int or string)", ty.text)
+			return nil, nil, p.errAt(ty, "unknown column type %q (want int or string)", ty.text)
 		}
 		spec.Columns = append(spec.Columns, core.ColDef{Name: col.text, Type: colType})
 		if p.peek().kind == tokComma {
@@ -182,33 +241,38 @@ func (p *parser) relationDecl() (*core.Spec, error) {
 		break
 	}
 	if _, err := p.expect(tokRBrace); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var fds []fd.FD
+	var fdPos []diag.Pos
 	for p.peek().kind == tokIdent && p.peek().text == "fd" {
-		p.next()
+		kw := p.next()
 		from, err := p.identList()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := p.expect(tokArrow); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		to, err := p.identList()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fds = append(fds, fd.FD{From: relation.NewCols(from...), To: relation.NewCols(to...)})
+		fdPos = append(fdPos, p.posOf(kw))
 	}
 	spec.FDs = fd.NewSet(fds...)
 	if _, err := p.expect(tokRBrace); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return spec, nil
+	return spec, fdPos, nil
 }
 
 // decompDecl := "decomposition" IDENT "for" IDENT "{" let* "in" IDENT "}"
-func (p *parser) decompDecl(file *File) (*NamedDecomp, error) {
+// With strict unset, a declaration decomp.New rejects is returned with D
+// nil instead of failing the parse; the raw bindings carry the positions
+// the linter needs to explain the rejection.
+func (p *parser) decompDecl(file *File, strict bool) (*NamedDecomp, error) {
 	if err := p.keyword("decomposition"); err != nil {
 		return nil, err
 	}
@@ -232,7 +296,7 @@ func (p *parser) decompDecl(file *File) (*NamedDecomp, error) {
 	}
 	var bindings []decomp.Binding
 	for p.peek().kind == tokIdent && p.peek().text == "let" {
-		p.next()
+		letKw := p.next()
 		v, err := p.expect(tokIdent)
 		if err != nil {
 			return nil, err
@@ -263,6 +327,7 @@ func (p *parser) decompDecl(file *File) (*NamedDecomp, error) {
 			Bound: relation.NewCols(bound...),
 			Cover: relation.NewCols(cover...),
 			Def:   def,
+			Pos:   p.posOf(letKw),
 		})
 	}
 	if err := p.keyword("in"); err != nil {
@@ -275,11 +340,22 @@ func (p *parser) decompDecl(file *File) (*NamedDecomp, error) {
 	if _, err := p.expect(tokRBrace); err != nil {
 		return nil, err
 	}
+	nd := &NamedDecomp{
+		Name:        name.text,
+		For:         spec,
+		Pos:         p.posOf(name),
+		RawBindings: bindings,
+		Root:        root.text,
+	}
 	d, err := decomp.New(bindings, root.text)
 	if err != nil {
-		return nil, fmt.Errorf("decomposition %q: %w", name.text, err)
+		if strict {
+			return nil, fmt.Errorf("decomposition %q: %w", name.text, err)
+		}
+		return nd, nil
 	}
-	return &NamedDecomp{Name: name.text, For: spec, D: d}, nil
+	nd.D = d
+	return nd, nil
 }
 
 // interfaceDecl := "interface" "for" IDENT "{" opDecl* "}"
@@ -321,12 +397,14 @@ func (p *parser) interfaceDecl(file *File) error {
 				return err
 			}
 			nd.Ops = append(nd.Ops, codegen.Op{Kind: codegen.QueryOp, In: in, Out: out})
+			nd.OpsPos = append(nd.OpsPos, p.posOf(kw))
 		case "remove":
 			in, err := p.colSet()
 			if err != nil {
 				return err
 			}
 			nd.Ops = append(nd.Ops, codegen.Op{Kind: codegen.RemoveOp, In: in})
+			nd.OpsPos = append(nd.OpsPos, p.posOf(kw))
 		case "update":
 			in, err := p.colSet()
 			if err != nil {
@@ -340,6 +418,7 @@ func (p *parser) interfaceDecl(file *File) error {
 				return err
 			}
 			nd.Ops = append(nd.Ops, codegen.Op{Kind: codegen.UpdateOp, In: in, Set: set})
+			nd.OpsPos = append(nd.OpsPos, p.posOf(kw))
 		default:
 			return p.errAt(kw, "expected query, remove, or update, found %q", kw.text)
 		}
@@ -360,7 +439,7 @@ func (p *parser) prim() (decomp.Primitive, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &decomp.Unit{Cols: relation.NewCols(cols...)}, nil
+		return &decomp.Unit{Cols: relation.NewCols(cols...), Pos: p.posOf(kw)}, nil
 	case "map":
 		ds, err := p.expect(tokIdent)
 		if err != nil {
@@ -384,6 +463,7 @@ func (p *parser) prim() (decomp.Primitive, error) {
 			Key:    relation.NewCols(key...),
 			DS:     dstruct.Kind(ds.text),
 			Target: target.text,
+			Pos:    p.posOf(kw),
 		}, nil
 	case "join":
 		if _, err := p.expect(tokLParen); err != nil {
@@ -403,7 +483,7 @@ func (p *parser) prim() (decomp.Primitive, error) {
 		if _, err := p.expect(tokRParen); err != nil {
 			return nil, err
 		}
-		return &decomp.Join{Left: left, Right: right}, nil
+		return &decomp.Join{Left: left, Right: right, Pos: p.posOf(kw)}, nil
 	default:
 		return nil, p.errAt(kw, "expected unit, map, or join, found %q", kw.text)
 	}

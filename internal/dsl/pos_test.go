@@ -1,0 +1,135 @@
+package dsl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/dsl"
+)
+
+// posSrc pins every declaration to a known line/column so the assertions
+// below are exact. Line numbering starts at 1 on the `relation` line.
+const posSrc = `relation p {
+  columns { a int, b int }
+  fd a -> b
+}
+decomposition d for p {
+  let w : {a} . {b} = unit {b}
+  let x : {} . {a, b} = map htable {a} -> w
+  in x
+}
+interface for d {
+  query { a } -> { b }
+  remove { a }
+}
+`
+
+func TestParsePositions(t *testing.T) {
+	f, err := dsl.ParseFile("p.rel", posSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(line, col int) diag.Pos { return diag.Pos{File: "p.rel", Line: line, Col: col} }
+
+	if got := f.RelPos["p"]; got != at(1, 1) {
+		t.Errorf("relation position = %v, want %v", got, at(1, 1))
+	}
+	fdPos := f.FDPos["p"]
+	if len(fdPos) != 1 || fdPos[0] != at(3, 3) {
+		t.Errorf("fd positions = %v, want [%v]", fdPos, at(3, 3))
+	}
+
+	nd := f.Decomp("d")
+	if nd == nil {
+		t.Fatal("decomposition not found")
+	}
+	if nd.Pos != at(5, 15) {
+		t.Errorf("decomposition position = %v, want %v (the name token)", nd.Pos, at(5, 15))
+	}
+	if nd.Root != "x" || len(nd.RawBindings) != 2 {
+		t.Fatalf("raw declaration not recorded: root=%q bindings=%d", nd.Root, len(nd.RawBindings))
+	}
+	// Binding positions point at their `let` keywords.
+	if got := nd.RawBindings[0].Pos; got != at(6, 3) {
+		t.Errorf("binding w position = %v, want %v", got, at(6, 3))
+	}
+	if got := nd.RawBindings[1].Pos; got != at(7, 3) {
+		t.Errorf("binding x position = %v, want %v", got, at(7, 3))
+	}
+	// Positions survive decomp.New into the built decomposition.
+	if got := nd.D.Var("w").Pos; got != at(6, 3) {
+		t.Errorf("built binding w position = %v, want %v", got, at(6, 3))
+	}
+	// The unit primitive points at its `unit` keyword…
+	us := nd.D.UnitsOf("w")
+	if len(us) != 1 || us[0].Pos != at(6, 23) {
+		t.Errorf("unit position = %v, want %v", us, at(6, 23))
+	}
+	// …and the map edge at its `map` keyword.
+	es := nd.D.EdgesOf("x")
+	if len(es) != 1 || es[0].Pos != at(7, 25) {
+		t.Errorf("edge position = %v, want %v", es, at(7, 25))
+	}
+	// Interface operations carry one position per op.
+	if len(nd.OpsPos) != len(nd.Ops) || nd.OpsPos[0] != at(11, 3) || nd.OpsPos[1] != at(12, 3) {
+		t.Errorf("op positions = %v", nd.OpsPos)
+	}
+}
+
+func TestParseFileNameInErrors(t *testing.T) {
+	_, err := dsl.ParseFile("bad.rel", "relation p {\n  columns { a float }\n}")
+	if err == nil || !strings.HasPrefix(err.Error(), "bad.rel:2:") {
+		t.Errorf("error lacks file position: %v", err)
+	}
+}
+
+func TestParseLenientKeepsRejectedDecomps(t *testing.T) {
+	// Structurally invalid: v is never used. Strict Parse must reject;
+	// lenient parse keeps the raw declaration with D nil.
+	src := `relation p { columns { a int, b int } fd a -> b }
+decomposition dead for p {
+  let w : {a} . {b} = unit {b}
+  let v : {a} . {b} = unit {b}
+  let x : {} . {a, b} = map htable {a} -> w
+  in x
+}
+`
+	if _, err := dsl.Parse(src); err == nil || !strings.Contains(err.Error(), "never used") {
+		t.Fatalf("strict parse: %v", err)
+	}
+	f, err := dsl.ParseLenient("dead.rel", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := f.Decomp("dead")
+	if nd == nil {
+		t.Fatal("lenient parse dropped the declaration")
+	}
+	if nd.D != nil {
+		t.Errorf("structurally invalid declaration built anyway")
+	}
+	if len(nd.RawBindings) != 3 || nd.Root != "x" {
+		t.Errorf("raw declaration incomplete: %d bindings, root %q", len(nd.RawBindings), nd.Root)
+	}
+
+	// Inadequate but structurally valid: lenient parse builds D and defers
+	// the adequacy verdict to the linter.
+	inad := `relation q { columns { a int, b int } }
+decomposition thin for q {
+  let w : {a} . {b} = unit {b}
+  let x : {} . {a, b} = map htable {a} -> w
+  in x
+}
+`
+	if _, err := dsl.Parse(inad); err == nil {
+		t.Fatalf("strict parse accepted inadequate decomposition")
+	}
+	f2, err := dsl.ParseLenient("thin.rel", inad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd := f2.Decomp("thin"); nd == nil || nd.D == nil {
+		t.Errorf("lenient parse lost the structurally valid decomposition")
+	}
+}

@@ -1,12 +1,16 @@
 package gen_test
 
 import (
+	"bytes"
+	"go/format"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/codegen"
 	"repro/internal/dsl"
+	"repro/internal/vet"
 )
 
 // TestGeneratedPackagesUpToDate regenerates every spec/*.rel with the
@@ -39,6 +43,67 @@ func TestGeneratedPackagesUpToDate(t *testing.T) {
 				if string(got) != string(want) {
 					t.Errorf("%s: %s is stale; rerun `go run ./cmd/relc -o internal/gen %s`", path, fname, path)
 				}
+			}
+		}
+	}
+}
+
+// TestGeneratedCodeGofmtIdempotent holds every generated file to the
+// relvet105 formatting contract: running gofmt over the compiler's output
+// must be a no-op, byte for byte.
+func TestGeneratedCodeGofmtIdempotent(t *testing.T) {
+	forEachGenerated(t, func(t *testing.T, name string, content []byte) {
+		formatted, err := format.Source(content)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", name, err)
+		}
+		if !bytes.Equal(formatted, content) {
+			t.Errorf("%s is not gofmt-idempotent", name)
+		}
+	})
+}
+
+// TestGeneratedCodeAnalyzerClean type-checks every generated file in
+// memory and runs the relvet1xx analyzers over it: the compiler must not
+// emit code the vet suite would flag in a client (the rest of relvet105).
+func TestGeneratedCodeAnalyzerClean(t *testing.T) {
+	forEachGenerated(t, func(t *testing.T, name string, content []byte) {
+		pkg, err := analysis.CheckSource("../..", name, content, "./...")
+		if err != nil {
+			t.Fatalf("%s does not type-check: %v", name, err)
+		}
+		for _, d := range analysis.Run([]*analysis.Package{pkg}, vet.Analyzers()) {
+			t.Errorf("%s: %v", name, d)
+		}
+	})
+}
+
+// forEachGenerated regenerates every decomposition in spec/*.rel and hands
+// each output file to f.
+func forEachGenerated(t *testing.T, f func(t *testing.T, name string, content []byte)) {
+	t.Helper()
+	specs, err := filepath.Glob("../../spec/*.rel")
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no spec files found: %v", err)
+	}
+	for _, path := range specs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := dsl.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, nd := range file.Decomps {
+			files, err := codegen.Generate(nd.For, nd.D, codegen.Options{Package: nd.Name, Ops: nd.Ops})
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			for fname, content := range files {
+				t.Run(nd.Name+"/"+fname, func(t *testing.T) {
+					f(t, nd.Name+"/"+fname, content)
+				})
 			}
 		}
 	}

@@ -1,0 +1,77 @@
+package lint
+
+import "repro/internal/diag"
+
+// The declint codes (relvet0xx). Every code is grounded in a judgment or
+// cost argument of the paper; the Grounding field of its Info entry says
+// which. Codes relvet1xx belong to the Go-source plane (internal/vet).
+const (
+	CodeAdequacy      diag.Code = "relvet001" // adequacy violation (Figure 6)
+	CodeDeadBinding   diag.Code = "relvet002" // let binding never referenced
+	CodeRedundantMap  diag.Code = "relvet003" // path already determines the map key
+	CodeNonMinimalKey diag.Code = "relvet004" // map key contains FD-implied columns
+	CodeNeverBound    diag.Code = "relvet005" // spec column never bound by a unit or key
+	CodeShadowJoin    diag.Code = "relvet006" // join branches with identical coverage and keys
+	CodeRedundantFD   diag.Code = "relvet007" // FD implied by the rest (non-canonical cover)
+	CodeScanForced    diag.Code = "relvet008" // declared op's best plan must scan
+	CodeUnplannable   diag.Code = "relvet009" // no valid plan for a declared op
+	CodeStructural    diag.Code = "relvet010" // decomp.New rejects the declaration
+)
+
+// Info describes one lint code for catalogues (`relvet -codes`, DESIGN.md).
+type Info struct {
+	Code      diag.Code
+	Severity  diag.Severity
+	Summary   string
+	Grounding string // the paper judgment or argument the lint encodes
+}
+
+var codeTable = []Info{
+	{CodeAdequacy, diag.Error,
+		"decomposition cannot represent every relation satisfying the FDs",
+		"the adequacy judgment of §3.3/Figure 6; each diagnostic names the violated rule (AUNIT, AMAP-FD, AMAP-SHARE, AJOIN, ALET-COVER, ALET-SCOPE, AVAR)"},
+	{CodeDeadBinding, diag.Error,
+		"let binding is dead: no map edge targets it",
+		"§3.2 requires every variable of a decomposition graph to be reachable; a dead binding stores nothing and decomp.New rejects it"},
+	{CodeRedundantMap, diag.Warning,
+		"map edge whose key is path-determined and stored again below — one live entry of pure indirection",
+		"FD closure (§2): if ∆ ⊢ Bound(parent) → Key, every instance of the map holds at most one live entry; flagged only when the key columns are also represented elsewhere, since a key that is their sole representation is load-bearing storage (the paper's mappings/tiles idiom)"},
+	{CodeNonMinimalKey, diag.Warning,
+		"map key contains columns implied by the rest of the key",
+		"FD closure (§2): dropping the implied columns yields a smaller key with the same discrimination, shrinking node size and key comparisons"},
+	{CodeNeverBound, diag.Error,
+		"relation column never bound by any unit or map key",
+		"adequacy (§3.3) demands the root cover all columns; a column absent from every unit and key cannot be represented at all"},
+	{CodeShadowJoin, diag.Warning,
+		"join branches with identical column coverage and identical top-level keys",
+		"§3.2's join exists to combine complementary access paths (e.g. Figure 3's forward/backward indexes, which share coverage but differ in key); identical keys mean the second branch duplicates storage without adding an access path"},
+	{CodeRedundantFD, diag.Warning,
+		"functional dependency implied by the remaining dependencies",
+		"§2 canonical covers: a non-canonical ∆ slows the closure computations every adequacy check and planner run performs"},
+	{CodeScanForced, diag.Warning,
+		"declared operation applies a pattern constraint by filtering inside a scan",
+		"the §4.3 cost model: a qscan costs the edge's fanout where a lookup costs ~log or O(1); a pattern column no lookup consumes degenerates to a filter while scanning and signals a missing index edge (scans that merely enumerate requested rows are not flagged)"},
+	{CodeUnplannable, diag.Error,
+		"no valid query plan computes the declared operation on this decomposition",
+		"the query-validity rules of §4.2/Figure 8: the decomposition exposes no path binding the requested columns"},
+	{CodeStructural, diag.Error,
+		"declaration violates the structural rules of the decomposition language",
+		"§3.1/Figure 3: decompositions are rooted acyclic graphs of let bindings with well-formed map keys"},
+}
+
+// Codes returns the catalogue of declint codes in code order.
+func Codes() []Info {
+	out := make([]Info, len(codeTable))
+	copy(out, codeTable)
+	return out
+}
+
+// CodeInfo returns the catalogue entry for a code.
+func CodeInfo(c diag.Code) (Info, bool) {
+	for _, i := range codeTable {
+		if i.Code == c {
+			return i, true
+		}
+	}
+	return Info{}, false
+}

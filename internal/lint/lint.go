@@ -1,0 +1,368 @@
+// Package lint is the decomposition linter (declint): it analyses
+// relational specifications, decomposition declarations, and declared
+// operation interfaces, and reports positioned, coded findings. The
+// adequacy judgment of Figure 6 is one lint among several — the package
+// subsumes it (relvet001) and adds structural, FD-theoretic, and
+// cost-model lints on top (see codes.go for the catalogue).
+//
+// The package has two clients with different inputs. The DSL front end
+// (cmd/relc -lint, cmd/relvet) hands it whole parsed files, including
+// declarations that decomp.New rejected — CheckFile works on the raw
+// source-level declarations so it can explain *why* a declaration is
+// dead or malformed instead of merely failing. The autotuner hands it
+// built, adequate decompositions and wants only the smell lints —
+// CheckBuilt serves that path with no DSL involvement.
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/diag"
+	"repro/internal/dsl"
+	"repro/internal/fd"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// Options configures a lint run.
+type Options struct {
+	// Suppress lists codes (e.g. "relvet006") to drop from the results.
+	Suppress []string
+	// Stats is the cost model used for the planner-backed lints
+	// (relvet008/009). Nil means plan.DefaultStats.
+	Stats plan.Stats
+}
+
+// CheckFile lints every relation and decomposition declaration of a
+// parsed file. Parse the file with dsl.ParseLenient so declarations that
+// decomp.New rejects still reach the linter.
+func CheckFile(f *dsl.File, opts Options) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, s := range f.Relations {
+		ds = append(ds, CheckSpec(s, f.FDPos[s.Name])...)
+	}
+	for i := range f.Decomps {
+		ds = append(ds, CheckDecl(&f.Decomps[i], opts)...)
+	}
+	diag.Sort(ds)
+	return diag.Filter(ds, opts.Suppress)
+}
+
+// CheckDecl lints one decomposition declaration: structural findings on
+// the raw bindings (dead bindings, never-bound columns, decomp.New
+// rejections), then — when the declaration builds — adequacy, the
+// FD-theoretic smells, and the planner-backed lints on its declared
+// operations.
+func CheckDecl(nd *dsl.NamedDecomp, opts Options) []diag.Diagnostic {
+	spec := nd.For
+	ds := checkRaw(nd, spec)
+	if nd.D == nil {
+		// The declaration did not build. If the raw scan explained it
+		// (dead bindings), stop there; otherwise surface decomp.New's
+		// own verdict as a structural finding.
+		if !hasCode(ds, CodeDeadBinding) {
+			if _, err := decomp.New(nd.RawBindings, nd.Root); err != nil {
+				ds = append(ds, mk(nd.Pos, CodeStructural, nd.Name, "decomposition %q: %v", nd.Name, err))
+			}
+		}
+		return ds
+	}
+	adeq := nd.D.AdequacyDiagnostics(spec.Cols(), spec.FDs)
+	ds = append(ds, adeq...)
+	ds = append(ds, CheckBuilt(spec, nd.D)...)
+	if len(adeq) == 0 {
+		// The planner-backed lints assume adequacy.
+		ds = append(ds, CheckOps(spec, nd.D, nd.Ops, nd.OpsPos, opts.Stats)...)
+	}
+	return ds
+}
+
+// checkRaw analyses the source-level binding list before decomp.New:
+// dead let bindings (relvet002) and relation columns no unit or map key
+// ever binds (relvet005).
+func checkRaw(nd *dsl.NamedDecomp, spec *core.Spec) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	targeted := map[string]bool{}
+	bound := relation.NewCols()
+	for i := range nd.RawBindings {
+		decomp.WalkPrims(nd.RawBindings[i].Def, func(p decomp.Primitive) {
+			switch p := p.(type) {
+			case *decomp.MapEdge:
+				targeted[p.Target] = true
+				bound = bound.Union(p.Key)
+			case *decomp.Unit:
+				bound = bound.Union(p.Cols)
+			}
+		})
+	}
+	for i := range nd.RawBindings {
+		b := &nd.RawBindings[i]
+		if b.Var != nd.Root && !targeted[b.Var] {
+			ds = append(ds, mk(b.Pos, CodeDeadBinding, b.Var,
+				"binding %q is dead: no map edge targets it and it is not the root", b.Var))
+		}
+	}
+	for _, c := range spec.Cols().Names() {
+		if !bound.Has(c) {
+			ds = append(ds, mk(nd.Pos, CodeNeverBound, c,
+				"column %q of relation %q is never bound by any unit or map key in %q", c, spec.Name, nd.Name))
+		}
+	}
+	return ds
+}
+
+// CheckBuilt runs the FD-theoretic smell lints on a built decomposition:
+// redundant map edges (relvet003), non-minimal keys (relvet004), and
+// shadow joins (relvet006). It needs no DSL involvement, so the
+// autotuner calls it directly on candidate shapes.
+func CheckBuilt(spec *core.Spec, d *decomp.Decomp) []diag.Diagnostic {
+	fds := spec.FDs
+	var ds []diag.Diagnostic
+	for _, e := range d.Edges() {
+		parent := d.Var(e.Parent)
+		name := e.Parent + "→" + e.Target
+		// A path-determined key means every instance of this map holds at
+		// most one live entry. That is pure indirection — but only when
+		// the key columns are represented elsewhere (in the target's
+		// cover or on the path): a single-entry map whose key is the sole
+		// representation of its columns is load-bearing storage, the
+		// paper's own idiom for materializing a determined column (the
+		// mappings and tiles fixtures), and is not flagged.
+		if fds.Implies(parent.Bound, e.Key) {
+			if e.Key.SubsetOf(d.Var(e.Target).Cover.Union(parent.Bound)) {
+				ds = append(ds, mk(e.Pos, CodeRedundantMap, name,
+					"edge %q→%q: path columns %v already determine key %v and the key columns are stored again below, so each map holds one live entry of redundant indirection; inline the target instead",
+					e.Parent, e.Target, parent.Bound, e.Key))
+			}
+			continue
+		}
+		if implied := impliedKeyCols(fds, parent.Bound, e.Key); len(implied) > 0 {
+			ds = append(ds, mk(e.Pos, CodeNonMinimalKey, name,
+				"edge %q→%q: key %v is not minimal — column(s) %s are implied by the rest of the key and the path; a smaller key discriminates identically",
+				e.Parent, e.Target, e.Key, strings.Join(implied, ", ")))
+		}
+	}
+	for _, b := range d.Bindings() {
+		decomp.WalkPrims(b.Def, func(p decomp.Primitive) {
+			j, ok := p.(*decomp.Join)
+			if !ok {
+				return
+			}
+			lc, rc := primCover(d, j.Left), primCover(d, j.Right)
+			lk, rk := primKeys(j.Left), primKeys(j.Right)
+			if lc.Equal(rc) && lk.Equal(rk) {
+				ds = append(ds, mk(j.Pos, CodeShadowJoin, b.Var,
+					"join in %q: both branches cover %v with identical top-level keys %v — the second branch duplicates storage without adding an access path",
+					b.Var, lc, lk))
+			}
+		})
+	}
+	return ds
+}
+
+// impliedKeyCols returns the key columns c with bound ∪ (key − c) → c
+// under the FDs — columns whose removal leaves the key equally
+// discriminating. Keys the path fully determines are relvet003's
+// business and are excluded by the caller.
+func impliedKeyCols(fds fd.Set, bound, key relation.Cols) []string {
+	var implied []string
+	for _, c := range key.Names() {
+		rest := bound.Union(key.Minus(relation.NewCols(c)))
+		if fds.Implies(rest, relation.NewCols(c)) {
+			implied = append(implied, c)
+		}
+	}
+	// If every key column is mutually implied (e.g. a ↔ b as a key
+	// {a, b}), dropping all of them is wrong — any one must stay. Keep
+	// the lint but phrase it over the genuinely droppable suffix.
+	if len(implied) == key.Len() {
+		implied = implied[1:]
+	}
+	return implied
+}
+
+// primCover computes the columns a primitive covers (the C of its
+// adequacy type), resolving map targets through the decomposition.
+func primCover(d *decomp.Decomp, p decomp.Primitive) relation.Cols {
+	switch p := p.(type) {
+	case *decomp.Unit:
+		return p.Cols
+	case *decomp.MapEdge:
+		return p.Key.Union(d.Var(p.Target).Cover)
+	case *decomp.Join:
+		return primCover(d, p.Left).Union(primCover(d, p.Right))
+	}
+	return relation.Cols{}
+}
+
+// primKeys collects the top-level key columns a primitive offers as
+// access paths: map keys at the top of each branch (joins union their
+// sides; units offer none).
+func primKeys(p decomp.Primitive) relation.Cols {
+	switch p := p.(type) {
+	case *decomp.MapEdge:
+		return p.Key
+	case *decomp.Join:
+		return primKeys(p.Left).Union(primKeys(p.Right))
+	}
+	return relation.NewCols()
+}
+
+// CheckSpec lints a relational specification: functional dependencies
+// implied by the remaining ones (relvet007), i.e. a non-canonical cover
+// in the §2 sense. fdPos optionally carries one source position per FD,
+// parallel to spec.FDs.All().
+func CheckSpec(spec *core.Spec, fdPos []diag.Pos) []diag.Diagnostic {
+	all := spec.FDs.All()
+	var ds []diag.Diagnostic
+	for i, f := range all {
+		rest := make([]fd.FD, 0, len(all)-1)
+		rest = append(rest, all[:i]...)
+		rest = append(rest, all[i+1:]...)
+		if fd.NewSet(rest...).ImpliesFD(f) {
+			pos := diag.Pos{}
+			if i < len(fdPos) {
+				pos = fdPos[i]
+			}
+			ds = append(ds, mk(pos, CodeRedundantFD, spec.Name,
+				"fd %v in relation %q is implied by the remaining dependencies (the set is not a canonical cover)", f, spec.Name))
+		}
+	}
+	return ds
+}
+
+// CheckOps lints the declared operations of an interface block against an
+// adequate decomposition, reusing the §4.3 planner: operations with no
+// valid plan (relvet009) and operations whose best plan scans despite a
+// constrained pattern (relvet008). opsPos optionally carries one position
+// per op; stats nil means plan.DefaultStats.
+func CheckOps(spec *core.Spec, d *decomp.Decomp, ops []codegen.Op, opsPos []diag.Pos, stats plan.Stats) []diag.Diagnostic {
+	if len(ops) == 0 {
+		return nil
+	}
+	pl := plan.NewPlanner(d, spec.FDs, stats)
+	var ds []diag.Diagnostic
+	for i, op := range ops {
+		pos := diag.Pos{}
+		if i < len(opsPos) {
+			pos = opsPos[i]
+		}
+		in := relation.NewCols(op.In...)
+		out := relation.NewCols(op.Out...)
+		if op.Kind != codegen.QueryOp {
+			// Removes and updates must locate the full tuples matching
+			// the pattern before editing the representation.
+			out = spec.Cols()
+		}
+		if bad := in.Union(out).Minus(spec.Cols()); !bad.IsEmpty() {
+			ds = append(ds, mk(pos, CodeUnplannable, opString(op),
+				"%s: columns %v are not columns of relation %q", opString(op), bad, spec.Name))
+			continue
+		}
+		cand, err := pl.Best(in, out)
+		if err != nil {
+			ds = append(ds, mk(pos, CodeUnplannable, opString(op),
+				"%s: no valid plan on this decomposition: %v", opString(op), err))
+			continue
+		}
+		// A plan that scans is not a smell per se: scans that enumerate
+		// the requested rows, or that wrap lookups consuming every
+		// pattern column (the paper's scheduler plans), are how multi-row
+		// answers work. The smell is a pattern column no lookup ever
+		// consumes — the constraint then degenerates to a filter applied
+		// while scanning, which an edge keyed on that column would turn
+		// into a lookup.
+		scanned := scannedEdges(cand.Op)
+		if filtered := in.Minus(lookedUpCols(cand.Op)); len(scanned) > 0 && !filtered.IsEmpty() {
+			ds = append(ds, mk(pos, CodeScanForced, opString(op),
+				"%s: best plan %v applies the constraint on %v by filtering while scanning edge(s) %s (estimated cost %.1f); an edge keyed on %v would make this a lookup",
+				opString(op), cand.Op, filtered, strings.Join(scanned, ", "), cand.Cost, filtered))
+		}
+	}
+	return ds
+}
+
+// scannedEdges collects the edges a plan scans, rendered as
+// "parent→target[key]".
+func scannedEdges(op plan.Op) []string {
+	var out []string
+	var walk func(plan.Op)
+	walk = func(op plan.Op) {
+		switch op := op.(type) {
+		case *plan.Scan:
+			out = append(out, fmt.Sprintf("%s→%s[%v]", op.Edge.Parent, op.Edge.Target, op.Edge.Key))
+			walk(op.Sub)
+		case *plan.Lookup:
+			walk(op.Sub)
+		case *plan.LR:
+			walk(op.Sub)
+		case *plan.Join:
+			walk(op.LeftOp)
+			walk(op.RightOp)
+		}
+	}
+	walk(op)
+	return out
+}
+
+// lookedUpCols collects the key columns the plan consumes via lookups —
+// the pattern columns it uses as index keys rather than filters.
+func lookedUpCols(op plan.Op) relation.Cols {
+	cols := relation.NewCols()
+	var walk func(plan.Op)
+	walk = func(op plan.Op) {
+		switch op := op.(type) {
+		case *plan.Scan:
+			walk(op.Sub)
+		case *plan.Lookup:
+			cols = cols.Union(op.Edge.Key)
+			walk(op.Sub)
+		case *plan.LR:
+			walk(op.Sub)
+		case *plan.Join:
+			walk(op.LeftOp)
+			walk(op.RightOp)
+		}
+	}
+	walk(op)
+	return cols
+}
+
+// opString renders an operation request for diagnostics, mirroring the
+// interface-block syntax.
+func opString(op codegen.Op) string {
+	switch op.Kind {
+	case codegen.QueryOp:
+		return fmt.Sprintf("query {%s} -> {%s}", strings.Join(op.In, ", "), strings.Join(op.Out, ", "))
+	case codegen.RemoveOp:
+		return fmt.Sprintf("remove {%s}", strings.Join(op.In, ", "))
+	case codegen.UpdateOp:
+		return fmt.Sprintf("update {%s} set {%s}", strings.Join(op.In, ", "), strings.Join(op.Set, ", "))
+	}
+	return fmt.Sprintf("op(kind=%d)", op.Kind)
+}
+
+// mk builds a diagnostic with the catalogue severity of its code.
+func mk(pos diag.Pos, code diag.Code, node, format string, args ...any) diag.Diagnostic {
+	info, _ := CodeInfo(code)
+	return diag.Diagnostic{
+		Pos:      pos,
+		Code:     code,
+		Severity: info.Severity,
+		Node:     node,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+func hasCode(ds []diag.Diagnostic, code diag.Code) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}

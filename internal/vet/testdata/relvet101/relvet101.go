@@ -1,0 +1,27 @@
+// Package relvet101 is the uncheckedmut corpus: each `// want` line must
+// be flagged, every other line must stay clean.
+package relvet101
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func trigger(r *core.Relation, sr *core.ShardedRelation, t relation.Tuple) {
+	r.Insert(t)                         // want relvet101
+	go r.Insert(t)                      // want relvet101
+	defer r.Remove(t)                   // want relvet101
+	sr.InsertBatch([]relation.Tuple{t}) // want relvet101
+}
+
+func nearMiss(r *core.Relation, t relation.Tuple) error {
+	if err := r.Insert(t); err != nil {
+		return err
+	}
+	n, err := r.Remove(t)
+	_ = n
+	// Non-mutating calls may discard results freely.
+	r.Len()
+	r.Poisoned()
+	return err
+}

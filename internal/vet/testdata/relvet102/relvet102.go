@@ -1,0 +1,35 @@
+// Package relvet102 is the swallowedpoison corpus.
+package relvet102
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func trigger(err error) {
+	if errors.Is(err, core.ErrPoisoned) { // want relvet102
+	}
+	var pe *core.PanicError
+	if errors.As(err, &pe) { // want relvet102
+	}
+	if err == core.ErrPoisoned { // want relvet102
+	}
+}
+
+func nearMiss(err error) error {
+	if errors.Is(err, core.ErrPoisoned) {
+		return fmt.Errorf("relation torn: %w", err)
+	}
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+	// Empty branches on ordinary errors are not the lint's business.
+	if errors.Is(err, errOther) {
+	}
+	return nil
+}
+
+var errOther = errors.New("other")

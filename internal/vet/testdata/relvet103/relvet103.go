@@ -1,0 +1,53 @@
+// Package relvet103 is the staleresults corpus.
+package relvet103
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func trigger(r *core.Relation, pat relation.Tuple) ([]relation.Tuple, error) {
+	rows, err := r.Query(pat, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Insert(pat); err != nil {
+		return nil, err
+	}
+	return rows, nil // want relvet103
+}
+
+func nearMissUseBefore(r *core.Relation, pat relation.Tuple) (int, error) {
+	rows, err := r.Query(pat, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := len(rows)
+	if err := r.Insert(pat); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func nearMissRequery(r *core.Relation, pat relation.Tuple) ([]relation.Tuple, error) {
+	rows, err := r.Query(pat, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Insert(pat); err != nil {
+		return nil, err
+	}
+	rows, err = r.Query(pat, nil)
+	return rows, err
+}
+
+func nearMissOtherRelation(r, other *core.Relation, pat relation.Tuple) ([]relation.Tuple, error) {
+	rows, err := r.Query(pat, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := other.Insert(pat); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,23 @@
+// Package relvet104 is the optmisuse corpus.
+package relvet104
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+func trigger() (codegen.Options, core.ShardOptions) {
+	o := codegen.Options{Ops: nil}    // want relvet104
+	s := core.ShardOptions{Shards: 4} // want relvet104
+	_ = codegen.Options{}             // want relvet104
+	return o, s
+}
+
+func nearMiss() (codegen.Options, core.ShardOptions) {
+	o := codegen.Options{Package: "gen"}
+	s := core.ShardOptions{ShardKey: []string{"a"}, Shards: 4}
+	// The zero value via var is explicit enough; only literals are linted.
+	var zero core.ShardOptions
+	_ = zero
+	return o, s
+}

@@ -1,0 +1,422 @@
+// Package vet holds the relvet1xx analyzers: checks over Go client code
+// and generated code that uses the relation engine. They run on the
+// stdlib-only framework of internal/analysis and report the misuse
+// patterns the engine's API makes easy: discarding mutation errors,
+// swallowing poisoning, reading query snapshots across mutations, and
+// under-specified option literals. relvet105 — the codegen cleanliness
+// contract — is not an AST analyzer; cmd/relvet's -gen mode and the
+// codegen golden test enforce it, and it is catalogued here so the code
+// space is documented in one place.
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/diag"
+	"repro/internal/lint"
+)
+
+// The Go-plane codes.
+const (
+	CodeUncheckedMut    diag.Code = "relvet101" // mutation error discarded
+	CodeSwallowedPoison diag.Code = "relvet102" // empty ErrPoisoned/PanicError branch
+	CodeStaleResults    diag.Code = "relvet103" // query results read across a mutation
+	CodeOptionsMisuse   diag.Code = "relvet104" // options literal missing required fields
+	CodeDirtyCodegen    diag.Code = "relvet105" // generated code not gofmt/analyzer clean
+)
+
+// Codes returns the Go-plane catalogue, in the same Info currency as the
+// decomposition plane so cmd/relvet -codes renders both uniformly.
+func Codes() []lint.Info {
+	return []lint.Info{
+		{Code: CodeUncheckedMut, Severity: diag.Error,
+			Summary:   "mutation error discarded (Insert/Remove/Update/Upsert and generated variants)",
+			Grounding: "mutations are partial: they reject FD violations (§3.4) and report rollback poisoning; a discarded error hides both"},
+		{Code: CodeSwallowedPoison, Severity: diag.Warning,
+			Summary:   "ErrPoisoned or *core.PanicError detected, then ignored in an empty branch",
+			Grounding: "poisoning marks a relation whose undo-log rollback failed — state may be torn; acknowledging it without acting on it defeats the containment plane"},
+		{Code: CodeStaleResults, Severity: diag.Warning,
+			Summary:   "query results read after a mutation of the same relation",
+			Grounding: "query plans (§4) read the live decomposition; returned slices are snapshots and do not see later mutations, so reads after a mutation are at best stale"},
+		{Code: CodeOptionsMisuse, Severity: diag.Error,
+			Summary:   "codegen.Options without Package, or core.ShardOptions without ShardKey",
+			Grounding: "codegen.Generate and core.NewSharded reject these at run time; the literal is statically decidable"},
+		{Code: CodeDirtyCodegen, Severity: diag.Error,
+			Summary:   "generated code is not gofmt-idempotent or fails the relvet analyzers",
+			Grounding: "the §6 compiler contract: RELC output must hold to the same bar as hand-written client code (enforced by cmd/relvet -gen and the codegen golden test)"},
+	}
+}
+
+// Analyzers returns the AST analyzers of the suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse}
+}
+
+// relTypeNames are the engine types whose methods the analyzers treat as
+// relation operations — the core engine tiers and the type every
+// generated package declares.
+var relTypeNames = map[string]bool{
+	"Relation":        true,
+	"SyncRelation":    true,
+	"ShardedRelation": true,
+}
+
+// mutPrefixes match mutation method names on those types, both the core
+// set (Insert, Remove, Update, Upsert, InsertBatch, RemoveBatch) and the
+// generated variants (RemoveByNs, UpdateByNsPidSetState, …).
+var mutPrefixes = []string{"Insert", "Remove", "Update", "Upsert"}
+
+func isMutName(name string) bool {
+	for _, p := range mutPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// relMethodCall inspects a call expression and, when it is a method call
+// on one of the relation types, returns the receiver expression and the
+// method name.
+func relMethodCall(pass *analysis.Pass, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	tv, found := pass.Pkg.Info.Types[sel.X]
+	if !found || !isRelType(tv.Type) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+func isRelType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && relTypeNames[n.Obj().Name()]
+}
+
+// returnsError reports whether the call's (possibly multi-value) result
+// ends in an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.Pkg.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return last.String() == "error"
+}
+
+// UncheckedMut (relvet101) flags statements that call a mutation on a
+// relation and discard its result: plain expression statements, go
+// statements, and defers.
+var UncheckedMut = &analysis.Analyzer{
+	Name:     "uncheckedmut",
+	Doc:      "flags relation mutations whose error result is discarded",
+	Code:     CodeUncheckedMut,
+	Severity: diag.Error,
+	Run: func(pass *analysis.Pass) {
+		check := func(call *ast.CallExpr) {
+			if _, method, ok := relMethodCall(pass, call); ok && isMutName(method) && returnsError(pass, call) {
+				pass.Reportf(call.Pos(),
+					"result of %s discarded: mutations report FD violations and poisoning through their error", method)
+			}
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						check(call)
+					}
+				case *ast.GoStmt:
+					check(n.Call)
+				case *ast.DeferStmt:
+					check(n.Call)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// SwallowedPoison (relvet102) flags if-statements that detect poisoning —
+// errors.Is(err, ErrPoisoned), err == ErrPoisoned, or errors.As into a
+// *PanicError — and then do nothing in an empty body.
+var SwallowedPoison = &analysis.Analyzer{
+	Name:     "swallowedpoison",
+	Doc:      "flags empty branches that detect and then ignore poisoning",
+	Code:     CodeSwallowedPoison,
+	Severity: diag.Warning,
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok || len(ifs.Body.List) != 0 {
+					return true
+				}
+				if what := poisonCheck(pass, ifs.Cond); what != "" {
+					pass.Reportf(ifs.Pos(),
+						"%s detected and then ignored: the relation may be torn — handle it (rebuild, drop, or surface the error)", what)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// poisonCheck classifies a condition as a poisoning test, returning a
+// description or "".
+func poisonCheck(pass *analysis.Pass, cond ast.Expr) string {
+	found := ""
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL && (isErrPoisoned(n.X) || isErrPoisoned(n.Y)) {
+				found = "ErrPoisoned"
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || len(n.Args) != 2 {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Is":
+				if isErrPoisoned(n.Args[1]) {
+					found = "ErrPoisoned"
+				}
+			case "As":
+				if tv, ok := pass.Pkg.Info.Types[n.Args[1]]; ok && isPanicErrorPtr(tv.Type) {
+					found = "*PanicError"
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isErrPoisoned(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "ErrPoisoned"
+	case *ast.Ident:
+		return e.Name == "ErrPoisoned"
+	}
+	return false
+}
+
+func isPanicErrorPtr(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "PanicError"
+}
+
+// StaleResults (relvet103) flags reads of a query-result variable after a
+// mutation of the relation it was queried from. The analysis is
+// position-ordered within one function body — flow-insensitive on
+// purpose: a read that is even *sometimes* downstream of the mutation
+// deserves a look.
+var StaleResults = &analysis.Analyzer{
+	Name:     "staleresults",
+	Doc:      "flags query results read after a mutation of the same relation",
+	Code:     CodeStaleResults,
+	Severity: diag.Warning,
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if ok && fn.Body != nil {
+					staleInFunc(pass, fn.Body)
+				}
+			}
+		}
+	},
+}
+
+func staleInFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	type assign struct {
+		recv types.Object
+		pos  token.Pos
+	}
+	results := map[types.Object][]assign{} // result var → assignments, in order
+	muts := map[types.Object][]token.Pos{} // relation var → mutation end positions
+	lhsWrite := map[token.Pos]bool{}       // positions of plain-`=` LHS idents: writes, not reads
+
+	rootObj := func(e ast.Expr) types.Object {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.Ident:
+				if o := info.Uses[x]; o != nil {
+					return o
+				}
+				return info.Defs[x]
+			default:
+				return nil
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					lhsWrite[id.Pos()] = true
+				}
+			}
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := relMethodCall(pass, call)
+			if !ok {
+				return true
+			}
+			if !strings.HasPrefix(method, "Query") && method != "All" {
+				return true
+			}
+			ro := rootObj(recv)
+			if ro == nil {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					results[obj] = append(results[obj], assign{recv: ro, pos: n.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if recv, method, ok := relMethodCall(pass, n); ok && isMutName(method) {
+				if ro := rootObj(recv); ro != nil {
+					// Use End, not Pos: arguments of the mutation itself are
+					// evaluated before it runs and are not stale.
+					muts[ro] = append(muts[ro], n.End())
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhsWrite[id.Pos()] {
+			return true
+		}
+		obj := info.Uses[id]
+		assigns, tracked := results[obj]
+		if !tracked {
+			return true
+		}
+		// The binding assignment in effect at this use.
+		var cur *assign
+		for i := range assigns {
+			if assigns[i].pos < id.Pos() {
+				cur = &assigns[i]
+			}
+		}
+		if cur == nil {
+			return true
+		}
+		for _, m := range muts[cur.recv] {
+			if cur.pos < m && m < id.Pos() {
+				mp := pass.Pkg.Fset.Position(m)
+				pass.Reportf(id.Pos(),
+					"%s read after the relation was mutated at line %d: query results are snapshots and do not reflect the mutation", id.Name, mp.Line)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// OptionsMisuse (relvet104) flags keyed options literals missing the
+// fields their consumers reject at run time: codegen.Options without
+// Package, core.ShardOptions without ShardKey.
+var OptionsMisuse = &analysis.Analyzer{
+	Name:     "optmisuse",
+	Doc:      "flags options literals missing statically required fields",
+	Code:     CodeOptionsMisuse,
+	Severity: diag.Error,
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[lit]
+				if !ok {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					return true
+				}
+				var needField, consumer string
+				switch {
+				case named.Obj().Name() == "Options" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/codegen"):
+					needField, consumer = "Package", "codegen.Generate"
+				case named.Obj().Name() == "ShardOptions" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/core"):
+					needField, consumer = "ShardKey", "core.NewSharded"
+				default:
+					return true
+				}
+				if len(lit.Elts) > 0 {
+					if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+						return true // positional literal names every field
+					}
+				}
+				for _, e := range lit.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == needField {
+							return true
+						}
+					}
+				}
+				pass.Reportf(lit.Pos(), "%s literal without %s: %s rejects it at run time",
+					named.Obj().Name(), needField, consumer)
+				return true
+			})
+		}
+	},
+}
