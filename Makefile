@@ -7,7 +7,7 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled fmt-check faultinject lint
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs fmt-check faultinject lint
 
 ci: vet build race faultinject lint
 
@@ -21,6 +21,7 @@ ci: vet build race faultinject lint
 lint: build
 	$(GO) run ./cmd/relc -lint spec/*.rel
 	$(GO) run ./cmd/relvet ./...
+	$(GO) run ./cmd/relvet ./examples/...
 	$(GO) run ./cmd/relvet -gen spec/*.rel
 
 # The race gate plus an explicit rerun of the compiled-vs-interpreter
@@ -67,3 +68,10 @@ bench-sharded:
 # compiled tier landed on.
 bench-compiled:
 	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled)$$' -benchmem -count $(COUNT) -json ./internal/plan > BENCH_compiled.json
+
+# Observability-plane overhead: each BenchmarkObs* runs its hot loop with
+# metrics off and on; compare with `benchstat -col /metrics BENCH_obs.json`
+# (after converting from -json) or eyeball the off/on pairs. The off runs
+# must stay within noise of the pre-obs baselines.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'Obs' -benchmem -count $(COUNT) -json . > BENCH_obs.json

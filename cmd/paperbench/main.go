@@ -10,6 +10,7 @@
 //	paperbench parity [-scale N]
 //	paperbench sharded [-flows N] [-ops N] [-readpct N] [-shards N]
 //	paperbench compiled [-scale N]
+//	paperbench explain
 //	paperbench all
 //
 // Absolute numbers depend on the machine (and on this being an interpreted
@@ -52,6 +53,8 @@ func main() {
 		err = sharded(args)
 	case "compiled":
 		err = compiled(args)
+	case "explain":
+		err = explain()
 	case "all":
 		if err = fig12(); err == nil {
 			if err = table1(); err == nil {
@@ -76,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|explain|all} [flags]")
 	os.Exit(2)
 }
 

@@ -17,6 +17,12 @@
 // positioned file:line:col diagnostic with its relvet0xx code, and the
 // exit status is 1 when any finding survives -suppress. Unlike -check,
 // -lint keeps going past rejected declarations so it can explain them.
+//
+// With -explain nothing is compiled either: for every declared operation of
+// every decomposition, relc prints the query plan the engine would run — the
+// Figure 7 plan term and the annotated tree with the §4.3 per-node cost and
+// cardinality estimates. Removes and updates show the pattern-resolution
+// plan their two-phase mutation starts with.
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/dsl"
 	"repro/internal/lint"
+	"repro/internal/plan"
+	"repro/internal/relation"
 )
 
 func main() {
@@ -37,10 +45,12 @@ func main() {
 	which := flag.String("decomp", "", "compile only the named decomposition")
 	check := flag.Bool("check", false, "validate only; write nothing")
 	doLint := flag.Bool("lint", false, "lint the files and print positioned diagnostics; write nothing")
+	doExplain := flag.Bool("explain", false, "print the plan and cost for every declared operation; write nothing")
 	suppress := flag.String("suppress", "", "comma-separated lint codes to drop (with -lint)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: relc [-o DIR] [-pkg NAME] [-decomp NAME] [-check] FILE.rel\n")
 		fmt.Fprintf(os.Stderr, "       relc -lint [-suppress CODES] FILE.rel...\n")
+		fmt.Fprintf(os.Stderr, "       relc -explain [-decomp NAME] FILE.rel...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +60,19 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runLint(flag.Args(), *suppress))
+	}
+	if *doExplain {
+		if flag.NArg() == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			if err := runExplain(path, *which); err != nil {
+				fmt.Fprintf(os.Stderr, "relc: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -90,6 +113,62 @@ func runLint(paths []string, suppress string) int {
 		}
 	}
 	return status
+}
+
+// runExplain prints, for each decomposition in the file (or just the one
+// named by which), the plan the engine picks for every declared operation's
+// query shape: queries plan their own {in}->{out}; removes and updates plan
+// the pattern resolution over all columns that their two-phase mutation
+// starts with.
+func runExplain(path, which string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := dsl.ParseFile(path, string(src))
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, nd := range file.Decomps {
+		if which != "" && nd.Name != which {
+			continue
+		}
+		shown++
+		fmt.Printf("%s: decomposition %q for relation %q\n", path, nd.Name, nd.For.Name)
+		pl := plan.NewPlanner(nd.D, nd.For.FDs, nil)
+		for _, op := range nd.Ops {
+			in := relation.NewCols(op.In...)
+			var verb string
+			var out relation.Cols
+			switch op.Kind {
+			case codegen.QueryOp:
+				verb, out = "query", relation.NewCols(op.Out...)
+			case codegen.RemoveOp:
+				verb, out = "remove", nd.For.Cols()
+			case codegen.UpdateOp:
+				verb = fmt.Sprintf("update set {%s},", strings.Join(op.Set, ","))
+				out = nd.For.Cols()
+			default:
+				continue
+			}
+			fmt.Printf("\n  %s {%s} -> {%s}\n", verb, strings.Join(in.Names(), ","), strings.Join(out.Names(), ","))
+			cand, err := pl.Best(in, out)
+			if err != nil {
+				fmt.Printf("    no plan: %v\n", err)
+				continue
+			}
+			fmt.Printf("    plan: %s  cost=%.2f est_rows=%d\n", cand.Op.String(), cand.Cost, cand.EstimatedRows())
+			for _, line := range strings.Split(strings.TrimRight(pl.Explain(cand.Op), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		fmt.Println()
+	}
+	if which != "" && shown == 0 {
+		return fmt.Errorf("no decomposition named %q in %s", which, path)
+	}
+	return nil
 }
 
 func run(path, out, pkg, which string, checkOnly bool) error {

@@ -51,20 +51,26 @@ func main() {
 		}
 		start := time.Now()
 		fwd := dfs(nodes, func(v int64, visit func(int64)) {
-			_ = r.QueryFunc(relation.NewTuple(relation.BindInt("src", v)), []string{"dst"},
+			err := r.QueryFunc(relation.NewTuple(relation.BindInt("src", v)), []string{"dst"},
 				func(t relation.Tuple) bool {
 					visit(t.MustGet("dst").Int())
 					return true
 				})
+			if err != nil {
+				log.Fatal(err)
+			}
 		})
 		tf := time.Since(start)
 		start = time.Now()
 		bwd := dfs(nodes, func(v int64, visit func(int64)) {
-			_ = r.QueryFunc(relation.NewTuple(relation.BindInt("dst", v)), []string{"src"},
+			err := r.QueryFunc(relation.NewTuple(relation.BindInt("dst", v)), []string{"src"},
 				func(t relation.Tuple) bool {
 					visit(t.MustGet("src").Int())
 					return true
 				})
+			if err != nil {
+				log.Fatal(err)
+			}
 		})
 		tb := time.Since(start)
 		fmt.Printf("%-45s forward %6d visits in %8v, backward %6d visits in %8v\n",

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/systems/ipcap"
 	"repro/internal/workload"
 )
@@ -43,12 +44,18 @@ func main() {
 	fmt.Printf("%-28s %8d workers  %.3fs  %10.0f packets/sec\n",
 		"mutex + SynthFlowTable", 8, baseSecs, float64(packets)/baseSecs)
 
+	// Each sharded run carries a metrics sink; the last run's snapshot is
+	// printed below — upserts route to single shards, so RoutedOps should
+	// dominate and FanOuts stay near zero on this workload.
 	var sharded *ipcap.ShardedFlowTable
+	var met *obs.Metrics
 	for _, workers := range []int{1, 2, 4, 8} {
 		sharded, err = ipcap.NewShardedFlowTable(ipcap.DefaultFlowDecomp(), 16)
 		if err != nil {
 			log.Fatal(err)
 		}
+		met = &obs.Metrics{}
+		sharded.Relation().SetMetrics(met)
 		secs := drive(trace, workers, sharded.Account)
 		fmt.Printf("%-28s %8d workers  %.3fs  %10.0f packets/sec\n",
 			"ShardedFlowTable/16", workers, secs, float64(packets)/secs)
@@ -78,6 +85,7 @@ func main() {
 		log.Fatalf("flow counts diverge: sharded %d, baseline %d", sharded.Len(), baseline.Len())
 	}
 	fmt.Printf("\nsharded and baseline tables agree on all %d flows\n", got)
+	fmt.Printf("\nlast run's engine counters (8 workers):\n%s\n", met.Snapshot().String())
 }
 
 // drive splits the trace across workers goroutines and accounts every local

@@ -29,7 +29,13 @@ func main() {
 		log.Fatalf("cannot listen on loopback: %v", err)
 	}
 	defer l.Close()
-	go func() { _ = srv.Serve(l) }()
+	go func() {
+		// Serve returns when the deferred Close tears the listener down at
+		// exit; any earlier return is a real serving failure.
+		if err := srv.Serve(l); err != nil {
+			log.Printf("server stopped: %v", err)
+		}
+	}()
 	addr := l.Addr().String()
 	fmt.Printf("thttpd-style server listening on %s (mmap cache = synthesized relation)\n", addr)
 

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+)
+
+func TestExplainQueryRelation(t *testing.T) {
+	r := newSched(t)
+	e, err := r.ExplainQuery([]string{"ns", "pid"}, []string{"cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Cached {
+		t.Fatal("first explanation of a shape reported Cached")
+	}
+	if e.Relation != "processes" || e.Plan == "" || e.Tree == "" {
+		t.Fatalf("incomplete explanation: %+v", e)
+	}
+	if e.Cost <= 0 {
+		t.Fatalf("Cost = %v, want > 0", e.Cost)
+	}
+	if e.Routing != "" || e.Shards != 0 {
+		t.Fatalf("single-tier explain has routing %q/%d", e.Routing, e.Shards)
+	}
+	// Explaining plans the shape like running it would; the second look is
+	// a cache hit.
+	e2, err := r.ExplainQuery([]string{"ns", "pid"}, []string{"cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.Cached {
+		t.Fatal("second explanation of a shape not Cached")
+	}
+	s := e.String()
+	for _, want := range []string{"relation processes", "query {ns,pid} -> {cpu}", "plan:", "cost="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explanation text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainQuerySync(t *testing.T) {
+	s := core.NewSync(newSched(t))
+	e, err := s.ExplainQuery([]string{"state"}, []string{"pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan == "" || e.Routing != "" {
+		t.Fatalf("sync explanation: %+v", e)
+	}
+}
+
+func TestExplainQuerySharded(t *testing.T) {
+	sr, err := core.NewSharded(schedSpec(), paperex.SchedulerDecomp(), core.ShardOptions{
+		ShardKey: []string{"ns", "pid"},
+		Shards:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := sr.ExplainQuery([]string{"ns", "pid"}, []string{"cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.Routing != "routed" || routed.Shards != 0 {
+		t.Fatalf("keyed shape: routing %q/%d, want routed/0", routed.Routing, routed.Shards)
+	}
+	fan, err := sr.ExplainQuery([]string{"state"}, []string{"ns", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fan.Routing != "fan-out" || fan.Shards != 4 {
+		t.Fatalf("unkeyed shape: routing %q/%d, want fan-out/4", fan.Routing, fan.Shards)
+	}
+	if !strings.Contains(fan.String(), "fan-out over 4 shards") {
+		t.Fatalf("rendered explanation missing routing line:\n%s", fan.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -65,10 +66,26 @@ func (r *Relation) containMut(op string, err *error) {
 		*err = &PanicError{Op: op, Value: p, Stack: debug.Stack()}
 	}
 	if r.inst.Torn() && !r.poisoned {
-		r.poisoned = true
+		r.poison(op)
 		if *err == nil {
 			*err = ErrPoisoned
 		}
+	}
+}
+
+// poison transitions the relation to the read-only poisoned state,
+// recording the transition (once — re-poisoning an already-poisoned
+// relation counts nothing). op names the mutation that tore the state.
+func (r *Relation) poison(op string) {
+	if r.poisoned {
+		return
+	}
+	r.poisoned = true
+	if r.metrics != nil {
+		r.metrics.PoisonEvents.Add(1)
+	}
+	if r.tracer != nil {
+		r.tracer.Event(obs.Event{Kind: obs.EvPoison, Op: op})
 	}
 }
 
@@ -97,7 +114,7 @@ func (r *Relation) insertContained(t relation.Tuple) (ok bool, err error) {
 func (r *Relation) compensateInsert(ts []relation.Tuple) {
 	for i := len(ts) - 1; i >= 0; i-- {
 		if ok, err := r.insertContained(ts[i]); err != nil || !ok {
-			r.poisoned = true
+			r.poison("compensate-insert")
 			return
 		}
 	}
@@ -108,7 +125,7 @@ func (r *Relation) compensateInsert(ts []relation.Tuple) {
 func (r *Relation) compensateRemove(ts []relation.Tuple) {
 	for i := len(ts) - 1; i >= 0; i-- {
 		if ok, err := r.removeContained(ts[i]); err != nil || !ok {
-			r.poisoned = true
+			r.poison("compensate-remove")
 			return
 		}
 	}

@@ -1,0 +1,272 @@
+package core_test
+
+// Counter semantics under injected faults: the differential test
+// (obs_diff_test.go) pins the happy-path contract; these tests pin the
+// failure-path one — a failed mutation still counts its logical operation
+// and its validate, a failed apply counts exactly one rollback, and only
+// a rollback that itself fails counts a poison event. The faults come
+// from the same injection plane the atomicity harness uses, so every
+// counter assertion rides a mutation that genuinely tore mid-flight.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/faultinject/harness"
+	"repro/internal/obs"
+	"repro/internal/paperex"
+)
+
+// meteredSched seeds a scheduler relation and attaches a fresh metrics
+// sink afterwards, so every counter starts at zero for the faulted op.
+func meteredSched(t *testing.T) (*core.Relation, *obs.Metrics) {
+	t.Helper()
+	r := seededSched(t)
+	m := &obs.Metrics{}
+	r.SetMetrics(m)
+	return r, m
+}
+
+// tracePoints runs mut once with tracing on and returns the injection
+// points it passes.
+func tracePoints(t *testing.T, p *faultinject.Plane, mut func(*core.Relation) error) []faultinject.PointInfo {
+	t.Helper()
+	r := seededSched(t)
+	p.Reset()
+	p.Trace(true)
+	if err := mut(r); err != nil {
+		t.Fatalf("trace run failed: %v", err)
+	}
+	pts := p.Points()
+	p.Trace(false)
+	p.Reset()
+	if len(pts) == 0 {
+		t.Fatal("mutation passed no injection points")
+	}
+	return pts
+}
+
+func freshInsert(r *core.Relation) error {
+	return r.Insert(paperex.SchedulerTuple(3, 1, paperex.StateR, 2))
+}
+
+// TestObsCountersOnInjectedError arms an error at every error-capable step
+// of a fresh insert. Whatever site fails, the failed mutation must count
+// exactly: one insert, one validate, one apply, one rollback, no poison.
+// (Injectable errors fire only from apply-phase instance sites, so the
+// apply was always entered.)
+func TestObsCountersOnInjectedError(t *testing.T) {
+	p := planeForTest(t)
+	pts := tracePoints(t, p, freshInsert)
+	ran := 0
+	for step := 1; step <= len(pts); step++ {
+		if !pts[step-1].CanError {
+			continue
+		}
+		ran++
+		r, m := meteredSched(t)
+		p.Reset()
+		p.Arm(int64(step), faultinject.Error)
+		err := freshInsert(r)
+		fired := len(p.Fired()) > 0
+		p.Disarm()
+		if !fired {
+			t.Fatalf("step %d: fault did not fire", step)
+		}
+		if err == nil {
+			t.Fatalf("step %d: injected error surfaced as success", step)
+		}
+		d := m.Snapshot()
+		want := obs.Snapshot{Inserts: 1, MutValidates: 1, MutApplies: 1, MutRollbacks: 1}
+		if d != want {
+			t.Fatalf("step %d (%s): counters after injected error\n got: %s\nwant: %s",
+				step, pts[step-1].Site, d.String(), want.String())
+		}
+		if r.Poisoned() {
+			t.Fatalf("step %d: compensated mutation poisoned the relation", step)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no error-capable injection points")
+	}
+}
+
+// TestObsCountersOnInjectedPanic arms a panic at every step of a fresh
+// insert — including data-structure sites that fire before the apply phase
+// even starts. The invariant is phase-shaped rather than a fixed delta:
+// rollbacks happen exactly when an apply was entered.
+func TestObsCountersOnInjectedPanic(t *testing.T) {
+	p := planeForTest(t)
+	pts := tracePoints(t, p, freshInsert)
+	for step := 1; step <= len(pts); step++ {
+		r, m := meteredSched(t)
+		p.Reset()
+		p.Arm(int64(step), faultinject.Panic)
+		err := freshInsert(r)
+		fired := len(p.Fired()) > 0
+		p.Disarm()
+		if !fired {
+			t.Fatalf("step %d: fault did not fire", step)
+		}
+		if err == nil {
+			t.Fatalf("step %d: injected panic surfaced as success", step)
+		}
+		d := m.Snapshot()
+		if d.Inserts != 1 {
+			t.Fatalf("step %d: Inserts = %d, want 1", step, d.Inserts)
+		}
+		if d.MutValidates > 1 || d.MutApplies > d.MutValidates {
+			t.Fatalf("step %d (%s): impossible phase counts %s", step, pts[step-1].Site, d.String())
+		}
+		if d.MutRollbacks != d.MutApplies {
+			t.Fatalf("step %d (%s): rollbacks %d != applies %d — an entered apply must roll back exactly once",
+				step, pts[step-1].Site, d.MutRollbacks, d.MutApplies)
+		}
+		if d.PoisonEvents != 0 || r.Poisoned() {
+			t.Fatalf("step %d: contained panic poisoned the relation", step)
+		}
+	}
+}
+
+// TestObsCountersOnPoison makes the rollback itself fail — a persistent
+// panic armed from the second instance-apply site fires once during apply
+// and again during the undo replay — and checks the poison accounting:
+// exactly one poison event and a traced poison span, and the poisoned
+// relation's later rejected mutations still count their logical op but
+// enter no phases.
+func TestObsCountersOnPoison(t *testing.T) {
+	p := planeForTest(t)
+	pts := tracePoints(t, p, freshInsert)
+	step := 0
+	links := 0
+	for i, pt := range pts {
+		if pt.Site == "instance.insert.link" {
+			links++
+			if links == 2 {
+				step = i + 1
+				break
+			}
+		}
+	}
+	if step == 0 {
+		t.Fatal("fresh insert passes fewer than two link writes")
+	}
+
+	r, m := meteredSched(t)
+	ring := obs.NewRingTracer(32)
+	r.SetTracer(ring)
+	p.Reset()
+	p.ArmFrom(int64(step), faultinject.Panic)
+	err := freshInsert(r)
+	p.Disarm()
+	if err == nil {
+		t.Fatal("doubly-faulted insert surfaced as success")
+	}
+	if !r.Poisoned() {
+		t.Fatal("failed rollback did not poison the relation")
+	}
+	d := m.Snapshot()
+	if d.PoisonEvents != 1 {
+		t.Fatalf("PoisonEvents = %d, want 1", d.PoisonEvents)
+	}
+	if d.MutRollbacks != 1 {
+		t.Fatalf("MutRollbacks = %d, want 1", d.MutRollbacks)
+	}
+	var sawPoison, sawFailedReplay bool
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case obs.EvPoison:
+			sawPoison = true
+		case obs.EvUndoReplay:
+			if ev.Err != nil {
+				sawFailedReplay = true
+			}
+		}
+	}
+	if !sawPoison || !sawFailedReplay {
+		t.Fatalf("trace ring missing poison/failed-replay spans:\n%s", ring.String())
+	}
+
+	// The poisoned relation rejects mutations before any phase runs, but
+	// the logical-op counter still ticks: the caller did ask for an insert.
+	if err := freshInsert(r); err != core.ErrPoisoned {
+		t.Fatalf("insert into poisoned relation: err = %v, want ErrPoisoned", err)
+	}
+	d2 := m.Snapshot().Sub(d)
+	want := obs.Snapshot{Inserts: 1}
+	if d2 != want {
+		t.Fatalf("rejected insert delta\n got: %s\nwant: %s", d2.String(), want.String())
+	}
+}
+
+// TestObsCountersFaultCorpus sweeps every mutation of every corpus case
+// with an injected error at every error-capable step, asserting the
+// universal failure-path invariants on the counters.
+func TestObsCountersFaultCorpus(t *testing.T) {
+	p := planeForTest(t)
+	for _, c := range harness.Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			build := func() *core.Relation {
+				r, err := core.New(c.Spec(), c.Decomp())
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				for _, tup := range c.Seed {
+					if err := r.Insert(tup); err != nil {
+						t.Fatalf("seed insert %v: %v", tup, err)
+					}
+				}
+				return r
+			}
+			for _, mut := range c.Muts {
+				t.Run(mut.Name, func(t *testing.T) {
+					r := build()
+					p.Reset()
+					p.Trace(true)
+					if err := mut.Run(r); err != nil {
+						t.Fatalf("trace run failed: %v", err)
+					}
+					pts := p.Points()
+					p.Trace(false)
+					p.Reset()
+					for step := 1; step <= len(pts); step++ {
+						if !pts[step-1].CanError {
+							continue
+						}
+						r := build()
+						m := &obs.Metrics{}
+						r.SetMetrics(m)
+						p.Reset()
+						p.Arm(int64(step), faultinject.Error)
+						err := mut.Run(r)
+						fired := len(p.Fired()) > 0
+						p.Disarm()
+						if !fired {
+							t.Fatalf("step %d: fault did not fire", step)
+						}
+						if err == nil {
+							t.Fatalf("step %d: injected error surfaced as success", step)
+						}
+						d := m.Snapshot()
+						if d.MutRollbacks == 0 {
+							t.Fatalf("step %d (%s): failed apply counted no rollback: %s",
+								step, pts[step-1].Site, d.String())
+						}
+						if d.MutApplies < d.MutRollbacks {
+							t.Fatalf("step %d (%s): more rollbacks than applies: %s",
+								step, pts[step-1].Site, d.String())
+						}
+						if d.PoisonEvents != 0 || r.Poisoned() {
+							t.Fatalf("step %d: compensated mutation poisoned the relation", step)
+						}
+						if err := r.CheckInvariants(); err != nil {
+							t.Fatalf("step %d: invariants: %v", step, err)
+						}
+					}
+				})
+			}
+		})
+	}
+}

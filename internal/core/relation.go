@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/decomp"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/value"
@@ -47,6 +49,13 @@ type Relation struct {
 	// poisoned degrades the relation to read-only after a failed rollback;
 	// see ErrPoisoned. Only written under the owning tier's write lock.
 	poisoned bool
+
+	// metrics and tracer are the observability hooks (SetMetrics,
+	// SetTracer). Both nil by default; the disabled cost is one nil check
+	// per counted site. The exact counter semantics are documented on
+	// obs.Metrics.
+	metrics *obs.Metrics
+	tracer  obs.Tracer
 }
 
 // New checks the specification, verifies the decomposition is adequate for
@@ -104,6 +113,25 @@ func (r *Relation) Instance() *instance.Instance { return r.inst }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return r.inst.Len() }
 
+// SetMetrics attaches (or, with nil, detaches) a metrics sink. Like the
+// CheckFDs/CachePlans flags, set it before the relation is shared;
+// sharded shards may safely share one sink — every counter is atomic.
+func (r *Relation) SetMetrics(m *obs.Metrics) {
+	r.metrics = m
+	r.inst.SetObs(m, r.tracer)
+}
+
+// SetTracer attaches (or, with nil, detaches) a span-event tracer. The
+// tracer must be safe for concurrent use and must not call back into
+// this relation (events fire while engine locks are held).
+func (r *Relation) SetTracer(t obs.Tracer) {
+	r.tracer = t
+	r.inst.SetObs(r.metrics, t)
+}
+
+// Metrics returns the attached metrics sink, or nil.
+func (r *Relation) Metrics() *obs.Metrics { return r.metrics }
+
 // Reprofile replaces the planner's statistics with fanouts measured from
 // the current instance (§4.3's profiling option) and clears the plan cache.
 func (r *Relation) Reprofile() {
@@ -126,9 +154,17 @@ func (r *Relation) planFor(input, output relation.Cols) (*plan.Candidate, error)
 	buf = append(buf, '|')
 	buf = output.AppendKey(buf)
 	if c, ok := r.plans.get(string(buf)); ok {
+		if r.metrics != nil {
+			r.metrics.PlanCacheHits.Add(1)
+		}
 		return c, nil
 	}
-	return r.plans.do(string(buf), func() (*plan.Candidate, error) {
+	planned := false
+	c, err := r.plans.do(string(buf), func() (*plan.Candidate, error) {
+		planned = true
+		if r.metrics != nil {
+			r.metrics.PlanCacheMisses.Add(1)
+		}
 		c, err := r.planner.Best(input, output)
 		if err != nil {
 			return nil, err
@@ -141,12 +177,31 @@ func (r *Relation) planFor(input, output relation.Cols) (*plan.Candidate, error)
 		// sharing the cache. A plan the compiler cannot lower keeps Prog nil
 		// and runs interpreted — the interpreter stays the oracle.
 		if r.CompilePrograms {
-			if prog, perr := plan.Compile(r.inst, c.Op, input, output); perr == nil {
+			prog, perr := plan.Compile(r.inst, c.Op, input, output)
+			if perr == nil {
 				c.Prog = prog
+				if r.metrics != nil {
+					r.metrics.PlanCompiled.Add(1)
+				}
+			} else if r.metrics != nil {
+				r.metrics.PlanFallbacks.Add(1)
 			}
+			if r.tracer != nil {
+				r.tracer.Event(obs.Event{Kind: obs.EvPlanCompile, Detail: c.Op.String(), Err: perr})
+			}
+		} else if r.tracer != nil {
+			r.tracer.Event(obs.Event{Kind: obs.EvPlanCompile, Detail: c.Op.String()})
 		}
 		return c, nil
 	})
+	// A caller that neither hit the fast path nor ran the callback waited on
+	// a concurrent planner invocation for the same shape — a hit, by the
+	// counter contract (misses count planner invocations, exactly once per
+	// promoted shape).
+	if !planned && err == nil && r.metrics != nil {
+		r.metrics.PlanCacheHits.Add(1)
+	}
+	return c, err
 }
 
 // PlanDescription returns the chosen plan for a query shape in the paper's
@@ -180,6 +235,9 @@ func (r *Relation) Insert(t relation.Tuple) error {
 
 // insert is Insert reporting whether the relation changed, for batch undo.
 func (r *Relation) insert(t relation.Tuple) (changed bool, err error) {
+	if r.metrics != nil {
+		r.metrics.Inserts.Add(1)
+	}
 	if r.poisoned {
 		return false, ErrPoisoned
 	}
@@ -211,6 +269,9 @@ func (r *Relation) insert(t relation.Tuple) (changed bool, err error) {
 // the paper's generated iterators.
 func (r *Relation) Query(s relation.Tuple, out []string) (res []relation.Tuple, err error) {
 	defer containRead("query", &err)
+	if r.metrics != nil {
+		r.metrics.QueryCollect.Add(1)
+	}
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return nil, err
 	}
@@ -222,10 +283,31 @@ func (r *Relation) Query(s relation.Tuple, out []string) (res []relation.Tuple, 
 	if err != nil {
 		return nil, err
 	}
+	r.countExec(cand)
+	if tr := r.tracer; tr != nil {
+		start := time.Now()
+		defer func() {
+			tr.Event(obs.Event{Kind: obs.EvPlanExec, Op: "query", Detail: cand.Op.String(), Rows: len(res), Dur: time.Since(start)})
+		}()
+	}
 	if cand.Prog != nil {
 		return cand.Prog.Collect(r.inst, s, cand.EstimatedRows()), nil
 	}
 	return plan.CollectSized(r.inst, cand.Op, s, outCols, cand.EstimatedRows()), nil
+}
+
+// countExec records which execution tier a plan ran on: the compiled
+// closure program or the Figure 7 interpreter. Point-plan executions are
+// counted by the sharded tier's queryPoint, the only caller of that tier.
+func (r *Relation) countExec(cand *plan.Candidate) {
+	if r.metrics == nil {
+		return
+	}
+	if cand.Prog != nil {
+		r.metrics.ExecCompiled.Add(1)
+	} else {
+		r.metrics.ExecInterpreted.Add(1)
+	}
 }
 
 // QueryFunc implements the streaming query of the paper's generated
@@ -234,6 +316,9 @@ func (r *Relation) Query(s relation.Tuple, out []string) (res []relation.Tuple, 
 // not eliminate duplicate projections.
 func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tuple) bool) (err error) {
 	defer containRead("query", &err)
+	if r.metrics != nil {
+		r.metrics.QueryStream.Add(1)
+	}
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return err
 	}
@@ -252,6 +337,16 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 	if err != nil {
 		return err
 	}
+	r.countExec(cand)
+	if tr := r.tracer; tr != nil {
+		rows := 0
+		inner := f
+		f = func(t relation.Tuple) bool { rows++; return inner(t) }
+		start := time.Now()
+		defer func() {
+			tr.Event(obs.Event{Kind: obs.EvPlanExec, Op: "query", Detail: cand.Op.String(), Rows: rows, Dur: time.Since(start)})
+		}()
+	}
 	if cand.Prog != nil {
 		cand.Prog.StreamView(r.inst, s, f)
 		return nil
@@ -268,6 +363,9 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 // Results are de-duplicated and deterministic, like Query.
 func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value, out []string) (res []relation.Tuple, rerr error) {
 	defer containRead("query-range", &rerr)
+	if r.metrics != nil {
+		r.metrics.QueryRange.Add(1)
+	}
 	cand, outCols, err := r.rangePlan(s, col, out)
 	if err != nil {
 		return nil, err
@@ -295,6 +393,9 @@ func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value,
 // QueryRangeFunc is the streaming form of QueryRange.
 func (r *Relation) QueryRangeFunc(s relation.Tuple, col string, lo, hi *value.Value, out []string, f func(relation.Tuple) bool) (rerr error) {
 	defer containRead("query-range", &rerr)
+	if r.metrics != nil {
+		r.metrics.QueryRange.Add(1)
+	}
 	cand, outCols, err := r.rangePlan(s, col, out)
 	if err != nil {
 		return err
@@ -329,6 +430,19 @@ func (r *Relation) rangePlan(s relation.Tuple, col string, out []string) (*plan.
 }
 
 func (r *Relation) execRange(cand *plan.Candidate, s relation.Tuple, lo, hi *value.Value, col string, f func(relation.Tuple) bool) {
+	// Range execution has no compiled tier; it always runs the interpreter.
+	if r.metrics != nil {
+		r.metrics.ExecInterpreted.Add(1)
+	}
+	if tr := r.tracer; tr != nil {
+		rows := 0
+		inner := f
+		f = func(t relation.Tuple) bool { rows++; return inner(t) }
+		start := time.Now()
+		defer func() {
+			tr.Event(obs.Event{Kind: obs.EvPlanExec, Op: "query-range", Detail: cand.Op.String(), Rows: rows, Dur: time.Since(start)})
+		}()
+	}
 	rg := plan.Range{Col: col}
 	if lo != nil {
 		rg.Lo, rg.HasLo = *lo, true
@@ -351,6 +465,9 @@ func (r *Relation) Remove(s relation.Tuple) (int, error) {
 
 // remove is Remove returning the removed tuples themselves, for batch undo.
 func (r *Relation) remove(s relation.Tuple) (removed []relation.Tuple, err error) {
+	if r.metrics != nil {
+		r.metrics.Removes.Add(1)
+	}
 	if r.poisoned {
 		return nil, ErrPoisoned
 	}
@@ -385,6 +502,16 @@ func (r *Relation) remove(s relation.Tuple) (removed []relation.Tuple, err error
 // failed reinsert restores the removed tuple before the error is returned.
 // It returns the number of tuples updated (0 or 1, since s is a key).
 func (r *Relation) Update(s, u relation.Tuple) (n int, err error) {
+	if r.metrics != nil {
+		r.metrics.Updates.Add(1)
+	}
+	return r.update(s, u)
+}
+
+// update is Update without the Updates counter, so the sharded tier's
+// updatePoint fast path (which counts once itself) can fall back here
+// without double-counting the logical operation.
+func (r *Relation) update(s, u relation.Tuple) (n int, err error) {
 	if r.poisoned {
 		return 0, ErrPoisoned
 	}

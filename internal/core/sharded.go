@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/decomp"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/value"
@@ -65,6 +67,11 @@ type ShardedRelation struct {
 	ro    *router
 	keyed bool // the FDs certify the shard key as a key
 	sem   chan struct{}
+
+	// metrics is the sharded tier's own view of the sink every shard also
+	// holds (SetMetrics); it feeds the routing counters and the fan-out
+	// latency histogram. Nil when observability is off.
+	metrics *obs.Metrics
 
 	shards []relShard
 }
@@ -135,6 +142,41 @@ func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
 // caller must not mutate it while other goroutines use the sharded engine.
 func (sr *ShardedRelation) Shard(i int) *Relation { return sr.shards[i].r }
 
+// SetMetrics attaches one shared metrics sink to every shard and to the
+// sharded tier's routing counters. Counters are atomic, so the shards can
+// increment the shared block without coordination. Attach before the
+// engine is shared, like the other configuration knobs.
+func (sr *ShardedRelation) SetMetrics(m *obs.Metrics) {
+	sr.metrics = m
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.Lock()
+		sh.r.SetMetrics(m)
+		sh.mu.Unlock()
+	}
+}
+
+// SetTracer attaches one tracer to every shard. The tracer receives events
+// from fan-out workers concurrently; it must be safe for concurrent use.
+func (sr *ShardedRelation) SetTracer(t obs.Tracer) {
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.mu.Lock()
+		sh.r.SetTracer(t)
+		sh.mu.Unlock()
+	}
+}
+
+// Metrics returns the attached metrics sink, or nil.
+func (sr *ShardedRelation) Metrics() *obs.Metrics { return sr.metrics }
+
+// routed records one operation that locked exactly one shard.
+func (sr *ShardedRelation) routed() {
+	if sr.metrics != nil {
+		sr.metrics.RoutedOps.Add(1)
+	}
+}
+
 // Insert implements insert r t: the full tuple always binds the shard key,
 // so exactly one shard locks.
 func (sr *ShardedRelation) Insert(t relation.Tuple) error {
@@ -142,6 +184,7 @@ func (sr *ShardedRelation) Insert(t relation.Tuple) error {
 	if err != nil {
 		return err
 	}
+	sr.routed()
 	sh := &sr.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -153,6 +196,7 @@ func (sr *ShardedRelation) Insert(t relation.Tuple) error {
 // partitioned, so per-shard removal counts sum without double counting.
 func (sr *ShardedRelation) Remove(pat relation.Tuple) (int, error) {
 	if i, ok := sr.ro.route(pat); ok {
+		sr.routed()
 		sh := &sr.shards[i]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -180,6 +224,7 @@ func (sr *ShardedRelation) Remove(pat relation.Tuple) (int, error) {
 // relation at most one shard finds a match.
 func (sr *ShardedRelation) Update(s, u relation.Tuple) (int, error) {
 	if i, ok := sr.ro.route(s); ok {
+		sr.routed()
 		sh := &sr.shards[i]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -213,6 +258,7 @@ func (sr *ShardedRelation) Update(s, u relation.Tuple) (int, error) {
 // and merge the per-shard sorted results deterministically.
 func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
 	if i, ok := sr.ro.route(pat); ok {
+		sr.routed()
 		sh := &sr.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -242,10 +288,18 @@ func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.T
 // the engine.
 func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
 	if i, ok := sr.ro.route(pat); ok {
+		sr.routed()
 		sh := &sr.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		return sh.r.QueryFunc(pat, out, f)
+	}
+	// The sequential broadcast is still a fan-out for accounting: it visits
+	// every shard for one logical operation.
+	if m := sr.metrics; m != nil {
+		m.FanOuts.Add(1)
+		start := time.Now()
+		defer func() { m.FanOutLatency.Observe(time.Since(start)) }()
 	}
 	stopped := false
 	for i := range sr.shards {
@@ -270,6 +324,7 @@ func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(re
 // shard, others fan out and merge the per-shard sorted results.
 func (sr *ShardedRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
 	if i, ok := sr.ro.route(pat); ok {
+		sr.routed()
 		sh := &sr.shards[i]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -382,6 +437,10 @@ func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple,
 	if err != nil {
 		return err
 	}
+	sr.routed()
+	if sr.metrics != nil {
+		sr.metrics.Upserts.Add(1)
+	}
 	sh := &sr.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -430,6 +489,7 @@ func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error
 	if err != nil {
 		return err
 	}
+	sr.routed()
 	sh := &sr.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -512,6 +572,11 @@ func (sr *ShardedRelation) Poisoned() bool {
 // goroutine cannot be recovered by the caller, so without this a single
 // crashing shard would kill the process and strand its peers' locks.
 func (sr *ShardedRelation) fanOut(f func(int, *relShard) error) error {
+	if m := sr.metrics; m != nil {
+		m.FanOuts.Add(1)
+		start := time.Now()
+		defer func() { m.FanOutLatency.Observe(time.Since(start)) }()
+	}
 	run := func(i int) (err error) {
 		defer containRead("shard fan-out", &err)
 		return f(i, &sr.shards[i])
@@ -555,6 +620,9 @@ func (sr *ShardedRelation) fanOut(f func(int, *relShard) error) error {
 // construction has certified the shard key as a key.
 func (r *Relation) queryPoint(s relation.Tuple, out []string) (res []relation.Tuple, err error) {
 	defer containRead("query", &err)
+	if r.metrics != nil {
+		r.metrics.QueryPoint.Add(1)
+	}
 	if err := r.spec.CheckTuple(s, false); err != nil {
 		return nil, err
 	}
@@ -567,6 +635,9 @@ func (r *Relation) queryPoint(s relation.Tuple, out []string) (res []relation.Tu
 		return nil, err
 	}
 	if pp := cand.Point; pp != nil {
+		if r.metrics != nil {
+			r.metrics.ExecPoint.Add(1)
+		}
 		u, ok := pp.Get(r.inst, s)
 		if !ok {
 			return nil, nil
@@ -586,6 +657,7 @@ func (r *Relation) queryPoint(s relation.Tuple, out []string) (res []relation.Tu
 		res = append(res, t.Project(outCols))
 		return false // a superkey pattern matches at most one tuple
 	}
+	r.countExec(cand)
 	if cand.Prog != nil {
 		cand.Prog.StreamView(r.inst, s, emit)
 	} else {
@@ -602,8 +674,13 @@ func (r *Relation) queryPoint(s relation.Tuple, out []string) (res []relation.Tu
 // allows; anything the fast path cannot handle falls back to the generic
 // Update.
 func (r *Relation) updatePoint(s, u relation.Tuple) (n int, err error) {
+	// One logical update regardless of which path applies it; the fallbacks
+	// below go through the uncounted update to avoid double counting.
+	if r.metrics != nil {
+		r.metrics.Updates.Add(1)
+	}
 	if r.CheckFDs {
-		return r.Update(s, u)
+		return r.update(s, u)
 	}
 	if r.poisoned {
 		return 0, ErrPoisoned
@@ -624,7 +701,10 @@ func (r *Relation) updatePoint(s, u relation.Tuple) (n int, err error) {
 	}
 	pp := cand.Point
 	if pp == nil {
-		return r.Update(s, u)
+		return r.update(s, u)
+	}
+	if r.metrics != nil {
+		r.metrics.ExecPoint.Add(1)
 	}
 	unit, ok := pp.Get(r.inst, s)
 	if !ok {
@@ -644,7 +724,7 @@ func (r *Relation) updatePoint(s, u relation.Tuple) (n int, err error) {
 	}
 	match, ok := s.MergeProject(unit, r.spec.Cols())
 	if !ok {
-		return r.Update(s, u)
+		return r.update(s, u)
 	}
 	ok, uerr := r.inst.UpdateInPlace(match, u)
 	if uerr != nil {

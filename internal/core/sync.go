@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -82,6 +83,28 @@ func (s *SyncRelation) CheckInvariants() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.r.CheckInvariants()
+}
+
+// SetMetrics attaches a metrics sink to the wrapped relation.
+func (s *SyncRelation) SetMetrics(m *obs.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.SetMetrics(m)
+}
+
+// SetTracer attaches a span-event tracer to the wrapped relation. The
+// tracer runs under this tier's locks; it must not call back in.
+func (s *SyncRelation) SetTracer(t obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.SetTracer(t)
+}
+
+// Metrics returns the attached metrics sink, or nil.
+func (s *SyncRelation) Metrics() *obs.Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r.Metrics()
 }
 
 // Poisoned reports whether the wrapped relation has degraded to read-only

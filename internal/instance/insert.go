@@ -3,6 +3,7 @@ package instance
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -42,7 +43,13 @@ func (in *Instance) Insert(t relation.Tuple) (bool, error) {
 // for the shared node w), and record every unit and edge write the apply
 // pass must perform. Nodes allocated here are garbage if the plan is
 // rejected — they are not linked into the instance.
-func (in *Instance) planInsert(t relation.Tuple) error {
+func (in *Instance) planInsert(t relation.Tuple) (err error) {
+	if in.met != nil {
+		in.met.MutValidates.Add(1)
+	}
+	if in.tr != nil {
+		defer func() { in.tr.Event(obs.Event{Kind: obs.EvMutValidate, Op: "insert", Err: err}) }()
+	}
 	scr := &in.scr
 	scr.reset(len(in.updWalk))
 	for i := range in.updWalk {
@@ -118,6 +125,15 @@ func (in *Instance) planInsert(t relation.Tuple) error {
 // (an unlinked node is garbage either way). Each link is logged so rollback
 // unlinks it and drops the reference it added.
 func (in *Instance) applyInsert() (err error) {
+	if in.met != nil {
+		in.met.MutApplies.Add(1)
+	}
+	if in.tr != nil {
+		// On a panic exit containApply (registered later, so run first) has
+		// already rolled back and re-raised; this event then reports err nil —
+		// the EvUndoReplay event carries the failure.
+		defer func() { in.tr.Event(obs.Event{Kind: obs.EvMutApply, Op: "insert", Err: err}) }()
+	}
 	in.undo.reset()
 	defer in.containApply()
 	for i := range in.scr.units {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dstruct"
 	"repro/internal/faultinject"
 	"repro/internal/fd"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -95,6 +96,12 @@ type Instance struct {
 	// Torn).
 	fi   *faultinject.Plane
 	torn bool
+
+	// met and tr are the observability hooks (see SetObs): the two-phase
+	// mutation counters and span events of package obs. Both nil by
+	// default — the disabled cost is one nil check per phase.
+	met *obs.Metrics
+	tr  obs.Tracer
 
 	// CleanupEmpty controls whether removal deallocates maps that become
 	// empty (§4.5: "Our implementation deallocates empty maps to minimize
@@ -254,6 +261,16 @@ func (in *Instance) buildUpdWalk() {
 			in.rmBreaks = append(in.rmBreaks, le)
 		}
 	}
+}
+
+// SetObs attaches (or, with nils, detaches) the observability hooks: m
+// receives the two-phase mutation counters (MutValidates / MutApplies /
+// MutRollbacks) and t the phase span events. The engine's SetMetrics and
+// SetTracer call this; set hooks before sharing the instance, like the
+// engine's other configuration flags.
+func (in *Instance) SetObs(m *obs.Metrics, t obs.Tracer) {
+	in.met = m
+	in.tr = t
 }
 
 // Decomp returns the instance's decomposition.

@@ -3,6 +3,7 @@ package instance
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -35,7 +36,13 @@ func (in *Instance) RemoveTuple(t relation.Tuple) (bool, error) {
 // planRemove locates the instance of every variable above the cut (X). Edges
 // never point from Y back into X, so X nodes are reachable through X-only
 // paths, all of whose map keys are bound by t.
-func (in *Instance) planRemove(t relation.Tuple) error {
+func (in *Instance) planRemove(t relation.Tuple) (err error) {
+	if in.met != nil {
+		in.met.MutValidates.Add(1)
+	}
+	if in.tr != nil {
+		defer func() { in.tr.Event(obs.Event{Kind: obs.EvMutValidate, Op: "remove", Err: err}) }()
+	}
 	scr := &in.scr
 	scr.reset(len(in.updWalk))
 	for _, i := range in.rmXvars {
@@ -73,6 +80,12 @@ func (in *Instance) planRemove(t relation.Tuple) error {
 
 // applyRemove executes the removal from the plan, logging compensations.
 func (in *Instance) applyRemove(t relation.Tuple) (err error) {
+	if in.met != nil {
+		in.met.MutApplies.Add(1)
+	}
+	if in.tr != nil {
+		defer func() { in.tr.Event(obs.Event{Kind: obs.EvMutApply, Op: "remove", Err: err}) }()
+	}
 	in.undo.reset()
 	defer in.containApply()
 	scr := &in.scr
@@ -188,7 +201,13 @@ func (in *Instance) UpdateInPlace(t, u relation.Tuple) (bool, error) {
 
 // planUpdate locates the node of every variable and computes the merged unit
 // values without writing anything.
-func (in *Instance) planUpdate(t, u relation.Tuple) error {
+func (in *Instance) planUpdate(t, u relation.Tuple) (err error) {
+	if in.met != nil {
+		in.met.MutValidates.Add(1)
+	}
+	if in.tr != nil {
+		defer func() { in.tr.Event(obs.Event{Kind: obs.EvMutValidate, Op: "update", Err: err}) }()
+	}
 	scr := &in.scr
 	scr.reset(len(in.updWalk))
 	udom := u.Dom()
@@ -235,6 +254,12 @@ func (in *Instance) planUpdate(t, u relation.Tuple) error {
 
 // applyUpdate writes the planned unit values, logging the previous tuples.
 func (in *Instance) applyUpdate() (err error) {
+	if in.met != nil {
+		in.met.MutApplies.Add(1)
+	}
+	if in.tr != nil {
+		defer func() { in.tr.Event(obs.Event{Kind: obs.EvMutApply, Op: "update", Err: err}) }()
+	}
 	in.undo.reset()
 	defer in.containApply()
 	for i := range in.scr.units {

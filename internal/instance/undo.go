@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -97,11 +98,27 @@ func (u *undoLog) rollback() (err error) {
 // back and returns the cause. If rollback itself fails the instance is
 // marked torn and the returned error wraps ErrTorn.
 func (in *Instance) abort(cause error) error {
-	if rerr := in.undo.rollback(); rerr != nil {
+	rerr := in.rollbackCounted()
+	if rerr != nil {
 		in.torn = true
 		return fmt.Errorf("%w (cause: %v; rollback: %v)", ErrTorn, cause, rerr)
 	}
 	return cause
+}
+
+// rollbackCounted replays the undo log under the observability hooks: one
+// MutRollbacks increment per replay and an EvUndoReplay event carrying the
+// number of compensating entries and the replay failure, if any.
+func (in *Instance) rollbackCounted() error {
+	n := len(in.undo.entries)
+	if in.met != nil {
+		in.met.MutRollbacks.Add(1)
+	}
+	rerr := in.undo.rollback()
+	if in.tr != nil {
+		in.tr.Event(obs.Event{Kind: obs.EvUndoReplay, Rows: n, Err: rerr})
+	}
+	return rerr
 }
 
 // containApply is deferred around every apply phase: a panic escaping the
@@ -111,7 +128,7 @@ func (in *Instance) abort(cause error) error {
 // the instance is already restored — or flagged torn when restoring failed.
 func (in *Instance) containApply() {
 	if p := recover(); p != nil {
-		if rerr := in.undo.rollback(); rerr != nil {
+		if rerr := in.rollbackCounted(); rerr != nil {
 			in.torn = true
 		}
 		panic(p)

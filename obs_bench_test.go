@@ -1,0 +1,161 @@
+package repro
+
+// Overhead benchmarks for the observability plane. Each benchmark runs the
+// same hot loop twice — metrics detached (the default) and attached — so a
+// benchstat comparison of the off/on sub-benchmarks bounds the cost of the
+// plane. The acceptance bar is that the "off" runs stay within noise of the
+// pre-obs baselines (BENCH_compiled.json / BenchmarkShardedThroughput): a
+// disabled plane is a nil check per counter site and nothing else.
+//
+//	make bench-obs            # writes BENCH_obs.json
+//	go test -bench Obs -count 6 . | benchstat -col /metrics -
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+func obsBenchRelation(b testing.TB, n int) *core.Relation {
+	b.Helper()
+	r, err := core.New(&core.Spec{
+		Name: "processes",
+		Columns: []core.ColDef{
+			{Name: "ns", Type: core.IntCol}, {Name: "pid", Type: core.IntCol},
+			{Name: "state", Type: core.IntCol}, {Name: "cpu", Type: core.IntCol},
+		},
+		FDs: paperex.SchedulerFDs(),
+	}, paperex.SchedulerDecomp())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tup := paperex.SchedulerTuple(int64(i%16), int64(i/16), paperex.StateR, int64(i%8))
+		if err := r.Insert(tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func withObsModes(b *testing.B, run func(b *testing.B, m *obs.Metrics)) {
+	b.Helper()
+	for _, mode := range []struct {
+		name string
+		m    *obs.Metrics
+	}{
+		{"metrics=off", nil},
+		{"metrics=on", &obs.Metrics{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) { run(b, mode.m) })
+	}
+}
+
+// BenchmarkObsPointQuery is the compiled keyed-lookup hot path: one plan
+// cache hit plus one program execution per op, the same shape the
+// BenchmarkCompiled* plan benchmarks isolate.
+func BenchmarkObsPointQuery(b *testing.B) {
+	withObsModes(b, func(b *testing.B, m *obs.Metrics) {
+		r := obsBenchRelation(b, 4096)
+		r.SetMetrics(m)
+		pat := relation.NewTuple(relation.BindInt("ns", 3), relation.BindInt("pid", 7))
+		out := []string{"cpu"}
+		if _, err := r.Query(pat, out); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Query(pat, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsInsertRemove is the two-phase mutation hot path: every op
+// counts a logical op, a validate, and an apply when metrics are on.
+func BenchmarkObsInsertRemove(b *testing.B) {
+	withObsModes(b, func(b *testing.B, m *obs.Metrics) {
+		r := obsBenchRelation(b, 1024)
+		r.SetMetrics(m)
+		tup := paperex.SchedulerTuple(99, 1, paperex.StateS, 3)
+		pat := relation.NewTuple(relation.BindInt("ns", 99), relation.BindInt("pid", 1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.Insert(tup); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Remove(pat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsShardedRouted is the sharded point path: routing, a plan
+// cache hit, and the compiled point access, with the per-shard metrics
+// fan-in on top when enabled.
+func BenchmarkObsShardedRouted(b *testing.B) {
+	withObsModes(b, func(b *testing.B, m *obs.Metrics) {
+		sr, err := core.NewSharded(&core.Spec{
+			Name: "processes",
+			Columns: []core.ColDef{
+				{Name: "ns", Type: core.IntCol}, {Name: "pid", Type: core.IntCol},
+				{Name: "state", Type: core.IntCol}, {Name: "cpu", Type: core.IntCol},
+			},
+			FDs: paperex.SchedulerFDs(),
+		}, paperex.SchedulerDecomp(), core.ShardOptions{ShardKey: []string{"ns", "pid"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr.SetMetrics(m)
+		for i := 0; i < 4096; i++ {
+			tup := paperex.SchedulerTuple(int64(i%16), int64(i/16), paperex.StateR, int64(i%8))
+			if err := sr.Insert(tup); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pats := make([]relation.Tuple, 64)
+		for i := range pats {
+			pats[i] = relation.NewTuple(relation.BindInt("ns", int64(i%16)), relation.BindInt("pid", int64(i)))
+		}
+		out := []string{"cpu"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sr.Query(pats[i%len(pats)], out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsTraced adds a ring tracer on top of metrics: the worst-case
+// fully-instrumented configuration, for sizing the tracing cost (an Event
+// struct write per span, no locks beyond the ring's).
+func BenchmarkObsTraced(b *testing.B) {
+	r := obsBenchRelation(b, 4096)
+	r.SetMetrics(&obs.Metrics{})
+	r.SetTracer(obs.NewRingTracer(1024))
+	pat := relation.NewTuple(relation.BindInt("ns", 3), relation.BindInt("pid", 7))
+	out := []string{"cpu"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Query(pat, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sanity check so the root package also exercises the expvar publisher.
+func TestObsPublishSmoke(t *testing.T) {
+	r := obsBenchRelation(t, 0)
+	m := &obs.Metrics{}
+	r.SetMetrics(m)
+	if err := m.Publish(fmt.Sprintf("bench.%p", m)); err != nil {
+		t.Fatal(err)
+	}
+}
