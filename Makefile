@@ -7,9 +7,9 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs fmt-check faultinject lint
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-smoke test-vec fmt-check faultinject lint
 
-ci: vet build race faultinject lint
+ci: vet build race test-vec faultinject lint bench-smoke
 
 # The static-analysis plane, both halves: the decomposition linter over
 # every checked-in spec (relvet0xx — adequacy, storage redundancy, cost
@@ -24,14 +24,22 @@ lint: build
 	$(GO) run ./cmd/relvet ./examples/...
 	$(GO) run ./cmd/relvet -gen spec/*.rel
 
-# The race gate plus an explicit rerun of the compiled-vs-interpreter
-# differential tests (plan-level and engine-level) — the properties that
-# must hold before anything touching the compiled tier merges — and the
-# concurrent fault-injection schedule, whose containment paths (fan-out
-# recover, lock release on contained panics) are what -race is for.
+# The race gate plus an explicit rerun of the execution-tier differential
+# tests (plan-level and engine-level, including the randomized vectorized
+# corpus) — the properties that must hold before anything touching the
+# compiled or vectorized tiers merges — and the concurrent fault-injection
+# schedule, whose containment paths (fan-out recover, lock release on
+# contained panics) are what -race is for.
 ci-race: vet build race
-	$(GO) test -race -count 2 -run 'Differential' ./internal/plan ./internal/core
+	$(GO) test -race -count 2 -run 'Differential|Vectorized' ./internal/plan ./internal/core
 	$(GO) test -race -count 2 -run 'Concurrent|Randomized' ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
+
+# The vectorized-tier gate: the randomized corpus differential (every plan
+# in the corpus executed on the interpreter, the closure tier, and the
+# batch tier, results compared pairwise) plus the engine-level provenance
+# and fallback-accounting tests.
+test-vec:
+	$(GO) test -count 1 -run 'Vectorized' ./internal/plan ./internal/core
 
 # The fault-injection gate: exhaustive per-step injection over the harness
 # corpus plus FAULTSEEDS randomized schedules per case. `make ci` runs it
@@ -68,6 +76,20 @@ bench-sharded:
 # compiled tier landed on.
 bench-compiled:
 	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled)$$' -benchmem -count $(COUNT) -json ./internal/plan > BENCH_compiled.json
+
+# Closure-vs-vectorized pairs for every plan shape, as `go test -json`
+# events; BENCH_vec.json is the committed snapshot of the machine the
+# vectorized tier landed on (methodology in DESIGN.md — the vectorized
+# legs decode and sum every output cell, so they do at least as much
+# per-row work as the closure legs they are compared against).
+bench-vec:
+	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Compiled|Vectorized)$$' -benchmem -count $(COUNT) -json ./internal/plan > BENCH_vec.json
+
+# One iteration of every execution-tier benchmark: not a measurement, a
+# smoke test that the benchmark fixtures still build and run. Part of
+# `make ci` so bench-only regressions cannot land silently.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled|Vectorized)$$' -benchtime 10x ./internal/plan
 
 # Observability-plane overhead: each BenchmarkObs* runs its hot loop with
 # metrics off and on; compare with `benchstat -col /metrics BENCH_obs.json`

@@ -1,0 +1,42 @@
+package repro
+
+// Shared fixtures for the root benchmark harness: relation builders used
+// by both the figure benchmarks (bench_test.go) and the observability
+// overhead benchmarks (obs_bench_test.go), parameterized over testing.TB
+// so benchmarks and the scale-sanity tests build identical workloads.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/experiments"
+	"repro/internal/paperex"
+	"repro/internal/workload"
+)
+
+const benchGridN = 16
+
+// graphBenchRelation builds the Figure 11 graph relation over d with the
+// reduced road-network workload.
+func graphBenchRelation(tb testing.TB, d *decomp.Decomp) (*core.Relation, []workload.GraphEdge, int) {
+	tb.Helper()
+	r, err := core.New(experiments.GraphSpec(), d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r, workload.RoadNetwork(benchGridN, 11), workload.NodeCount(benchGridN)
+}
+
+// processesSpec is the §4.1 scheduler specification the observability
+// benchmarks run against.
+func processesSpec() *core.Spec {
+	return &core.Spec{
+		Name: "processes",
+		Columns: []core.ColDef{
+			{Name: "ns", Type: core.IntCol}, {Name: "pid", Type: core.IntCol},
+			{Name: "state", Type: core.IntCol}, {Name: "cpu", Type: core.IntCol},
+		},
+		FDs: paperex.SchedulerFDs(),
+	}
+}

@@ -35,17 +35,6 @@ import (
 // in all three variants (F, F+B, F+B+D); the Sweep bench runs a reduced
 // autotuner enumeration like the full figure.
 
-const benchGridN = 16
-
-func graphBenchRelation(b *testing.B, d *decomp.Decomp) (*core.Relation, []workload.GraphEdge, int) {
-	b.Helper()
-	r, err := core.New(experiments.GraphSpec(), d)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return r, workload.RoadNetwork(benchGridN, 11), workload.NodeCount(benchGridN)
-}
-
 func benchGraph(b *testing.B, mk func() *decomp.Decomp, phase string) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -462,8 +451,8 @@ func TestBenchmarkScalesSanity(t *testing.T) {
 	if len(edges) < 500 {
 		t.Fatalf("bench graph too small: %d edges", len(edges))
 	}
-	r1, _, nodes := graphBenchRelationT(t, paperex.GraphDecomp1())
-	r5, _, _ := graphBenchRelationT(t, paperex.GraphDecomp5())
+	r1, _, nodes := graphBenchRelation(t, paperex.GraphDecomp1())
+	r5, _, _ := graphBenchRelation(t, paperex.GraphDecomp5())
 	t1, err := experiments.RunGraphBench(r1, edges, nodes, time.Time{})
 	if err != nil {
 		t.Fatal(err)
@@ -479,15 +468,6 @@ func TestBenchmarkScalesSanity(t *testing.T) {
 	if back1 < 2*back5 {
 		t.Errorf("backward traversal: decomp1 %.4fs vs decomp5 %.4fs — quadratic/linear gap not visible", back1, back5)
 	}
-}
-
-func graphBenchRelationT(t *testing.T, d *decomp.Decomp) (*core.Relation, []workload.GraphEdge, int) {
-	t.Helper()
-	r, err := core.New(experiments.GraphSpec(), d)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return r, workload.RoadNetwork(benchGridN, 11), workload.NodeCount(benchGridN)
 }
 
 var _ = autotuner.ErrTimeout // the sweep benchmark relies on its semantics

@@ -126,8 +126,8 @@ func sharded(args []string) error {
 }
 
 // compiled prints the execution-tier table: each workload runs on the same
-// engine and plans with compiled closure programs on and off, and the two
-// runs must agree on a checksum.
+// engine and plans under the interpreter, the compiled closure tier, and
+// the vectorized batch tier, and all runs must agree on a checksum.
 func compiled(args []string) error {
 	fs := flag.NewFlagSet("compiled", flag.ExitOnError)
 	cfg := experiments.DefaultCompiledConfig()
@@ -135,18 +135,20 @@ func compiled(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Println("== Execution tiers: compiled closure programs vs the plan interpreter ==")
+	fmt.Println("== Execution tiers: interpreter vs compiled closures vs vectorized batches ==")
 	rows, err := experiments.RunCompiled(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-18s %-12s %-12s %-10s %s\n", "workload", "interp(s)", "compiled(s)", "speedup", "behaviour")
+	fmt.Printf("%-18s %-11s %-12s %-9s %-11s %-9s %s\n",
+		"workload", "interp(s)", "compiled(s)", "speedup", "vec(s)", "vec/comp", "behaviour")
 	for _, r := range rows {
 		agree := "identical"
 		if !r.Agree {
 			agree = "DIVERGED"
 		}
-		fmt.Printf("%-18s %-12.4f %-12.4f %-10.2f %s\n", r.Workload, r.InterpSecs, r.CompiledSecs, r.Speedup(), agree)
+		fmt.Printf("%-18s %-11.4f %-12.4f %-9.2f %-11.4f %-9.2f %s\n",
+			r.Workload, r.InterpSecs, r.CompiledSecs, r.Speedup(), r.VecSecs, r.VecSpeedup(), agree)
 	}
 	fmt.Println()
 	return nil

@@ -30,6 +30,12 @@ type QueryExplain struct {
 	Compiled bool // runs as a compiled closure program
 	Point    bool // has a compiled point-access path (superkey patterns)
 
+	// Vectorized reports that the shape lowered to a batch program and the
+	// relation will try it first; the closure program remains the fallback
+	// for executions that bail out at run time (Metrics.VecFallbacks counts
+	// those).
+	Vectorized bool
+
 	// Routing is set only by the sharded tier: "routed" when the input
 	// binds the shard key (one shard serves it), "fan-out" otherwise.
 	Routing string
@@ -54,6 +60,9 @@ func (e *QueryExplain) String() string {
 	}
 	if e.Compiled {
 		tags = append(tags, "compiled")
+	}
+	if e.Vectorized {
+		tags = append(tags, "vectorized")
 	}
 	if e.Point {
 		tags = append(tags, "point")
@@ -82,16 +91,17 @@ func (r *Relation) ExplainQuery(input, output []string) (*QueryExplain, error) {
 		return nil, err
 	}
 	return &QueryExplain{
-		Relation: r.spec.Name,
-		Input:    in.Names(),
-		Output:   out.Names(),
-		Plan:     cand.Op.String(),
-		Tree:     r.planner.Explain(cand.Op),
-		Cost:     cand.Cost,
-		EstRows:  cand.EstimatedRows(),
-		Cached:   cached,
-		Compiled: cand.Prog != nil,
-		Point:    cand.Point != nil,
+		Relation:   r.spec.Name,
+		Input:      in.Names(),
+		Output:     out.Names(),
+		Plan:       cand.Op.String(),
+		Tree:       r.planner.Explain(cand.Op),
+		Cost:       cand.Cost,
+		EstRows:    cand.EstimatedRows(),
+		Cached:     cached,
+		Compiled:   cand.Prog != nil,
+		Point:      cand.Point != nil,
+		Vectorized: cand.Batch != nil && r.Vectorize,
 	}, nil
 }
 

@@ -44,7 +44,7 @@ func newObsOracle(t *testing.T) *obsOracle {
 // a fan-out over n shards: the shards share one singleflight cache, so a
 // new shape is planned exactly once and the other n-1 callers count as
 // hits whether they waited in flight or hit the published entry.
-func (o *obsOracle) lookup(in, out []string, n uint64) (compiled, point bool) {
+func (o *obsOracle) lookup(in, out []string, n uint64) (compiled, point, vec bool) {
 	o.t.Helper()
 	cand, err := o.probe.PlanCandidate(in, out)
 	if err != nil {
@@ -60,14 +60,33 @@ func (o *obsOracle) lookup(in, out []string, n uint64) (compiled, point bool) {
 		o.exp.PlanCacheHits += n - 1
 		if cand.Prog != nil {
 			o.exp.PlanCompiled++
+			if cand.Batch != nil {
+				o.exp.PlanVectorized++
+			}
 		} else {
 			o.exp.PlanFallbacks++
 		}
 	}
-	return cand.Prog != nil, cand.Point != nil
+	return cand.Prog != nil, cand.Point != nil, cand.Batch != nil
 }
 
-func (o *obsOracle) exec(compiled bool, n uint64) {
+// exec accounts n executions through the Query/QueryFunc dispatch: the
+// batch program when the shape vectorized (none of the scheduler's shapes
+// bail at run time), else the closure program, else the interpreter.
+func (o *obsOracle) exec(compiled, vec bool, n uint64) {
+	switch {
+	case vec:
+		o.exp.ExecVectorized += n
+	case compiled:
+		o.exp.ExecCompiled += n
+	default:
+		o.exp.ExecInterpreted += n
+	}
+}
+
+// execClosure accounts a queryPoint fallback execution: the point tier's
+// general-executor fallback never attempts the batch program.
+func (o *obsOracle) execClosure(compiled bool, n uint64) {
 	if compiled {
 		o.exp.ExecCompiled += n
 	} else {
@@ -134,8 +153,8 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("remove: %v", err)
 		}
 		o.exp.Removes++
-		c, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
-		o.exec(c, 1)
+		c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
+		o.exec(c, v, 1)
 		want := 0
 		if stored {
 			want = 1
@@ -150,16 +169,16 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("query: %v", err)
 		}
 		o.exp.QueryCollect++
-		c, _ := o.lookup([]string{"ns", "pid"}, []string{"cpu"}, 1)
-		o.exec(c, 1)
+		c, _, v := o.lookup([]string{"ns", "pid"}, []string{"cpu"}, 1)
+		o.exec(c, v, 1)
 	case 4: // streaming query by state
 		pat := relation.NewTuple(relation.BindInt("state", tup.MustGet("state").Int()))
 		if err := api.QueryFunc(pat, []string{"ns", "pid"}, func(relation.Tuple) bool { return true }); err != nil {
 			t.Fatalf("query func: %v", err)
 		}
 		o.exp.QueryStream++
-		c, _ := o.lookup([]string{"state"}, []string{"ns", "pid"}, 1)
-		o.exec(c, 1)
+		c, _, v := o.lookup([]string{"state"}, []string{"ns", "pid"}, 1)
+		o.exec(c, v, 1)
 	case 5: // range query over cpu (always interpreted)
 		lo, hi := value.OfInt(2), value.OfInt(6)
 		if _, err := api.QueryRange(relation.NewTuple(), "cpu", &lo, &hi, []string{"ns", "pid"}); err != nil {
@@ -175,8 +194,8 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("update: %v", err)
 		}
 		o.exp.Updates++
-		c, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
-		o.exec(c, 1)
+		c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
+		o.exec(c, v, 1)
 		want := 0
 		if stored {
 			want = 1
@@ -263,7 +282,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 	// compiled point plan (the plan is a join, which the point compiler
 	// declines); updatePoint and Upsert therefore take their interpreter
 	// fallbacks. Fail loudly if the planner ever learns to point-compile it.
-	if _, point := o.lookup([]string{"ns", "pid"}, schedAllCols, 0); point {
+	if _, point, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 0); point {
 		t.Fatal("scheduler {ns,pid}->all gained a point plan; the sharded oracle below must be extended")
 	}
 	o.shapes = map[string]bool{} // forget the probe-only lookup
@@ -273,8 +292,8 @@ func TestObsDifferentialSharded(t *testing.T) {
 	// of the same {ns,pid}->all shape inside the generic update, one plan
 	// execution to find the match, and the usual phases when it exists.
 	updateFallback := func(stored bool) {
-		c, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
-		o.exec(c, 1)
+		c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
+		o.exec(c, v, 1)
 		if stored {
 			if o.canInPlaceCPU() {
 				o.phases(1)
@@ -308,8 +327,8 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.Removes++
-			c, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
-			o.exec(c, 1)
+			c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
+			o.exec(c, v, 1)
 			want := 0
 			if stored {
 				want = 1
@@ -325,11 +344,11 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.QueryPoint++
-			c, point := o.lookup([]string{"ns", "pid"}, []string{"cpu"}, 1)
+			c, point, _ := o.lookup([]string{"ns", "pid"}, []string{"cpu"}, 1)
 			if point {
 				o.exp.ExecPoint++
 			} else {
-				o.exec(c, 1)
+				o.execClosure(c, 1)
 			}
 		case 4: // fan-out query by state
 			pat := relation.NewTuple(relation.BindInt("state", tup.MustGet("state").Int()))
@@ -338,16 +357,16 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.FanOuts++
 			o.exp.QueryCollect += shards
-			c, _ := o.lookup([]string{"state"}, []string{"ns", "pid"}, shards)
-			o.exec(c, shards)
+			c, _, v := o.lookup([]string{"state"}, []string{"ns", "pid"}, shards)
+			o.exec(c, v, shards)
 		case 5: // broadcast streaming query
 			if err := sr.QueryFunc(relation.NewTuple(), schedAllCols, func(relation.Tuple) bool { return true }); err != nil {
 				t.Fatalf("query func: %v", err)
 			}
 			o.exp.FanOuts++
 			o.exp.QueryStream += shards
-			c, _ := o.lookup(nil, schedAllCols, shards)
-			o.exec(c, shards)
+			c, _, v := o.lookup(nil, schedAllCols, shards)
+			o.exec(c, v, shards)
 		case 6: // routed keyed update (updatePoint, interpreter fallback)
 			u := relation.NewTuple(relation.BindInt("cpu", int64(rnd.Intn(8))))
 			n, err := sr.Update(keyPat(tup), u)
@@ -385,8 +404,8 @@ func TestObsDifferentialSharded(t *testing.T) {
 			o.exp.RoutedOps++
 			o.exp.Upserts++
 			o.exp.QueryPoint++
-			c, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
-			o.exec(c, 1) // point read falls to the general executor (no point plan)
+			c, _, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
+			o.execClosure(c, 1) // point read falls to the general executor (no point plan)
 			u := relation.NewTuple(relation.BindInt("cpu", newCPU))
 			if !stored {
 				o.exp.Inserts++

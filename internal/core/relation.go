@@ -46,6 +46,15 @@ type Relation struct {
 	// interpreter — the ablation the differential tests and benchmarks use.
 	CompilePrograms bool
 
+	// Vectorize controls the vectorized execution tier on top of
+	// CompilePrograms: promoted plans are additionally lowered to a batch
+	// program (plan.CompileBatch), and Query/QueryFunc try the batch
+	// program first, falling back to the closure tier when it bails at run
+	// time (the fallback is counted in Metrics.VecFallbacks and surfaced by
+	// ExplainQuery). On by default; it has no effect while CompilePrograms
+	// or CachePlans is off. Point and range queries never vectorize.
+	Vectorize bool
+
 	// poisoned degrades the relation to read-only after a failed rollback;
 	// see ErrPoisoned. Only written under the owning tier's write lock.
 	poisoned bool
@@ -85,6 +94,7 @@ func New(spec *Spec, d *decomp.Decomp) (*Relation, error) {
 		plans:           newPlanCache(),
 		CachePlans:      true,
 		CompilePrograms: true,
+		Vectorize:       true,
 	}
 	r.planner = plan.NewPlanner(d, spec.FDs, nil)
 	return r, nil
@@ -182,6 +192,18 @@ func (r *Relation) planFor(input, output relation.Cols) (*plan.Candidate, error)
 				c.Prog = prog
 				if r.metrics != nil {
 					r.metrics.PlanCompiled.Add(1)
+				}
+				// The vectorized form rides the same promotion: CompileBatch
+				// accepts exactly the plans Compile accepts, and like Prog the
+				// batch program binds only decomposition slot indices, so it
+				// is valid for every shard sharing the cache.
+				if r.Vectorize {
+					if bp, berr := plan.CompileBatch(r.inst, c.Op, input, output); berr == nil {
+						c.Batch = bp
+						if r.metrics != nil {
+							r.metrics.PlanVectorized.Add(1)
+						}
+					}
 				}
 			} else if r.metrics != nil {
 				r.metrics.PlanFallbacks.Add(1)
@@ -283,13 +305,29 @@ func (r *Relation) Query(s relation.Tuple, out []string) (res []relation.Tuple, 
 	if err != nil {
 		return nil, err
 	}
-	r.countExec(cand)
 	if tr := r.tracer; tr != nil {
 		start := time.Now()
 		defer func() {
 			tr.Event(obs.Event{Kind: obs.EvPlanExec, Op: "query", Detail: cand.Op.String(), Rows: len(res), Dur: time.Since(start)})
 		}()
 	}
+	// Vectorized tier first: a completed batch run produces the same
+	// deduplicated, sorted result set; a bailout falls through to the
+	// closure tier having emitted nothing (stages bail before emitting).
+	if cand.Batch != nil && r.Vectorize {
+		if br, ok := cand.Batch.Run(r.inst, s); ok {
+			if r.metrics != nil {
+				r.metrics.ExecVectorized.Add(1)
+			}
+			res = br.Collect(cand.EstimatedRows())
+			br.Release()
+			return res, nil
+		}
+		if r.metrics != nil {
+			r.metrics.VecFallbacks.Add(1)
+		}
+	}
+	r.countExec(cand)
 	if cand.Prog != nil {
 		return cand.Prog.Collect(r.inst, s, cand.EstimatedRows()), nil
 	}
@@ -337,7 +375,6 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 	if err != nil {
 		return err
 	}
-	r.countExec(cand)
 	if tr := r.tracer; tr != nil {
 		rows := 0
 		inner := f
@@ -347,6 +384,24 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 			tr.Event(obs.Event{Kind: obs.EvPlanExec, Op: "query", Detail: cand.Op.String(), Rows: rows, Dur: time.Since(start)})
 		}()
 	}
+	// Vectorized tier first. A batch program bails before emitting, so a
+	// fallback re-run on the closure tier never duplicates rows, and the
+	// batch emission order matches the closure tier's exactly (the
+	// differential tests in package plan hold both tiers to it).
+	if cand.Batch != nil && r.Vectorize {
+		if br, ok := cand.Batch.Run(r.inst, s); ok {
+			if r.metrics != nil {
+				r.metrics.ExecVectorized.Add(1)
+			}
+			br.EachTuple(f)
+			br.Release()
+			return nil
+		}
+		if r.metrics != nil {
+			r.metrics.VecFallbacks.Add(1)
+		}
+	}
+	r.countExec(cand)
 	if cand.Prog != nil {
 		cand.Prog.StreamView(r.inst, s, f)
 		return nil

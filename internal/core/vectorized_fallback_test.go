@@ -1,0 +1,97 @@
+package core
+
+// White-box test of the vectorized run-time bailout. Every bail condition
+// in a batch program guards against instance shapes the engine's own
+// invariant-preserving mutations never produce (partial units, short
+// keys), so the fallback cannot be reached through the public API of a
+// relation core.New accepts — which is the point of the guards. To pin the
+// engine-level fallback accounting anyway, this test hand-builds the one
+// decomposition whose batch program compiles but always bails: a root that
+// is a single (never-written, hence partial) unit. core.New rejects that
+// shape as inadequate for the empty relation, but the closure and
+// interpreter tiers still agree on its degenerate semantics, which is all
+// the fallback differential needs.
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/fd"
+	"repro/internal/instance"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+func newUnitRootRelation() *Relation {
+	spec := &Spec{
+		Name: "unitroot",
+		Columns: []ColDef{
+			{Name: "a", Type: IntCol},
+			{Name: "b", Type: IntCol},
+		},
+		FDs: fd.NewSet(fd.FD{From: relation.NewCols(), To: relation.NewCols("a", "b")}),
+	}
+	d := decomp.MustNew([]decomp.Binding{
+		decomp.Let("x", nil, []string{"a", "b"}, decomp.U("a", "b")),
+	}, "x")
+	r := &Relation{
+		spec:            spec,
+		dcmp:            d,
+		inst:            instance.New(d, spec.FDs),
+		plans:           newPlanCache(),
+		CachePlans:      true,
+		CompilePrograms: true,
+		Vectorize:       true,
+	}
+	r.planner = plan.NewPlanner(d, spec.FDs, nil)
+	return r
+}
+
+// TestVectorizedFallbackProvenance: the bailing shape still explains as
+// vectorized (bailout is a run-time event, not a compile-time one), every
+// query counts one VecFallbacks plus one row-tier execution, the pooled
+// state stays reusable across bails, and the answer matches a
+// never-vectorized twin's.
+func TestVectorizedFallbackProvenance(t *testing.T) {
+	r := newUnitRootRelation()
+	m := &obs.Metrics{}
+	r.SetMetrics(m)
+
+	twin := newUnitRootRelation()
+	twin.Vectorize = false
+
+	ex, err := r.ExplainQuery(nil, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Vectorized {
+		t.Fatal("explain: the bailing shape must still report vectorized")
+	}
+
+	for run := 0; run < 3; run++ { // repeated runs: the fallback must stay lossless
+		got, err := r.Query(relation.NewTuple(), []string{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := twin.Query(relation.NewTuple(), []string{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("run %d: fallback %d rows, closure twin %d", run, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("run %d row %d: fallback %v, twin %v", run, i, got[i], want[i])
+			}
+		}
+	}
+	s := m.Snapshot()
+	if s.VecFallbacks != 3 || s.ExecVectorized != 0 {
+		t.Fatalf("fallback accounting: %s", s.String())
+	}
+	if s.ExecCompiled+s.ExecInterpreted != 3 {
+		t.Fatalf("bailed queries must re-run on a row tier: %s", s.String())
+	}
+}

@@ -1,0 +1,60 @@
+package dstruct
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestAppendEntriesMatchesRange checks, for every structure kind, that bulk
+// extraction yields exactly the entries Range visits, in the same order —
+// the contract the vectorized scan stage depends on for deterministic
+// differential comparison against the row-at-a-time tiers.
+func TestAppendEntriesMatchesRange(t *testing.T) {
+	for _, kind := range []Kind{AVLKind, DListKind, SListKind, HTableKind, SkipListKind, SortedArrKind, VectorKind} {
+		t.Run(string(kind), func(t *testing.T) {
+			m := New[int](kind)
+			if _, ok := m.(Entries[int]); !ok {
+				t.Fatalf("%s does not implement the Entries fast path", kind)
+			}
+			for i := 0; i < 37; i++ {
+				m.Put(relation.NewTuple(relation.BindInt("k", int64(i*3%37))), i)
+			}
+			var wantK []relation.Tuple
+			var wantV []int
+			m.Range(func(k relation.Tuple, v int) bool {
+				wantK = append(wantK, k)
+				wantV = append(wantV, v)
+				return true
+			})
+			ks, vs := AppendEntries[int](m, nil, nil)
+			if len(ks) != len(wantK) || len(vs) != len(wantV) {
+				t.Fatalf("extracted %d/%d entries, Range saw %d", len(ks), len(vs), len(wantK))
+			}
+			for i := range ks {
+				if !ks[i].Equal(wantK[i]) || vs[i] != wantV[i] {
+					t.Fatalf("entry %d: got (%v,%d), Range saw (%v,%d)", i, ks[i], vs[i], wantK[i], wantV[i])
+				}
+			}
+			// Appending to non-empty slices must extend, not clobber.
+			ks2, vs2 := AppendEntries[int](m, ks[:1:1], vs[:1:1])
+			if len(ks2) != len(ks)+1 || !ks2[0].Equal(ks[0]) || vs2[0] != vs[0] {
+				t.Fatal("AppendEntries must append after existing entries")
+			}
+		})
+	}
+}
+
+// The generic fallback must work for maps without the capability.
+type rangeOnlyMap struct{ Map[int] }
+
+func TestAppendEntriesFallback(t *testing.T) {
+	inner := New[int](SListKind)
+	inner.Put(relation.NewTuple(relation.BindInt("k", 1)), 10)
+	inner.Put(relation.NewTuple(relation.BindInt("k", 2)), 20)
+	m := rangeOnlyMap{inner}
+	ks, vs := AppendEntries[int](m, nil, nil)
+	if len(ks) != 2 || len(vs) != 2 {
+		t.Fatalf("fallback extracted %d entries, want 2", len(ks))
+	}
+}

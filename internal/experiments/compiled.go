@@ -19,15 +19,17 @@ type CompiledConfig struct {
 // DefaultCompiledConfig returns the laptop-scale defaults.
 func DefaultCompiledConfig() CompiledConfig { return CompiledConfig{Scale: 1} }
 
-// CompiledRow is one workload's outcome under both execution tiers. The
-// same engine, decomposition, and plans run in both columns; the only
-// difference is whether promoted plans execute as compiled closure
-// programs or on the plan interpreter.
+// CompiledRow is one workload's outcome under the three execution tiers.
+// The same engine, decomposition, and plans run in every column; the only
+// difference is whether promoted plans execute on the plan interpreter, as
+// compiled closure programs, or as vectorized batch programs with the
+// closure tier as fallback.
 type CompiledRow struct {
 	Workload     string
 	InterpSecs   float64
 	CompiledSecs float64
-	Agree        bool // identical checksums across both tiers
+	VecSecs      float64
+	Agree        bool // identical checksums across all tiers
 }
 
 // Speedup is interpreted time over compiled time.
@@ -38,11 +40,20 @@ func (r CompiledRow) Speedup() float64 {
 	return r.InterpSecs / r.CompiledSecs
 }
 
-// RunCompiled measures the compiled execution tier against the interpreter
-// on three workload shapes: the scheduler's mixed query/update trace, a
-// scan-heavy successor sweep, and full-relation enumeration through
-// Query's collect path. Each workload runs twice on fresh relations that
-// differ only in the CompilePrograms switch, and must produce identical
+// VecSpeedup is compiled (closure-tier) time over vectorized time — the
+// acceptance metric of the batch tier.
+func (r CompiledRow) VecSpeedup() float64 {
+	if r.VecSecs == 0 {
+		return 0
+	}
+	return r.CompiledSecs / r.VecSecs
+}
+
+// RunCompiled measures the execution tiers against each other on three
+// workload shapes: the scheduler's mixed query/update trace, a scan-heavy
+// successor sweep, and full-relation enumeration through Query's collect
+// path. Each workload runs three times on fresh relations that differ only
+// in the CompilePrograms/Vectorize switches, and must produce identical
 // checksums — the differential guarantee, measured at workload scale.
 func RunCompiled(cfg CompiledConfig) ([]CompiledRow, error) {
 	if cfg.Scale <= 0 {
@@ -58,27 +69,32 @@ func RunCompiled(cfg CompiledConfig) ([]CompiledRow, error) {
 		{"graph enumerate", graphEnumerateWork(cfg.Scale)},
 	} {
 		row := CompiledRow{Workload: w.name}
-		var sums [2]int64
-		for i, compile := range []bool{false, true} {
+		var sums [3]int64
+		for i, mode := range []struct {
+			name      string
+			compile   bool
+			vectorize bool
+			secs      *float64
+		}{
+			{"interpreted", false, false, &row.InterpSecs},
+			{"compiled", true, false, &row.CompiledSecs},
+			{"vectorized", true, true, &row.VecSecs},
+		} {
 			r, err := newCompiledBenchRelation(w.name)
 			if err != nil {
 				return nil, err
 			}
-			r.CompilePrograms = compile
+			r.CompilePrograms = mode.compile
+			r.Vectorize = mode.vectorize
 			start := time.Now()
 			sum, err := w.run(r)
 			if err != nil {
-				return nil, fmt.Errorf("%s (compile=%v): %w", w.name, compile, err)
+				return nil, fmt.Errorf("%s (%s): %w", w.name, mode.name, err)
 			}
-			secs := time.Since(start).Seconds()
+			*mode.secs = time.Since(start).Seconds()
 			sums[i] = sum
-			if compile {
-				row.CompiledSecs = secs
-			} else {
-				row.InterpSecs = secs
-			}
 		}
-		row.Agree = sums[0] == sums[1]
+		row.Agree = sums[0] == sums[1] && sums[1] == sums[2]
 		rows = append(rows, row)
 	}
 	return rows, nil

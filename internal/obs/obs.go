@@ -23,15 +23,21 @@
 //     single-threaded Relation. A sharded fan-out increments the counter
 //     once per shard (the fan-out is visible); a routed operation
 //     increments it once.
-//   - ExecCompiled / ExecInterpreted / ExecPoint: one increment per plan
-//     execution, by tier — including the internal executions mutations use
-//     to locate tuples. Range queries always run on the interpreter and
-//     count as ExecInterpreted.
+//   - ExecCompiled / ExecInterpreted / ExecPoint / ExecVectorized: one
+//     increment per plan execution, by tier — including the internal
+//     executions mutations use to locate tuples. Range queries always run
+//     on the interpreter and count as ExecInterpreted. A vectorized
+//     execution that bails out mid-run counts one VecFallbacks plus one
+//     increment for the tier that finished the query; ExecVectorized
+//     counts only completed vectorized executions.
 //   - PlanCacheHits / PlanCacheMisses: one increment per memoized plan
 //     lookup. A miss is a planner invocation; concurrent callers that wait
 //     on an in-flight planning of the same shape count as hits.
 //   - PlanCompiled / PlanFallbacks: promotions into the plan cache that
 //     did / did not lower to a closure program.
+//   - PlanVectorized: promotions that additionally lowered to a batch
+//     program (plan.CompileBatch); VecFallbacks: vectorized executions
+//     that bailed out at run time and re-ran on the closure tier.
 //   - Inserts / Removes / Updates / Upserts: one increment per mutation
 //     call on a single-threaded Relation — a batch of n tuples counts n
 //     inserts, a pattern remove counts 1 however many tuples matched, a
@@ -71,11 +77,14 @@ type Metrics struct {
 	ExecCompiled    atomic.Uint64
 	ExecInterpreted atomic.Uint64
 	ExecPoint       atomic.Uint64
+	ExecVectorized  atomic.Uint64
 
 	PlanCacheHits   atomic.Uint64
 	PlanCacheMisses atomic.Uint64
 	PlanCompiled    atomic.Uint64
 	PlanFallbacks   atomic.Uint64
+	PlanVectorized  atomic.Uint64
+	VecFallbacks    atomic.Uint64
 
 	Inserts atomic.Uint64
 	Removes atomic.Uint64
@@ -97,9 +106,10 @@ type Metrics struct {
 type Snapshot struct {
 	QueryCollect, QueryStream, QueryRange, QueryPoint uint64
 
-	ExecCompiled, ExecInterpreted, ExecPoint uint64
+	ExecCompiled, ExecInterpreted, ExecPoint, ExecVectorized uint64
 
 	PlanCacheHits, PlanCacheMisses, PlanCompiled, PlanFallbacks uint64
+	PlanVectorized, VecFallbacks                                uint64
 
 	Inserts, Removes, Updates, Upserts uint64
 
@@ -122,10 +132,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		ExecCompiled:    m.ExecCompiled.Load(),
 		ExecInterpreted: m.ExecInterpreted.Load(),
 		ExecPoint:       m.ExecPoint.Load(),
+		ExecVectorized:  m.ExecVectorized.Load(),
 		PlanCacheHits:   m.PlanCacheHits.Load(),
 		PlanCacheMisses: m.PlanCacheMisses.Load(),
 		PlanCompiled:    m.PlanCompiled.Load(),
 		PlanFallbacks:   m.PlanFallbacks.Load(),
+		PlanVectorized:  m.PlanVectorized.Load(),
+		VecFallbacks:    m.VecFallbacks.Load(),
 		Inserts:         m.Inserts.Load(),
 		Removes:         m.Removes.Load(),
 		Updates:         m.Updates.Load(),
@@ -151,10 +164,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ExecCompiled:    s.ExecCompiled - prev.ExecCompiled,
 		ExecInterpreted: s.ExecInterpreted - prev.ExecInterpreted,
 		ExecPoint:       s.ExecPoint - prev.ExecPoint,
+		ExecVectorized:  s.ExecVectorized - prev.ExecVectorized,
 		PlanCacheHits:   s.PlanCacheHits - prev.PlanCacheHits,
 		PlanCacheMisses: s.PlanCacheMisses - prev.PlanCacheMisses,
 		PlanCompiled:    s.PlanCompiled - prev.PlanCompiled,
 		PlanFallbacks:   s.PlanFallbacks - prev.PlanFallbacks,
+		PlanVectorized:  s.PlanVectorized - prev.PlanVectorized,
+		VecFallbacks:    s.VecFallbacks - prev.VecFallbacks,
 		Inserts:         s.Inserts - prev.Inserts,
 		Removes:         s.Removes - prev.Removes,
 		Updates:         s.Updates - prev.Updates,
@@ -189,10 +205,13 @@ func (s Snapshot) String() string {
 	app("exec.compiled", s.ExecCompiled)
 	app("exec.interpreted", s.ExecInterpreted)
 	app("exec.point", s.ExecPoint)
+	app("exec.vectorized", s.ExecVectorized)
 	app("plancache.hits", s.PlanCacheHits)
 	app("plancache.misses", s.PlanCacheMisses)
 	app("plan.compiled", s.PlanCompiled)
 	app("plan.fallbacks", s.PlanFallbacks)
+	app("plan.vectorized", s.PlanVectorized)
+	app("vec.fallbacks", s.VecFallbacks)
 	app("mut.inserts", s.Inserts)
 	app("mut.removes", s.Removes)
 	app("mut.updates", s.Updates)

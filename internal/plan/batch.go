@@ -1,0 +1,1281 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/colblock"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/instance"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// This file implements the vectorized execution tier: CompileBatch lowers
+// the same Figure-7 plan trees Compile accepts into a linear sequence of
+// batch stages over columnar tuple blocks (package colblock) instead of a
+// chain of per-row closures. Where the closure tier pays one dynamic call
+// and several value.Value copies per row per operator, a batch program pays
+// one call per operator per *frontier* and moves single machine words:
+//
+//   - qunit becomes an in-place filter/compact pass over the frontier — the
+//     fused filter→project loop;
+//   - qlookup becomes a batch probe: one point lookup per surviving row,
+//     compacted in place;
+//   - qscan becomes a fan-out: each row's map level is bulk-extracted
+//     through the dstruct Entries capability (instance.AppendMapEntries)
+//     and surviving entries are appended to the next frontier column-wise;
+//   - qjoin becomes a save/load pair around the linearized outer and inner
+//     stages, carrying the per-row join node in a frontier column.
+//
+// Values live as colblock.Codes (ints inline, strings interned per
+// execution), so equality filters are word compares and projection dedup is
+// a word-wise key. The closure tier remains the oracle and the fallback:
+// CompileBatch rejects exactly what Compile rejects, and a stage that meets
+// a shape the batch tier does not model (a partial root unit, a short scan
+// key) bails out at run time before emitting anything, letting the engine
+// re-run the query on the closure tier with no duplicated results.
+
+// A BatchProgram is a vectorized query plan: a linear stage pipeline over a
+// columnar frontier. Like Program it is immutable after CompileBatch and
+// safe for concurrent use; per-execution state (blocks, dictionary, result)
+// lives in a pooled batchState.
+type BatchProgram struct {
+	stages []bstage
+	reg    []string // register index → column name
+	nIn    int      // input pattern arity; registers [0, nIn) hold the pattern
+	out    []int    // i-th output column (sorted) → register index
+	cols   relation.Cols
+	nJoin  int
+	maxKey int // widest multi-column lookup key
+
+	pool sync.Pool
+}
+
+// bstage transforms the current frontier in st. Returning false aborts the
+// whole execution: the frontier met a shape the batch tier does not model,
+// and the caller must fall back to the closure tier. A bailing stage must
+// leave no partial results visible (results only exist after every stage
+// ran), so fallback never duplicates rows.
+type bstage func(st *batchState) bool
+
+// A frontier is one columnar batch of in-flight rows: blk holds the
+// register columns (allocated lazily by the stage that first binds each
+// register), node holds each row's current instance node, and jn holds one
+// saved-node column per active join.
+type frontier struct {
+	blk  *colblock.Block
+	node []*instance.Node
+	jn   [][]*instance.Node
+}
+
+func newFrontier(nReg, nJoin int) *frontier {
+	f := &frontier{blk: colblock.NewBlock(nReg)}
+	if nJoin > 0 {
+		f.jn = make([][]*instance.Node, nJoin)
+	}
+	return f
+}
+
+// truncate compacts the frontier to its first w rows: the given register
+// columns, the node column, and the active join columns.
+func (f *frontier) truncate(w int, regs []int, jn []int) {
+	for _, r := range regs {
+		f.blk.Cols[r] = f.blk.Cols[r][:w]
+	}
+	f.node = f.node[:w]
+	for _, j := range jn {
+		f.jn[j] = f.jn[j][:w]
+	}
+	f.blk.N = w
+}
+
+// sizedCodes returns s resized to n rows, reallocating in whole morsels
+// only when capacity is short.
+func sizedCodes(s []colblock.Code, n int) []colblock.Code {
+	if cap(s) < n {
+		return make([]colblock.Code, n, colblock.CeilRows(n))
+	}
+	return s[:n]
+}
+
+func sizedNodes(s []*instance.Node, n int) []*instance.Node {
+	if cap(s) < n {
+		return make([]*instance.Node, n, colblock.CeilRows(n))
+	}
+	return s[:n]
+}
+
+// batchState is the pooled per-execution state of a BatchProgram: the two
+// frontiers stages ping-pong between, the interning dictionary, scratch for
+// bulk extraction and lookup keys, and the embedded result handle — so a
+// steady-state Run→EachTuple→Release cycle allocates nothing.
+type batchState struct {
+	p        *BatchProgram
+	dict     *colblock.Dict
+	cur, nxt *frontier
+
+	eks     []relation.Tuple // bulk-extraction scratch: keys
+	ens     []*instance.Node // bulk-extraction scratch: children
+	keyVals []value.Value    // multi-column lookup key scratch
+	keyBuf  []byte           // Collect dedup key scratch
+
+	// Inverted-probe scratch (lookup stages): when a run of frontier rows
+	// all probe one linear-scan map, buildProbe extracts its entries once
+	// into eks/ens, encodes their key codes row-major into pbuf, and
+	// indexes them in the open-addressed table ptab (entry index + 1, 0 is
+	// empty) — turning O(rows×entries) tuple compares into O(rows+entries)
+	// word work. kc is the per-row probe key for multi-column lookups.
+	pbuf []colblock.Code
+	ptab []int32
+	kc   []colblock.Code
+
+	// EachTuple's zero-alloc view, prebound like progState.emitView.
+	viewVals []value.Value
+	view     relation.Tuple
+
+	res BatchResult
+}
+
+// bcompiler carries the state of one CompileBatch call. It mirrors compiler
+// exactly — same register allocator, same execution-order bound-set walk —
+// plus the stack of active join columns, so the static check-vs-bind
+// decisions agree with the closure tier by construction.
+type bcompiler struct {
+	in       *instance.Instance
+	d        *decomp.Decomp
+	reg      map[string]int
+	names    []string
+	bound    map[string]bool
+	jnActive []int
+	prog     *BatchProgram
+	err      error
+
+	reads []readAt   // register reads, per stage, for liveness analysis
+	keeps []liveKeep // keep-lists to fill once the last read of each register is known
+}
+
+// readAt records that the stage at index stage reads register reg.
+type readAt struct{ stage, reg int }
+
+// liveKeep is a deferred liveness decision: the stage at index stage copies
+// or compacts the registers in [0, live), but only those still read by a
+// later stage (or projected by the output) matter. CompileBatch fills keep
+// with that subset once every stage is emitted — dead registers (an input
+// column the output drops, say) then cost nothing to carry.
+type liveKeep struct {
+	stage int
+	live  int
+	keep  *[]int
+}
+
+// readReg records a register read by the stage about to be appended.
+func (c *bcompiler) readReg(r int) {
+	c.reads = append(c.reads, readAt{stage: len(c.prog.stages), reg: r})
+}
+
+// keepFor registers a liveness fixup for the stage about to be appended and
+// returns the slice CompileBatch will fill with the still-needed subset of
+// [0, live).
+func (c *bcompiler) keepFor(live int) *[]int {
+	k := new([]int)
+	c.keeps = append(c.keeps, liveKeep{stage: len(c.prog.stages), live: live, keep: k})
+	return k
+}
+
+func (c *bcompiler) regOf(col string) int {
+	if r, ok := c.reg[col]; ok {
+		return r
+	}
+	r := len(c.names)
+	c.reg[col] = r
+	c.names = append(c.names, col)
+	return r
+}
+
+func (c *bcompiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// CompileBatch lowers op — a plan valid for input columns input — into a
+// BatchProgram producing the projection onto output. It accepts exactly the
+// plans Compile accepts and returns an error otherwise; the engine only
+// attempts it after Compile succeeded, keeping the closure tier as the
+// fallback for both compile-time rejection and run-time bailout.
+func CompileBatch(in *instance.Instance, op Op, input, output relation.Cols) (*BatchProgram, error) {
+	c := &bcompiler{
+		in:    in,
+		d:     in.Decomp(),
+		reg:   make(map[string]int),
+		bound: make(map[string]bool),
+		prog:  &BatchProgram{},
+	}
+	for _, col := range input.Names() {
+		c.regOf(col)
+		c.bound[col] = true
+	}
+	c.prog.nIn = input.Len()
+	c.emit(op, c.d.RootBinding().Def)
+	if c.err != nil {
+		return nil, c.err
+	}
+	p := c.prog
+	p.reg = c.names
+	p.cols = output
+	for _, col := range output.Names() {
+		r, ok := c.reg[col]
+		if !ok {
+			return nil, fmt.Errorf("plan: batch plan %s never binds output column %q", op, col)
+		}
+		p.out = append(p.out, r)
+	}
+	// Liveness fixup: a register matters to a stage's copy/compact loops only
+	// if a later stage reads it or the output projects it. Dead registers are
+	// simply dropped from each stage's keep-list.
+	lastRead := make([]int, len(c.names))
+	for i := range lastRead {
+		lastRead[i] = -1
+	}
+	for _, rd := range c.reads {
+		if rd.stage > lastRead[rd.reg] {
+			lastRead[rd.reg] = rd.stage
+		}
+	}
+	for _, r := range p.out {
+		lastRead[r] = len(p.stages)
+	}
+	for _, lk := range c.keeps {
+		keep := make([]int, 0, lk.live)
+		for r := 0; r < lk.live; r++ {
+			if lastRead[r] > lk.stage {
+				keep = append(keep, r)
+			}
+		}
+		*lk.keep = keep
+	}
+	p.pool.New = func() any { return p.newBatchState() }
+	return p, nil
+}
+
+// emit appends the stages for one operator. Like compiler.compile it runs
+// in execution order, so c.bound holds exactly the columns bound when the
+// operator's first stage starts — and therefore len(c.names) at that point
+// is the count of live registers: every allocated register is a bound one.
+func (c *bcompiler) emit(op Op, prim decomp.Primitive) {
+	if c.err != nil {
+		return
+	}
+	switch op := op.(type) {
+	case *Unit:
+		c.emitUnit(op)
+	case *Lookup:
+		c.emitLookup(op)
+	case *Scan:
+		c.emitScan(op)
+	case *LR:
+		j, ok := prim.(*decomp.Join)
+		if !ok {
+			c.fail("plan: qlr over non-join primitive %T", prim)
+			return
+		}
+		c.emit(op.Sub, sideOf(j, op.Side))
+	case *Join:
+		j, ok := prim.(*decomp.Join)
+		if !ok {
+			c.fail("plan: qjoin over non-join primitive %T", prim)
+			return
+		}
+		c.emitJoin(op, j)
+	default:
+		c.fail("plan: cannot batch-compile operator %T", op)
+	}
+}
+
+// encode is Dict.Encode with the inline-integer fast path hoisted into the
+// caller, so the common case costs two branches and a shift. The hottest
+// sweeps open-code colblock.EncodeInline instead: encode itself exceeds the
+// inlining budget (the Dict.Encode fallback call), and a non-inlined call
+// copies the 32-byte Value argument per row.
+func encode(d *colblock.Dict, v value.Value) colblock.Code {
+	if c, ok := colblock.EncodeInline(v); ok {
+		return c
+	}
+	return d.Encode(v)
+}
+
+// find is Dict.Find with the same inlined fast path.
+func find(d *colblock.Dict, v value.Value) (colblock.Code, bool) {
+	if c, ok := colblock.EncodeInline(v); ok {
+		return c, true
+	}
+	return d.Find(v)
+}
+
+// emitUnit lowers a qunit to an in-place filter/compact stage: check the
+// statically bound columns word-wise, bind the fresh ones, and compact
+// survivors to the front of the frontier. Partial unit tuples (a root unit
+// before the first insert) bail to the closure tier's name-based slow path.
+// The no-check shape — a unit none of whose columns is pre-bound, the usual
+// case — skips the compaction bookkeeping entirely: every row survives.
+func (c *bcompiler) emitUnit(op *Unit) {
+	slot, ok := c.in.SlotOfUnit(op.U)
+	if !ok {
+		c.fail("plan: unit primitive not in decomposition")
+		return
+	}
+	live := len(c.names)
+	checks, binds := c.unitRegs(op.U)
+	nCols := op.U.Cols.Len()
+	jn := append([]int(nil), c.jnActive...)
+	for _, cp := range checks {
+		c.readReg(cp.reg)
+	}
+	if len(checks) == 0 {
+		c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+			f := st.cur
+			cols := f.blk.Cols
+			n := f.blk.N
+			dict := st.dict
+			if len(binds) == 1 {
+				bp := binds[0]
+				col := sizedCodes(cols[bp.reg], n)
+				cols[bp.reg] = col
+				for i := 0; i < n; i++ {
+					ut := f.node[i].UnitAtSlot(slot)
+					if ut.Len() != nCols {
+						return false // partial unit: the closure tier owns this shape
+					}
+					col[i] = encode(dict, ut.ValueAt(bp.pos))
+				}
+				return true
+			}
+			for _, bp := range binds {
+				cols[bp.reg] = sizedCodes(cols[bp.reg], n)
+			}
+			for i := 0; i < n; i++ {
+				ut := f.node[i].UnitAtSlot(slot)
+				if ut.Len() != nCols {
+					return false
+				}
+				for _, bp := range binds {
+					cols[bp.reg][i] = encode(dict, ut.ValueAt(bp.pos))
+				}
+			}
+			return true
+		})
+		return
+	}
+	keep := c.keepFor(live)
+	c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+		f := st.cur
+		cols := f.blk.Cols
+		n := f.blk.N
+		dict := st.dict
+		kp := *keep
+		for _, bp := range binds {
+			cols[bp.reg] = sizedCodes(cols[bp.reg], n)
+		}
+		w := 0
+	rows:
+		for i := 0; i < n; i++ {
+			ut := f.node[i].UnitAtSlot(slot)
+			if ut.Len() != nCols {
+				return false
+			}
+			for _, cp := range checks {
+				code, ok := find(dict, ut.ValueAt(cp.pos))
+				if !ok || code != cols[cp.reg][i] {
+					continue rows
+				}
+			}
+			for _, bp := range binds {
+				cols[bp.reg][w] = encode(dict, ut.ValueAt(bp.pos))
+			}
+			if w != i {
+				for _, r := range kp {
+					cols[r][w] = cols[r][i]
+				}
+				f.node[w] = f.node[i]
+				for _, j := range jn {
+					f.jn[j][w] = f.jn[j][i]
+				}
+			}
+			w++
+		}
+		for _, bp := range binds {
+			cols[bp.reg] = cols[bp.reg][:w]
+		}
+		f.truncate(w, kp, jn)
+		return true
+	})
+}
+
+// unitRegs allocates registers for a unit's columns and splits them into
+// checks (already bound) and binds (fresh), updating the bound set — the
+// shared compile-time step of the standalone and scan-fused unit stages.
+func (c *bcompiler) unitRegs(u *decomp.Unit) (checks, binds []regPos) {
+	for i, col := range u.Cols.Names() {
+		r := c.regOf(col)
+		if c.bound[col] {
+			checks = append(checks, regPos{pos: i, reg: r})
+		} else {
+			binds = append(binds, regPos{pos: i, reg: r})
+			c.bound[col] = true
+		}
+	}
+	return checks, binds
+}
+
+// Inverted-probe thresholds: a lookup stage switches from per-row Get to
+// batch extraction when at least probeMinRun consecutive frontier rows
+// share one linear-scan map (dlist/slist) holding at least probeMinEntries
+// entries — below that, building the table costs more than the linear
+// scans it replaces.
+const (
+	probeMinRun     = 4
+	probeMinEntries = 8
+)
+
+// FNV-1a over key codes, word-at-a-time; buildProbe and the probeGet
+// variants must agree on this fold.
+const (
+	probeSeed  uint64 = 14695981039346656037
+	probePrime uint64 = 1099511628211
+)
+
+// buildProbe extracts the map at node's slot into the pooled probe table:
+// entry key codes row-major (nKey wide) in pbuf, and an open-addressed index
+// over them (load factor ≤ ½) in ptab. Key codes come from the interning
+// dictionary, so equal values hold equal codes on both sides of a probe.
+// Entries whose key tuple does not have exactly nKey columns are skipped —
+// a well-formed probe could never match them — and collisions terminate
+// because map keys are unique. Like the scan stages, this trusts the
+// structure to key the level by exactly the edge's key columns, so only
+// positional codes are compared, never column names.
+func (st *batchState) buildProbe(node *instance.Node, slot, nKey int) {
+	st.eks, st.ens = node.AppendMapEntries(slot, st.eks[:0], st.ens[:0])
+	nE := len(st.eks)
+	st.pbuf = sizedCodes(st.pbuf, nE*nKey)
+	size := 16
+	for size < 2*nE {
+		size <<= 1
+	}
+	if cap(st.ptab) < size {
+		st.ptab = make([]int32, size)
+	} else {
+		st.ptab = st.ptab[:size]
+		clear(st.ptab)
+	}
+	mask := uint64(size - 1)
+	for e := 0; e < nE; e++ {
+		k := st.eks[e]
+		if k.Len() != nKey {
+			continue
+		}
+		h := probeSeed
+		for j := 0; j < nKey; j++ {
+			code := encode(st.dict, k.ValueAt(j))
+			st.pbuf[e*nKey+j] = code
+			h = (h ^ uint64(code)) * probePrime
+		}
+		idx := h & mask
+		for st.ptab[idx] != 0 {
+			idx = (idx + 1) & mask
+		}
+		st.ptab[idx] = int32(e + 1)
+	}
+}
+
+// probeGet1 answers a single-column probe against the table buildProbe
+// built with nKey = 1.
+func (st *batchState) probeGet1(c colblock.Code) (*instance.Node, bool) {
+	h := (probeSeed ^ uint64(c)) * probePrime
+	mask := uint64(len(st.ptab) - 1)
+	for idx := h & mask; ; idx = (idx + 1) & mask {
+		t := st.ptab[idx]
+		if t == 0 {
+			return nil, false
+		}
+		if e := int(t) - 1; st.pbuf[e] == c {
+			return st.ens[e], true
+		}
+	}
+}
+
+// probeGet answers a multi-column probe (key codes in edge-key column
+// order) against the table buildProbe built with nKey = len(kc).
+func (st *batchState) probeGet(kc []colblock.Code) (*instance.Node, bool) {
+	h := probeSeed
+	for _, c := range kc {
+		h = (h ^ uint64(c)) * probePrime
+	}
+	nKey := len(kc)
+	mask := uint64(len(st.ptab) - 1)
+outer:
+	for idx := h & mask; ; idx = (idx + 1) & mask {
+		t := st.ptab[idx]
+		if t == 0 {
+			return nil, false
+		}
+		e := int(t) - 1
+		for j := 0; j < nKey; j++ {
+			if st.pbuf[e*nKey+j] != kc[j] {
+				continue outer
+			}
+		}
+		return st.ens[e], true
+	}
+}
+
+// emitLookup lowers a qlookup to a batch probe: decode each surviving row's
+// key registers, probe the row's map level, and compact hits (with their
+// child nodes) in place. Lookups bind nothing, so the live set is unchanged.
+//
+// The row loop runs over runs of rows sharing one node — after a join
+// reload the whole frontier is typically a single run — and when a run's
+// map is a linear-scan structure large enough to clear the inversion
+// thresholds, the stage probes batch-at-a-time: extract and index the
+// entries once (buildProbe), then answer each row by hashed word compares
+// instead of an O(entries) tuple-equality walk per row.
+func (c *bcompiler) emitLookup(op *Lookup) {
+	e := op.Edge
+	slot, ok := c.in.SlotOfEdge(e)
+	if !ok {
+		c.fail("plan: lookup edge not in decomposition")
+		return
+	}
+	names := e.Key.Names()
+	regs := make([]int, len(names))
+	for i, col := range names {
+		if !c.bound[col] {
+			c.fail("plan: qlookup[%s] key column %q not bound", e.Key, col)
+			return
+		}
+		regs[i] = c.regOf(col)
+	}
+	live := len(c.names)
+	jn := append([]int(nil), c.jnActive...)
+	for _, r := range regs {
+		c.readReg(r)
+	}
+	keep := c.keepFor(live)
+	if len(names) == 1 {
+		r := regs[0]
+		c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+			f := st.cur
+			cols := f.blk.Cols
+			key := cols[r]
+			n := f.blk.N
+			kp := *keep
+			w := 0
+			for i := 0; i < n; {
+				node := f.node[i]
+				run := i + 1
+				for run < n && f.node[run] == node {
+					run++
+				}
+				m := node.MapAtSlot(slot)
+				if kind := m.Kind(); (kind == dstruct.DListKind || kind == dstruct.SListKind) &&
+					run-i >= probeMinRun && m.Len() >= probeMinEntries {
+					st.buildProbe(node, slot, 1)
+					for ; i < run; i++ {
+						child, ok := st.probeGet1(key[i])
+						if !ok {
+							continue
+						}
+						if w != i {
+							for _, rr := range kp {
+								cols[rr][w] = cols[rr][i]
+							}
+							for _, j := range jn {
+								f.jn[j][w] = f.jn[j][i]
+							}
+						}
+						f.node[w] = child
+						w++
+					}
+					continue
+				}
+				for ; i < run; i++ {
+					child, ok := m.GetByValue(st.dict.Decode(key[i]))
+					if !ok {
+						continue
+					}
+					if w != i {
+						for _, rr := range kp {
+							cols[rr][w] = cols[rr][i]
+						}
+						for _, j := range jn {
+							f.jn[j][w] = f.jn[j][i]
+						}
+					}
+					f.node[w] = child
+					w++
+				}
+			}
+			f.truncate(w, kp, jn)
+			return true
+		})
+	} else {
+		if len(names) > c.prog.maxKey {
+			c.prog.maxKey = len(names)
+		}
+		nKey := len(names)
+		c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+			f := st.cur
+			cols := f.blk.Cols
+			n := f.blk.N
+			kv := st.keyVals[:nKey]
+			kp := *keep
+			w := 0
+			for i := 0; i < n; {
+				node := f.node[i]
+				run := i + 1
+				for run < n && f.node[run] == node {
+					run++
+				}
+				m := node.MapAtSlot(slot)
+				if kind := m.Kind(); (kind == dstruct.DListKind || kind == dstruct.SListKind) &&
+					run-i >= probeMinRun && m.Len() >= probeMinEntries {
+					st.buildProbe(node, slot, nKey)
+					kc := st.kc[:nKey]
+					for ; i < run; i++ {
+						for j, r := range regs {
+							kc[j] = cols[r][i]
+						}
+						child, ok := st.probeGet(kc)
+						if !ok {
+							continue
+						}
+						if w != i {
+							for _, rr := range kp {
+								cols[rr][w] = cols[rr][i]
+							}
+							for _, j := range jn {
+								f.jn[j][w] = f.jn[j][i]
+							}
+						}
+						f.node[w] = child
+						w++
+					}
+					continue
+				}
+				for ; i < run; i++ {
+					for j, r := range regs {
+						kv[j] = st.dict.Decode(cols[r][i])
+					}
+					child, ok := m.Get(relation.SortedTuple(names, kv))
+					if !ok {
+						continue
+					}
+					if w != i {
+						for _, rr := range kp {
+							cols[rr][w] = cols[rr][i]
+						}
+						for _, j := range jn {
+							f.jn[j][w] = f.jn[j][i]
+						}
+					}
+					f.node[w] = child
+					w++
+				}
+			}
+			f.truncate(w, kp, jn)
+			return true
+		})
+	}
+	c.emit(op.Sub, c.d.Var(e.Target).Def)
+}
+
+// emitScan lowers a qscan to a fan-out stage: bulk-extract each surviving
+// row's map level into scratch, filter entries against the statically bound
+// key columns word-wise, and append survivors — copied live registers,
+// freshly bound key columns, child node, active join nodes — to the next
+// frontier column-wise. The frontiers then swap. A key tuple shorter than
+// the edge's full key (never produced by the built-in structures) bails to
+// the closure tier's name-based slow path.
+//
+// Two fusion rules apply. When the scan's subplan is a bare qunit — the
+// tail shape of almost every Figure-7 plan — the unit's checks and binds
+// run inside the fan-out loop over the freshly extracted children, saving a
+// whole frontier pass (fused scan→filter→project). And when the scan has no
+// key checks, the fan-out runs column-at-a-time: one encoding sweep per
+// bound key column, one replication sweep per live register, one bulk node
+// append — sweeps over dense arrays instead of an interleaved row loop.
+func (c *bcompiler) emitScan(op *Scan) {
+	e := op.Edge
+	slot, ok := c.in.SlotOfEdge(e)
+	if !ok {
+		c.fail("plan: scan edge not in decomposition")
+		return
+	}
+	names := e.Key.Names()
+	live := len(c.names)
+	var checks, binds []regPos
+	for i, col := range names {
+		r := c.regOf(col)
+		if c.bound[col] {
+			checks = append(checks, regPos{pos: i, reg: r})
+		} else {
+			binds = append(binds, regPos{pos: i, reg: r})
+			c.bound[col] = true
+		}
+	}
+	nKey := len(names)
+	jn := append([]int(nil), c.jnActive...)
+	for _, cp := range checks {
+		c.readReg(cp.reg)
+	}
+	if sub, isUnit := op.Sub.(*Unit); isUnit {
+		uslot, ok := c.in.SlotOfUnit(sub.U)
+		if !ok {
+			c.fail("plan: unit primitive not in decomposition")
+			return
+		}
+		uchecks, ubinds := c.unitRegs(sub.U)
+		unCols := sub.U.Cols.Len()
+		// A unit check column bound by this scan's own key binds has no
+		// frontier column yet — its value for the row is in the key tuple, so
+		// the check compares the two tuples' values directly.
+		var ufchecks []regPos // against a pre-stage frontier column
+		type posPair struct{ upos, kpos int }
+		var ukchecks []posPair // against this row's key tuple
+		for _, cp := range uchecks {
+			if cp.reg < live {
+				ufchecks = append(ufchecks, cp)
+				continue
+			}
+			for _, bp := range binds {
+				if bp.reg == cp.reg {
+					ukchecks = append(ukchecks, posPair{upos: cp.pos, kpos: bp.pos})
+					break
+				}
+			}
+		}
+		for _, cp := range ufchecks {
+			c.readReg(cp.reg)
+		}
+		keep := c.keepFor(live)
+		if len(checks) == 0 && len(ufchecks) == 0 && len(ukchecks) == 0 {
+			// Every entry survives, so the fused stage runs column-at-a-time:
+			// one encoding sweep per bound key column (arity check folded into
+			// the first), one sweep over the children for the unit columns,
+			// fill sweeps for the live registers, and a bulk node append. The
+			// single-bind cases — the overwhelmingly common plan shape — keep
+			// the column in a register-resident local across the sweep.
+			bind1 := len(binds) == 1
+			ubind1 := len(ubinds) == 1
+			var bp0, ubp0 regPos
+			if bind1 {
+				bp0 = binds[0]
+			}
+			if ubind1 {
+				ubp0 = ubinds[0]
+			}
+			c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+				f, g := st.cur, st.nxt
+				cols := f.blk.Cols
+				gc := g.blk.Cols
+				n := f.blk.N
+				dict := st.dict
+				kp := *keep
+				for _, r := range kp {
+					gc[r] = gc[r][:0]
+				}
+				for _, bp := range binds {
+					gc[bp.reg] = gc[bp.reg][:0]
+				}
+				for _, bp := range ubinds {
+					gc[bp.reg] = gc[bp.reg][:0]
+				}
+				g.node = g.node[:0]
+				for _, j := range jn {
+					g.jn[j] = g.jn[j][:0]
+				}
+				for i := 0; i < n; i++ {
+					st.eks, st.ens = f.node[i].AppendMapEntries(slot, st.eks[:0], st.ens[:0])
+					eks, ens := st.eks, st.ens
+					m := len(eks)
+					switch {
+					case bind1:
+						col := gc[bp0.reg]
+						for e := 0; e < m; e++ {
+							if eks[e].Len() != nKey {
+								return false // short key: closure tier owns this shape
+							}
+							code, ok := colblock.EncodeInline(eks[e].ValueAt(bp0.pos))
+							if !ok {
+								code = dict.Encode(eks[e].ValueAt(bp0.pos))
+							}
+							col = append(col, code)
+						}
+						gc[bp0.reg] = col
+					case len(binds) == 0:
+						for e := 0; e < m; e++ {
+							if eks[e].Len() != nKey {
+								return false
+							}
+						}
+					default:
+						for bi, bp := range binds {
+							col := gc[bp.reg]
+							for e := 0; e < m; e++ {
+								if bi == 0 && eks[e].Len() != nKey {
+									return false
+								}
+								col = append(col, encode(dict, eks[e].ValueAt(bp.pos)))
+							}
+							gc[bp.reg] = col
+						}
+					}
+					switch {
+					case ubind1:
+						col := gc[ubp0.reg]
+						for e := 0; e < m; e++ {
+							ut := ens[e].UnitAtSlot(uslot)
+							if ut.Len() != unCols {
+								return false // partial unit: closure tier owns this shape
+							}
+							code, ok := colblock.EncodeInline(ut.ValueAt(ubp0.pos))
+							if !ok {
+								code = dict.Encode(ut.ValueAt(ubp0.pos))
+							}
+							col = append(col, code)
+						}
+						gc[ubp0.reg] = col
+					case len(ubinds) == 0:
+						for e := 0; e < m; e++ {
+							if ens[e].UnitAtSlot(uslot).Len() != unCols {
+								return false
+							}
+						}
+					default:
+						for e := 0; e < m; e++ {
+							ut := ens[e].UnitAtSlot(uslot)
+							if ut.Len() != unCols {
+								return false
+							}
+							for _, bp := range ubinds {
+								gc[bp.reg] = append(gc[bp.reg], encode(dict, ut.ValueAt(bp.pos)))
+							}
+						}
+					}
+					for _, r := range kp {
+						v := cols[r][i]
+						col := gc[r]
+						for e := 0; e < m; e++ {
+							col = append(col, v)
+						}
+						gc[r] = col
+					}
+					g.node = append(g.node, ens...)
+					for _, j := range jn {
+						v := f.jn[j][i]
+						col := g.jn[j]
+						for e := 0; e < m; e++ {
+							col = append(col, v)
+						}
+						g.jn[j] = col
+					}
+				}
+				g.blk.N = len(g.node)
+				st.cur, st.nxt = g, f
+				return true
+			})
+			return
+		}
+		c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+			f, g := st.cur, st.nxt
+			cols := f.blk.Cols
+			gc := g.blk.Cols
+			n := f.blk.N
+			dict := st.dict
+			kp := *keep
+			for _, r := range kp {
+				gc[r] = gc[r][:0]
+			}
+			for _, bp := range binds {
+				gc[bp.reg] = gc[bp.reg][:0]
+			}
+			for _, bp := range ubinds {
+				gc[bp.reg] = gc[bp.reg][:0]
+			}
+			g.node = g.node[:0]
+			for _, j := range jn {
+				g.jn[j] = g.jn[j][:0]
+			}
+			for i := 0; i < n; i++ {
+				st.eks, st.ens = f.node[i].AppendMapEntries(slot, st.eks[:0], st.ens[:0])
+			entries:
+				for e := range st.eks {
+					k := st.eks[e]
+					if k.Len() != nKey {
+						return false // short key: the closure tier owns this shape
+					}
+					for _, cp := range checks {
+						code, ok := find(dict, k.ValueAt(cp.pos))
+						if !ok || code != cols[cp.reg][i] {
+							continue entries
+						}
+					}
+					child := st.ens[e]
+					ut := child.UnitAtSlot(uslot)
+					if ut.Len() != unCols {
+						return false // partial unit: the closure tier owns this shape
+					}
+					for _, cp := range ufchecks {
+						code, ok := find(dict, ut.ValueAt(cp.pos))
+						if !ok || code != cols[cp.reg][i] {
+							continue entries
+						}
+					}
+					for _, pp := range ukchecks {
+						if ut.ValueAt(pp.upos) != k.ValueAt(pp.kpos) {
+							continue entries
+						}
+					}
+					for _, r := range kp {
+						gc[r] = append(gc[r], cols[r][i])
+					}
+					for _, bp := range binds {
+						gc[bp.reg] = append(gc[bp.reg], encode(dict, k.ValueAt(bp.pos)))
+					}
+					for _, bp := range ubinds {
+						gc[bp.reg] = append(gc[bp.reg], encode(dict, ut.ValueAt(bp.pos)))
+					}
+					g.node = append(g.node, child)
+					for _, j := range jn {
+						g.jn[j] = append(g.jn[j], f.jn[j][i])
+					}
+				}
+			}
+			g.blk.N = len(g.node)
+			st.cur, st.nxt = g, f
+			return true
+		})
+		return
+	}
+	keep := c.keepFor(live)
+	if len(checks) == 0 {
+		c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+			f, g := st.cur, st.nxt
+			cols := f.blk.Cols
+			gc := g.blk.Cols
+			n := f.blk.N
+			dict := st.dict
+			kp := *keep
+			for _, r := range kp {
+				gc[r] = gc[r][:0]
+			}
+			for _, bp := range binds {
+				gc[bp.reg] = gc[bp.reg][:0]
+			}
+			g.node = g.node[:0]
+			for _, j := range jn {
+				g.jn[j] = g.jn[j][:0]
+			}
+			for i := 0; i < n; i++ {
+				st.eks, st.ens = f.node[i].AppendMapEntries(slot, st.eks[:0], st.ens[:0])
+				m := len(st.eks)
+				if len(binds) == 0 {
+					for e := range st.eks {
+						if st.eks[e].Len() != nKey {
+							return false
+						}
+					}
+				}
+				for bi, bp := range binds {
+					col := gc[bp.reg]
+					if bi == 0 {
+						for e := 0; e < m; e++ {
+							k := st.eks[e]
+							if k.Len() != nKey {
+								return false
+							}
+							col = append(col, encode(dict, k.ValueAt(bp.pos)))
+						}
+					} else {
+						for e := 0; e < m; e++ {
+							col = append(col, encode(dict, st.eks[e].ValueAt(bp.pos)))
+						}
+					}
+					gc[bp.reg] = col
+				}
+				for _, r := range kp {
+					v := cols[r][i]
+					col := gc[r]
+					for e := 0; e < m; e++ {
+						col = append(col, v)
+					}
+					gc[r] = col
+				}
+				g.node = append(g.node, st.ens...)
+				for _, j := range jn {
+					v := f.jn[j][i]
+					col := g.jn[j]
+					for e := 0; e < m; e++ {
+						col = append(col, v)
+					}
+					g.jn[j] = col
+				}
+			}
+			g.blk.N = len(g.node)
+			st.cur, st.nxt = g, f
+			return true
+		})
+		c.emit(op.Sub, c.d.Var(e.Target).Def)
+		return
+	}
+	c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+		f, g := st.cur, st.nxt
+		cols := f.blk.Cols
+		gc := g.blk.Cols
+		n := f.blk.N
+		dict := st.dict
+		kp := *keep
+		for _, r := range kp {
+			gc[r] = gc[r][:0]
+		}
+		for _, bp := range binds {
+			gc[bp.reg] = gc[bp.reg][:0]
+		}
+		g.node = g.node[:0]
+		for _, j := range jn {
+			g.jn[j] = g.jn[j][:0]
+		}
+		for i := 0; i < n; i++ {
+			st.eks, st.ens = f.node[i].AppendMapEntries(slot, st.eks[:0], st.ens[:0])
+		entries:
+			for e := range st.eks {
+				k := st.eks[e]
+				if k.Len() != nKey {
+					return false
+				}
+				for _, cp := range checks {
+					code, ok := find(dict, k.ValueAt(cp.pos))
+					if !ok || code != cols[cp.reg][i] {
+						continue entries
+					}
+				}
+				for _, r := range kp {
+					gc[r] = append(gc[r], cols[r][i])
+				}
+				for _, bp := range binds {
+					gc[bp.reg] = append(gc[bp.reg], encode(dict, k.ValueAt(bp.pos)))
+				}
+				g.node = append(g.node, st.ens[e])
+				for _, j := range jn {
+					g.jn[j] = append(g.jn[j], f.jn[j][i])
+				}
+			}
+		}
+		g.blk.N = len(g.node)
+		st.cur, st.nxt = g, f
+		return true
+	})
+	c.emit(op.Sub, c.d.Var(e.Target).Def)
+}
+
+// emitJoin linearizes a qjoin: a save stage records each row's node in join
+// column j, the outer side's stages run (compacting and fanning out j along
+// with the live registers), a load stage restores each surviving row's node
+// from j, and the inner side's stages run. Nested joins stack naturally:
+// jnActive tracks every enclosing join whose column is still needed.
+func (c *bcompiler) emitJoin(op *Join, j *decomp.Join) {
+	outerOp, innerOp := op.LeftOp, op.RightOp
+	outerPrim, innerPrim := j.Left, j.Right
+	if op.First == Right {
+		outerOp, innerOp = op.RightOp, op.LeftOp
+		outerPrim, innerPrim = j.Right, j.Left
+	}
+	slot := c.prog.nJoin
+	c.prog.nJoin++
+	c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+		f := st.cur
+		n := f.blk.N
+		f.jn[slot] = sizedNodes(f.jn[slot], n)
+		copy(f.jn[slot], f.node)
+		return true
+	})
+	c.jnActive = append(c.jnActive, slot)
+	c.emit(outerOp, outerPrim)
+	c.prog.stages = append(c.prog.stages, func(st *batchState) bool {
+		f := st.cur
+		copy(f.node, f.jn[slot][:f.blk.N])
+		return true
+	})
+	c.jnActive = c.jnActive[:len(c.jnActive)-1]
+	c.emit(innerOp, innerPrim)
+}
+
+func (p *BatchProgram) newBatchState() *batchState {
+	st := &batchState{
+		p:    p,
+		dict: colblock.NewDict(),
+		cur:  newFrontier(len(p.reg), p.nJoin),
+		nxt:  newFrontier(len(p.reg), p.nJoin),
+	}
+	if p.maxKey > 0 {
+		st.keyVals = make([]value.Value, p.maxKey)
+		st.kc = make([]colblock.Code, p.maxKey)
+	}
+	st.viewVals = make([]value.Value, len(p.out))
+	st.view = relation.SortedTuple(p.cols.Names(), st.viewVals)
+	return st
+}
+
+func (p *BatchProgram) getBatchState() *batchState {
+	return p.pool.Get().(*batchState)
+}
+
+func (p *BatchProgram) putBatchState(st *batchState) {
+	st.dict.Recycle()
+	// Drop node and tuple references so a pooled state does not pin freed
+	// instance subtrees; lengths are rebuilt from scratch by the next run.
+	clear(st.cur.node)
+	clear(st.nxt.node)
+	for _, col := range st.cur.jn {
+		clear(col)
+	}
+	for _, col := range st.nxt.jn {
+		clear(col)
+	}
+	clear(st.ens)
+	clear(st.eks)
+	p.pool.Put(st)
+}
+
+// OutCols returns the output columns the program projects onto.
+func (p *BatchProgram) OutCols() relation.Cols { return p.cols }
+
+// Run executes the program against in with input pattern s, which must bind
+// exactly the input columns the program was compiled for (the plan-cache
+// signature guarantees this, as for Program). It returns (result, true) on
+// success — the caller must Release the result — or (nil, false) when a
+// stage bailed: the frontier met a shape the batch tier does not model, and
+// the caller should re-run on the closure tier. A bailed run emits nothing,
+// so fallback never duplicates results.
+func (p *BatchProgram) Run(in *instance.Instance, s relation.Tuple) (*BatchResult, bool) {
+	if s.Len() != p.nIn {
+		panic(fmt.Sprintf("plan: batch program for %d input columns run with pattern %v", p.nIn, s))
+	}
+	st := p.getBatchState()
+	f := st.cur
+	for r := 0; r < p.nIn; r++ {
+		f.blk.Cols[r] = append(f.blk.Cols[r][:0], st.dict.Encode(s.ValueAt(r)))
+	}
+	f.node = append(f.node[:0], in.Root())
+	f.blk.N = 1
+	for _, stage := range p.stages {
+		if !stage(st) {
+			p.putBatchState(st)
+			return nil, false
+		}
+		if st.cur.blk.N == 0 {
+			break // empty frontier: every later stage preserves emptiness
+		}
+	}
+	st.res.st = st
+	return &st.res, true
+}
+
+// A BatchResult is the final frontier of a successful Run: every row is one
+// result (duplicates included), with the output columns still encoded. It
+// borrows the pooled execution state, so it must be Released exactly once,
+// after which it must not be used.
+type BatchResult struct {
+	st *batchState
+}
+
+// Rows returns the number of results, duplicates included.
+func (r *BatchResult) Rows() int { return r.st.cur.blk.N }
+
+// NumCols returns the arity of the projection — len(OutCols of the program).
+func (r *BatchResult) NumCols() int { return len(r.st.p.out) }
+
+// Col returns output column j (in OutCols order) as raw codes, one per
+// result row. It aliases the execution state: the slice is valid until
+// Release, and codes decode through Dict. This is the zero-copy consumption
+// path — aggregations sweep the column words directly instead of
+// materializing tuples through EachTuple.
+func (r *BatchResult) Col(j int) []colblock.Code {
+	st := r.st
+	return st.cur.blk.Cols[st.p.out[j]][:st.cur.blk.N]
+}
+
+// Dict returns the dictionary the result's codes decode through, valid
+// until Release.
+func (r *BatchResult) Dict() *colblock.Dict { return r.st.dict }
+
+// EachTuple calls f with the projection of each result row, duplicates
+// included, stopping early when f returns false; it reports whether the
+// sweep ran to completion. Rows are in the same order the closure tier
+// would emit them. Like StreamView, f receives a view backed by a scratch
+// buffer that the next row overwrites — project or copy it to retain it.
+func (r *BatchResult) EachTuple(f func(relation.Tuple) bool) bool {
+	st := r.st
+	p := st.p
+	cols := st.cur.blk.Cols
+	n := st.cur.blk.N
+	for i := 0; i < n; i++ {
+		for j, reg := range p.out {
+			st.viewVals[j] = st.dict.Decode(cols[reg][i])
+		}
+		if !f(st.view) {
+			return false
+		}
+	}
+	return true
+}
+
+// Collect gathers the projected results de-duplicated and in deterministic
+// order — the batch counterpart of Program.Collect. The dedup key is the
+// raw code words of each row (equal codes ⟺ equal values within one
+// execution's dictionary), so duplicate rows cost no allocation.
+func (r *BatchResult) Collect(hint int) []relation.Tuple {
+	if hint < 0 {
+		hint = 0
+	}
+	st := r.st
+	p := st.p
+	cols := st.cur.blk.Cols
+	n := st.cur.blk.N
+	seen := make(map[string]struct{}, hint)
+	res := make([]relation.Tuple, 0, hint)
+	outNames := p.cols.Names()
+	buf := st.keyBuf
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, reg := range p.out {
+			c := uint64(cols[reg][i])
+			buf = append(buf, byte(c>>56), byte(c>>48), byte(c>>40), byte(c>>32),
+				byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+		}
+		if _, ok := seen[string(buf)]; ok {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
+		vals := make([]value.Value, len(p.out))
+		for j, reg := range p.out {
+			vals[j] = st.dict.Decode(cols[reg][i])
+		}
+		res = append(res, relation.SortedTuple(outNames, vals))
+	}
+	st.keyBuf = buf
+	relation.SortTuples(res)
+	return res
+}
+
+// Release returns the result's execution state to the program's pool. It is
+// idempotent; using the result after Release panics.
+func (r *BatchResult) Release() {
+	st := r.st
+	if st == nil {
+		return
+	}
+	r.st = nil
+	st.p.putBatchState(st)
+}

@@ -41,6 +41,22 @@ func benchPlan(b *testing.B, in *instance.Instance, input, output relation.Cols)
 	return cand, prog
 }
 
+// Every leg consumes its output identically — decode and sum every cell
+// (sumTuple for the row tiers, sumBatch for the batch tier) — so the
+// measured deltas are the execution model, not skipped consumption, and
+// the consuming loop cannot be dead-code-eliminated.
+
+// sumTuple decodes and sums every cell of a streamed row; the row-tier
+// counterpart of sumBatch below.
+func sumTuple(t relation.Tuple) int64 {
+	var sum int64
+	for j := 0; j < t.Len(); j++ {
+		i, _ := t.ValueAt(j).AsInt()
+		sum += i
+	}
+	return sum
+}
+
 // The forward-scan shape: fixed src, scan its successor list, emit
 // (dst, weight) — Figure 11's F benchmark inner loop.
 
@@ -52,13 +68,14 @@ func BenchmarkScanInterpreted(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n := 0
+		n, sum := 0, int64(0)
 		plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
 			n++
+			sum += sumTuple(t)
 			return true
 		})
-		if n != 64 {
-			b.Fatalf("scan saw %d rows", n)
+		if n != 64 || sum == 0 {
+			b.Fatalf("scan saw %d rows, sum %d", n, sum)
 		}
 	}
 }
@@ -68,18 +85,19 @@ func BenchmarkScanCompiled(b *testing.B) {
 	input, output := cols("src"), cols("dst", "weight")
 	_, prog := benchPlan(b, in, input, output)
 	pat := relation.NewTuple(relation.BindInt("src", 7))
-	n := 0
+	n, sum := 0, int64(0)
 	f := func(t relation.Tuple) bool {
 		n++
+		sum += sumTuple(t)
 		return true
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n = 0
+		n, sum = 0, 0
 		prog.StreamView(in, pat, f)
-		if n != 64 {
-			b.Fatalf("scan saw %d rows", n)
+		if n != 64 || sum == 0 {
+			b.Fatalf("scan saw %d rows, sum %d", n, sum)
 		}
 	}
 }
@@ -95,13 +113,14 @@ func BenchmarkEnumerateInterpreted(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n := 0
+		n, sum := 0, int64(0)
 		plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
 			n++
+			sum += sumTuple(t)
 			return true
 		})
-		if n != 64*32 {
-			b.Fatalf("enumeration saw %d rows", n)
+		if n != 64*32 || sum == 0 {
+			b.Fatalf("enumeration saw %d rows, sum %d", n, sum)
 		}
 	}
 }
@@ -111,18 +130,19 @@ func BenchmarkEnumerateCompiled(b *testing.B) {
 	input, output := cols(), cols("src", "dst", "weight")
 	_, prog := benchPlan(b, in, input, output)
 	pat := relation.NewTuple()
-	n := 0
+	n, sum := 0, int64(0)
 	f := func(t relation.Tuple) bool {
 		n++
+		sum += sumTuple(t)
 		return true
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n = 0
+		n, sum = 0, 0
 		prog.StreamView(in, pat, f)
-		if n != 64*32 {
-			b.Fatalf("enumeration saw %d rows", n)
+		if n != 64*32 || sum == 0 {
+			b.Fatalf("enumeration saw %d rows, sum %d", n, sum)
 		}
 	}
 }
@@ -154,13 +174,14 @@ func BenchmarkJoinInterpreted(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n := 0
+		n, sum := 0, int64(0)
 		plan.Exec(in, cand.Op, pat, func(t relation.Tuple) bool {
 			n++
+			sum += sumTuple(t)
 			return true
 		})
-		if n != 8 {
-			b.Fatalf("join saw %d rows", n)
+		if n != 8 || sum == 0 {
+			b.Fatalf("join saw %d rows, sum %d", n, sum)
 		}
 	}
 }
@@ -168,18 +189,19 @@ func BenchmarkJoinInterpreted(b *testing.B) {
 func BenchmarkJoinCompiled(b *testing.B) {
 	in, pat, input, output := schedJoinBench(b)
 	_, prog := benchPlan(b, in, input, output)
-	n := 0
+	n, sum := 0, int64(0)
 	f := func(t relation.Tuple) bool {
 		n++
+		sum += sumTuple(t)
 		return true
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n = 0
+		n, sum = 0, 0
 		prog.StreamView(in, pat, f)
-		if n != 8 {
-			b.Fatalf("join saw %d rows", n)
+		if n != 8 || sum == 0 {
+			b.Fatalf("join saw %d rows, sum %d", n, sum)
 		}
 	}
 }
@@ -196,6 +218,117 @@ func BenchmarkCollectInterpreted(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := plan.CollectSized(in, cand.Op, pat, output, cand.EstimatedRows())
+		if len(res) != 64 {
+			b.Fatalf("collect saw %d rows", len(res))
+		}
+	}
+}
+
+// The vectorized legs run the identical plan tree through CompileBatch and
+// consume every output cell exactly like the row tiers above.
+
+// benchBatch compiles the candidate's plan for the batch tier.
+func benchBatch(b *testing.B, in *instance.Instance, cand *plan.Candidate, input, output relation.Cols) *plan.BatchProgram {
+	b.Helper()
+	bp, err := plan.CompileBatch(in, cand.Op, input, output)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bp
+}
+
+// sumBatch decodes and sums every output cell of br.
+func sumBatch(br *plan.BatchResult) int64 {
+	var sum int64
+	d := br.Dict()
+	for j := 0; j < br.NumCols(); j++ {
+		for _, c := range br.Col(j) {
+			i, _ := d.Decode(c).AsInt()
+			sum += i
+		}
+	}
+	return sum
+}
+
+func BenchmarkScanVectorized(b *testing.B) {
+	in := benchGraph(b, 64, 64)
+	input, output := cols("src"), cols("dst", "weight")
+	cand, _ := benchPlan(b, in, input, output)
+	bp := benchBatch(b, in, cand, input, output)
+	pat := relation.NewTuple(relation.BindInt("src", 7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, ok := bp.Run(in, pat)
+		if !ok {
+			b.Fatal("batch run bailed")
+		}
+		sum := sumBatch(br)
+		n := br.Rows()
+		br.Release()
+		if n != 64 || sum == 0 {
+			b.Fatalf("scan saw %d rows, sum %d", n, sum)
+		}
+	}
+}
+
+func BenchmarkEnumerateVectorized(b *testing.B) {
+	in := benchGraph(b, 64, 32)
+	input, output := cols(), cols("src", "dst", "weight")
+	cand, _ := benchPlan(b, in, input, output)
+	bp := benchBatch(b, in, cand, input, output)
+	pat := relation.NewTuple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, ok := bp.Run(in, pat)
+		if !ok {
+			b.Fatal("batch run bailed")
+		}
+		sum := sumBatch(br)
+		n := br.Rows()
+		br.Release()
+		if n != 64*32 || sum == 0 {
+			b.Fatalf("enumeration saw %d rows, sum %d", n, sum)
+		}
+	}
+}
+
+func BenchmarkJoinVectorized(b *testing.B) {
+	in, pat, input, output := schedJoinBench(b)
+	cand, _ := benchPlan(b, in, input, output)
+	bp := benchBatch(b, in, cand, input, output)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, ok := bp.Run(in, pat)
+		if !ok {
+			b.Fatal("batch run bailed")
+		}
+		sum := sumBatch(br)
+		n := br.Rows()
+		br.Release()
+		if n != 8 || sum == 0 {
+			b.Fatalf("join saw %d rows, sum %d", n, sum)
+		}
+	}
+}
+
+func BenchmarkCollectVectorized(b *testing.B) {
+	in := benchGraph(b, 64, 64)
+	input, output := cols("src"), cols("dst")
+	cand, _ := benchPlan(b, in, input, output)
+	bp := benchBatch(b, in, cand, input, output)
+	pat := relation.NewTuple(relation.BindInt("src", 7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, ok := bp.Run(in, pat)
+		if !ok {
+			b.Fatal("batch run bailed")
+		}
+		res := br.Collect(cand.EstimatedRows())
+		br.Release()
 		if len(res) != 64 {
 			b.Fatalf("collect saw %d rows", len(res))
 		}

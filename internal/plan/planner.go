@@ -82,6 +82,13 @@ type Candidate struct {
 	// candidate, because compilation needs an instance and the output
 	// columns. Nil means "use the interpreter".
 	Prog *Program
+
+	// Batch is the vectorized form of Op (see CompileBatch), set alongside
+	// Prog when the engine promotes the candidate with vectorization
+	// enabled. A batch program may still bail out at run time, so Batch is
+	// an optimization over Prog, never a replacement: the engine re-runs a
+	// bailed query on Prog (or the interpreter).
+	Batch *BatchProgram
 }
 
 // EstimatedRows returns the planner's row estimate for the candidate,

@@ -57,6 +57,16 @@ func (v Value) Int() int64 {
 	return v.i
 }
 
+// AsInt is the comma-ok variant of Int: the integer payload and true, or
+// (0, false) for a non-integer. Unlike Kind-test-then-Int it has no panic
+// path, so it inlines into hot loops (the vectorized encode fast path).
+func (v Value) AsInt() (int64, bool) {
+	if v.kind != Int {
+		return 0, false
+	}
+	return v.i, true
+}
+
 // Str returns the string payload. It panics if v is not a string.
 func (v Value) Str() string {
 	if v.kind != String {

@@ -25,3 +25,22 @@ func nearMiss(r *core.Relation, t relation.Tuple) error {
 	r.Poisoned()
 	return err
 }
+
+// The batch API carries the same error-return contract as the per-tuple
+// mutations: InsertBatch is atomic across the whole slice and its error
+// reports FD violations and rollback poisoning for the entire batch, so
+// discarding it hides every tuple's outcome at once.
+func batchTrigger(sr *core.ShardedRelation, ts []relation.Tuple) {
+	go sr.InsertBatch(ts)    // want relvet101
+	defer sr.RemoveBatch(ts) // want relvet101
+	sr.RemoveBatch(ts)       // want relvet101
+}
+
+func batchNearMiss(sr *core.ShardedRelation, ts []relation.Tuple) error {
+	if err := sr.InsertBatch(ts); err != nil {
+		return err
+	}
+	removed, err := sr.RemoveBatch(ts)
+	_ = removed
+	return err
+}

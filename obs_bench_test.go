@@ -22,14 +22,7 @@ import (
 
 func obsBenchRelation(b testing.TB, n int) *core.Relation {
 	b.Helper()
-	r, err := core.New(&core.Spec{
-		Name: "processes",
-		Columns: []core.ColDef{
-			{Name: "ns", Type: core.IntCol}, {Name: "pid", Type: core.IntCol},
-			{Name: "state", Type: core.IntCol}, {Name: "cpu", Type: core.IntCol},
-		},
-		FDs: paperex.SchedulerFDs(),
-	}, paperex.SchedulerDecomp())
+	r, err := core.New(processesSpec(), paperex.SchedulerDecomp())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -101,14 +94,7 @@ func BenchmarkObsInsertRemove(b *testing.B) {
 // fan-in on top when enabled.
 func BenchmarkObsShardedRouted(b *testing.B) {
 	withObsModes(b, func(b *testing.B, m *obs.Metrics) {
-		sr, err := core.NewSharded(&core.Spec{
-			Name: "processes",
-			Columns: []core.ColDef{
-				{Name: "ns", Type: core.IntCol}, {Name: "pid", Type: core.IntCol},
-				{Name: "state", Type: core.IntCol}, {Name: "cpu", Type: core.IntCol},
-			},
-			FDs: paperex.SchedulerFDs(),
-		}, paperex.SchedulerDecomp(), core.ShardOptions{ShardKey: []string{"ns", "pid"}})
+		sr, err := core.NewSharded(processesSpec(), paperex.SchedulerDecomp(), core.ShardOptions{ShardKey: []string{"ns", "pid"}})
 		if err != nil {
 			b.Fatal(err)
 		}
