@@ -7,7 +7,7 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-smoke test-vec fmt-check faultinject lint
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-smoke test-vec fmt-check faultinject lint
 
 ci: vet build race test-vec faultinject lint bench-smoke
 
@@ -90,6 +90,7 @@ bench-vec:
 # `make ci` so bench-only regressions cannot land silently.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled|Vectorized)$$' -benchtime 10x ./internal/plan
+	$(GO) test -run '^$$' -bench 'MVCC' -benchtime 10x .
 
 # Observability-plane overhead: each BenchmarkObs* runs its hot loop with
 # metrics off and on; compare with `benchstat -col /metrics BENCH_obs.json`
@@ -97,3 +98,13 @@ bench-smoke:
 # must stay within noise of the pre-obs baselines.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'Obs' -benchmem -count $(COUNT) -json . > BENCH_obs.json
+
+# Read-mostly throughput of the MVCC snapshot tiers (SyncRelation,
+# ShardedRelation) against an RWMutex-wrapped single relation — the
+# pre-MVCC design — across 90/10 and 99/1 read/write mixes at 8/16/64
+# goroutines, with reads/s and writes/s reported per configuration.
+# Compare with `benchstat -col /impl BENCH_mvcc.json`; the goroutine
+# scaling columns only separate on hosts with real core counts (see the
+# header comment in mvcc_bench_test.go).
+bench-mvcc:
+	$(GO) test -run '^$$' -bench 'MVCC' -benchmem -count $(COUNT) -json . > BENCH_mvcc.json

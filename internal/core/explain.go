@@ -40,6 +40,13 @@ type QueryExplain struct {
 	// binds the shard key (one shard serves it), "fan-out" otherwise.
 	Routing string
 	Shards  int // fan-out width; 0 for single-tier explains
+
+	// Snapshot is set by the MVCC tiers (SyncRelation, ShardedRelation):
+	// the explanation was produced against an atomically-published
+	// snapshot, whose version number is SnapshotVersion (shard 0's version
+	// on the sharded tier).
+	Snapshot        bool
+	SnapshotVersion uint64
 }
 
 // String renders the explanation as text, ending with the annotated tree.
@@ -53,6 +60,9 @@ func (e *QueryExplain) String() string {
 		fmt.Fprintf(&b, "routing: fan-out over %d shards\n", e.Shards)
 	default:
 		fmt.Fprintf(&b, "routing: %s\n", e.Routing)
+	}
+	if e.Snapshot {
+		fmt.Fprintf(&b, "snapshot: version %d\n", e.SnapshotVersion)
 	}
 	var tags []string
 	if e.Cached {
@@ -119,12 +129,20 @@ func (r *Relation) planCached(input, output relation.Cols) bool {
 	return ok
 }
 
-// ExplainQuery reports the wrapped relation's explanation under a read
-// lock. (Plan promotion inside the cache has its own synchronization.)
+// ExplainQuery reports the published snapshot's explanation, lock-free
+// like the query paths it describes. (Plan promotion inside the cache has
+// its own synchronization.) The explanation carries the snapshot's version
+// number; a later explanation with a higher version ran against a state
+// some write has replaced since.
 func (s *SyncRelation) ExplainQuery(input, output []string) (*QueryExplain, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.ExplainQuery(input, output)
+	r := s.cur.Load()
+	e, err := r.ExplainQuery(input, output)
+	if err != nil {
+		return nil, err
+	}
+	e.Snapshot = true
+	e.SnapshotVersion = r.Version()
+	return e, nil
 }
 
 // ExplainQuery reports how the sharded tier executes the shape: the plan
@@ -132,14 +150,14 @@ func (s *SyncRelation) ExplainQuery(input, output []string) (*QueryExplain, erro
 // plan and its compilation state are shard-independent) plus the routing
 // decision the input's columns produce.
 func (sr *ShardedRelation) ExplainQuery(input, output []string) (*QueryExplain, error) {
-	sh := &sr.shards[0]
-	sh.mu.RLock()
-	e, err := sh.r.ExplainQuery(input, output)
-	sh.mu.RUnlock()
+	r := sr.shards[0].cur.Load()
+	e, err := r.ExplainQuery(input, output)
 	if err != nil {
 		return nil, err
 	}
 	e.Relation = sr.spec.Name
+	e.Snapshot = true
+	e.SnapshotVersion = r.Version()
 	if sr.ro.key.SubsetOf(relation.NewCols(input...)) {
 		e.Routing = "routed"
 	} else {

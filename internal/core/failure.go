@@ -119,14 +119,3 @@ func (r *Relation) compensateInsert(ts []relation.Tuple) {
 		}
 	}
 }
-
-// compensateRemove is the inverse: it removes tuples an aborted compound
-// mutation had already inserted, most recent first, poisoning on failure.
-func (r *Relation) compensateRemove(ts []relation.Tuple) {
-	for i := len(ts) - 1; i >= 0; i-- {
-		if ok, err := r.removeContained(ts[i]); err != nil || !ok {
-			r.poison("compensate-remove")
-			return
-		}
-	}
-}

@@ -34,6 +34,12 @@ type obsOracle struct {
 	exp    obs.Snapshot
 	shapes map[string]bool
 	probe  *core.Relation
+
+	// mvcc marks the tier under test as snapshot-published (SyncRelation,
+	// ShardedRelation): read ops count SnapReads and state-changing write
+	// ops count SnapPublishes; on a directly-mutated Relation all the
+	// snapshot counters must stay zero.
+	mvcc bool
 }
 
 func newObsOracle(t *testing.T) *obsOracle {
@@ -99,6 +105,23 @@ func (o *obsOracle) phases(n uint64) {
 	o.exp.MutApplies += n
 }
 
+// snapRead accounts n snapshot acquisitions by lock-free read operations
+// (no-ops on the non-MVCC tier).
+func (o *obsOracle) snapRead(n uint64) {
+	if o.mvcc {
+		o.exp.SnapReads += n
+	}
+}
+
+// snapPublish accounts one version publication when the write changed the
+// relation (publish-on-change; no-op writes publish nothing, and none of
+// the driven operations fail, so SnapDrops stays zero).
+func (o *obsOracle) snapPublish(changed bool) {
+	if o.mvcc && changed {
+		o.exp.SnapPublishes++
+	}
+}
+
 // canInPlaceCPU reports whether updating only cpu can run in place on the
 // scheduler decomposition (it can: cpu lives in the shared unit w).
 func (o *obsOracle) canInPlaceCPU() bool {
@@ -143,6 +166,7 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("insert %v: %v", tup, err)
 		}
 		o.exp.Inserts++
+		o.snapPublish(!stored)
 		if !stored {
 			o.phases(1)
 			model[key] = tup
@@ -153,6 +177,7 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("remove: %v", err)
 		}
 		o.exp.Removes++
+		o.snapPublish(stored)
 		c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
 		o.exec(c, v, 1)
 		want := 0
@@ -169,6 +194,7 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("query: %v", err)
 		}
 		o.exp.QueryCollect++
+		o.snapRead(1)
 		c, _, v := o.lookup([]string{"ns", "pid"}, []string{"cpu"}, 1)
 		o.exec(c, v, 1)
 	case 4: // streaming query by state
@@ -177,6 +203,7 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("query func: %v", err)
 		}
 		o.exp.QueryStream++
+		o.snapRead(1)
 		c, _, v := o.lookup([]string{"state"}, []string{"ns", "pid"}, 1)
 		o.exec(c, v, 1)
 	case 5: // range query over cpu (always interpreted)
@@ -185,6 +212,7 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("query range: %v", err)
 		}
 		o.exp.QueryRange++
+		o.snapRead(1)
 		o.lookup(nil, []string{"ns", "pid", "cpu"}, 1)
 		o.exp.ExecInterpreted++
 	case 6: // keyed update of the in-place column cpu
@@ -194,6 +222,7 @@ func driveSingleTier(t *testing.T, rnd *rand.Rand, api singleTierAPI, o *obsOrac
 			t.Fatalf("update: %v", err)
 		}
 		o.exp.Updates++
+		o.snapPublish(stored)
 		c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
 		o.exec(c, v, 1)
 		want := 0
@@ -222,6 +251,22 @@ func checkSnapshot(t *testing.T, m *obs.Metrics, o *obsOracle) {
 		t.Fatalf("fan-out latency count %d != fan-outs %d", got.FanOutLatency.Count, got.FanOuts)
 	}
 	o.exp.FanOutLatency = got.FanOutLatency
+	// How many nodes COW cloning copies per version depends on graph
+	// sharing at each fork, so the clone counters are taken as observed —
+	// after the sanity check that clones happen only when versions were
+	// actually forked and kept (published) or discarded (dropped), and
+	// that every published version cloned at least its root.
+	if o.exp.SnapPublishes == 0 && o.exp.SnapDrops == 0 {
+		if got.CowNodeClones != 0 || got.CowMapClones != 0 {
+			t.Fatalf("cow clone counters %d/%d nonzero without any published or dropped version",
+				got.CowNodeClones, got.CowMapClones)
+		}
+	} else if got.CowNodeClones < o.exp.SnapPublishes {
+		t.Fatalf("cow node clones %d < published versions %d (each publish clones at least the root)",
+			got.CowNodeClones, o.exp.SnapPublishes)
+	}
+	o.exp.CowNodeClones = got.CowNodeClones
+	o.exp.CowMapClones = got.CowMapClones
 	if got != o.exp {
 		t.Fatalf("counters diverge from oracle\n got: %s\nwant: %s", got.String(), o.exp.String())
 	}
@@ -251,6 +296,7 @@ func TestObsDifferentialSync(t *testing.T) {
 	m := &obs.Metrics{}
 	s.SetMetrics(m)
 	o := newObsOracle(t)
+	o.mvcc = true
 	model := map[string]relation.Tuple{}
 	rnd := rand.New(rand.NewSource(2))
 	for i := 0; i < diffOps; i++ {
@@ -275,6 +321,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 	m := &obs.Metrics{}
 	sr.SetMetrics(m)
 	o := newObsOracle(t)
+	o.mvcc = true
 	model := map[string]relation.Tuple{}
 	rnd := rand.New(rand.NewSource(3))
 
@@ -316,6 +363,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.Inserts++
+			o.snapPublish(!stored)
 			if !stored {
 				o.phases(1)
 				model[key] = tup
@@ -327,6 +375,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.Removes++
+			o.snapPublish(stored)
 			c, _, v := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
 			o.exec(c, v, 1)
 			want := 0
@@ -344,6 +393,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.QueryPoint++
+			o.snapRead(1)
 			c, point, _ := o.lookup([]string{"ns", "pid"}, []string{"cpu"}, 1)
 			if point {
 				o.exp.ExecPoint++
@@ -357,6 +407,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.FanOuts++
 			o.exp.QueryCollect += shards
+			o.snapRead(shards)
 			c, _, v := o.lookup([]string{"state"}, []string{"ns", "pid"}, shards)
 			o.exec(c, v, shards)
 		case 5: // broadcast streaming query
@@ -365,6 +416,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.FanOuts++
 			o.exp.QueryStream += shards
+			o.snapRead(shards)
 			c, _, v := o.lookup(nil, schedAllCols, shards)
 			o.exec(c, v, shards)
 		case 6: // routed keyed update (updatePoint, interpreter fallback)
@@ -375,6 +427,7 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.Updates++
+			o.snapPublish(stored)
 			o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
 			updateFallback(stored)
 			want := 0
@@ -403,6 +456,12 @@ func TestObsDifferentialSharded(t *testing.T) {
 			}
 			o.exp.RoutedOps++
 			o.exp.Upserts++
+			// The upsert's read runs on the write fork under the shard's
+			// writer mutex, not through the lock-free snapshot path, so it
+			// counts no SnapReads; both outcome branches change the shard
+			// (fresh insert or a real point update), so exactly one version
+			// publishes.
+			o.snapPublish(true)
 			o.exp.QueryPoint++
 			c, _, _ := o.lookup([]string{"ns", "pid"}, schedAllCols, 1)
 			o.execClosure(c, 1) // point read falls to the general executor (no point plan)

@@ -123,6 +123,24 @@ func (r *Relation) Instance() *instance.Instance { return r.inst }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return r.inst.Len() }
 
+// Version returns the relation's MVCC version number: 0 on a directly
+// mutated relation, and the number of write operations that published a
+// new snapshot on the concurrent tiers (each engine-level write forks
+// exactly one version, however many tuples it touches).
+func (r *Relation) Version() uint64 { return r.inst.Version() }
+
+// beginVersion forks an unpublished successor of the relation for one
+// write operation on the MVCC tiers: a shallow copy sharing the spec, the
+// planner, and the plan cache (compiled programs bind decomposition slot
+// indices, which are version-independent — see SlotOfEdge) over a
+// copy-on-write fork of the instance. The caller mutates the fork and
+// either publishes it atomically or drops it.
+func (r *Relation) beginVersion() *Relation {
+	c := *r
+	c.inst = r.inst.BeginVersion()
+	return &c
+}
+
 // SetMetrics attaches (or, with nil, detaches) a metrics sink. Like the
 // CheckFDs/CachePlans flags, set it before the relation is shared;
 // sharded shards may safely share one sink — every counter is atomic.
@@ -540,7 +558,11 @@ func (r *Relation) remove(s relation.Tuple) (removed []relation.Tuple, err error
 	for _, t := range doomed {
 		ok, rerr := r.removeContained(t)
 		if rerr != nil {
-			r.compensateInsert(removed)
+			// A copy-on-write fork needs no compensation: the caller drops
+			// the whole fork and the published version never saw the prefix.
+			if !r.inst.COW() {
+				r.compensateInsert(removed)
+			}
 			return nil, rerr
 		}
 		if ok {
@@ -623,7 +645,9 @@ func (r *Relation) replace(match, merged relation.Tuple) (int, error) {
 		return 0, nil
 	}
 	if _, ierr := r.insertContained(merged); ierr != nil {
-		r.compensateInsert([]relation.Tuple{match})
+		if !r.inst.COW() {
+			r.compensateInsert([]relation.Tuple{match})
+		}
 		return 0, ierr
 	}
 	return 1, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/decomp"
@@ -26,8 +27,8 @@ type ShardOptions struct {
 	ShardKey []string
 
 	// Shards is the number of partitions (default DefaultShards). More
-	// shards mean finer write locking; queries that cannot be routed pay a
-	// wider fan-out.
+	// shards mean finer write serialization; queries that cannot be routed
+	// pay a wider fan-out.
 	Shards int
 
 	// Workers bounds the goroutines a fan-out query or batch uses
@@ -42,26 +43,61 @@ type ShardOptions struct {
 	AllowNonKey bool
 }
 
-// relShard is one partition: a single-threaded Relation behind its own
-// RWMutex. The padding keeps neighbouring shards' locks off one cache
-// line, so CAS traffic on one shard's lock does not slow its neighbours.
+// relShard is one partition: an atomically-published immutable *Relation
+// version plus a mutex serializing that shard's writers. Readers load the
+// pointer and never touch the mutex, so all reads — and writes on
+// disjoint keys — proceed without contention. The padding keeps
+// neighbouring shards' write-path state off one cache line.
 type relShard struct {
-	mu sync.RWMutex
-	r  *Relation
-	_  [32]byte
+	wmu sync.Mutex
+	cur atomic.Pointer[Relation]
+	_   [48]byte
+}
+
+// snapshot loads the shard's published version for one read operation,
+// counting the acquisition.
+func (sh *relShard) snapshot() *Relation {
+	r := sh.cur.Load()
+	if r.metrics != nil {
+		r.metrics.SnapReads.Add(1)
+	}
+	return r
+}
+
+// publish finishes one write operation on the shard's fork next: publish
+// on success-with-change, drop on error, neither on a no-op. Called with
+// the shard's wmu held.
+func (sh *relShard) publish(next *Relation, changed bool, err error) {
+	m := next.metrics
+	switch {
+	case err != nil:
+		if m != nil {
+			m.SnapDrops.Add(1)
+		}
+	case changed:
+		sh.cur.Store(next)
+		if m != nil {
+			m.SnapPublishes.Add(1)
+		}
+	}
 }
 
 // ShardedRelation is the concurrent engine tier above SyncRelation: it
 // hash-partitions tuples across N per-shard Relation instances on a
-// shard-key column subset. Operations that bind the whole shard key route
-// to exactly one shard and take only that shard's lock, so disjoint keys
-// proceed in parallel; queries that do not bind the shard key fan out
-// across all shards on a bounded worker pool and merge their (per-shard
-// sorted, de-duplicated) results deterministically.
+// shard-key column subset. Each shard is an MVCC cell — an immutable
+// published version behind an atomic pointer with a per-shard writer
+// mutex — so reads are lock-free everywhere: operations that bind the
+// whole shard key route to exactly one shard, and queries that do not
+// bind the shard key fan out across all shards' snapshots on a bounded
+// worker pool, merging their (per-shard sorted, de-duplicated) results
+// deterministically. A fan-out query pins each shard's version as it
+// visits it; it does not freeze the whole engine, so cross-shard reads
+// are per-shard snapshot-consistent, not globally serialized.
 //
 // All shards share one decomposition, one spec, and one read-mostly plan
-// cache — plans are shape-identical across shards, so each query shape is
-// planned once for the whole engine, not once per shard.
+// cache — plans are shape-identical across shards and versions, so each
+// query shape is planned once for the whole engine, not once per shard
+// or per version.
 type ShardedRelation struct {
 	spec  *Spec
 	ro    *router
@@ -114,7 +150,7 @@ func NewSharded(spec *Spec, d *decomp.Decomp, opts ShardOptions) (*ShardedRelati
 			return nil, err
 		}
 		r.plans = shared
-		sr.shards[i].r = r
+		sr.shards[i].cur.Store(r)
 	}
 	return sr, nil
 }
@@ -138,9 +174,13 @@ func (sr *ShardedRelation) ShardKey() relation.Cols { return sr.ro.key }
 // NumShards returns the partition count.
 func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
 
-// Shard exposes one partition's raw engine for tests and profiling. The
-// caller must not mutate it while other goroutines use the sharded engine.
-func (sr *ShardedRelation) Shard(i int) *Relation { return sr.shards[i].r }
+// Shard exposes one partition's currently published version for tests and
+// profiling. The handle is an immutable snapshot: the caller must not
+// mutate it, and later writes to the sharded engine publish new versions
+// this handle will never reflect. (Configuration knobs like CheckFDs may
+// still be set through it before the engine is shared — version forks
+// inherit them.)
+func (sr *ShardedRelation) Shard(i int) *Relation { return sr.shards[i].cur.Load() }
 
 // SetMetrics attaches one shared metrics sink to every shard and to the
 // sharded tier's routing counters. Counters are atomic, so the shards can
@@ -150,9 +190,9 @@ func (sr *ShardedRelation) SetMetrics(m *obs.Metrics) {
 	sr.metrics = m
 	for i := range sr.shards {
 		sh := &sr.shards[i]
-		sh.mu.Lock()
-		sh.r.SetMetrics(m)
-		sh.mu.Unlock()
+		sh.wmu.Lock()
+		sh.cur.Load().SetMetrics(m)
+		sh.wmu.Unlock()
 	}
 }
 
@@ -161,16 +201,16 @@ func (sr *ShardedRelation) SetMetrics(m *obs.Metrics) {
 func (sr *ShardedRelation) SetTracer(t obs.Tracer) {
 	for i := range sr.shards {
 		sh := &sr.shards[i]
-		sh.mu.Lock()
-		sh.r.SetTracer(t)
-		sh.mu.Unlock()
+		sh.wmu.Lock()
+		sh.cur.Load().SetTracer(t)
+		sh.wmu.Unlock()
 	}
 }
 
 // Metrics returns the attached metrics sink, or nil.
 func (sr *ShardedRelation) Metrics() *obs.Metrics { return sr.metrics }
 
-// routed records one operation that locked exactly one shard.
+// routed records one operation that touched exactly one shard.
 func (sr *ShardedRelation) routed() {
 	if sr.metrics != nil {
 		sr.metrics.RoutedOps.Add(1)
@@ -178,7 +218,7 @@ func (sr *ShardedRelation) routed() {
 }
 
 // Insert implements insert r t: the full tuple always binds the shard key,
-// so exactly one shard locks.
+// so exactly one shard's writers serialize; readers are never blocked.
 func (sr *ShardedRelation) Insert(t relation.Tuple) error {
 	i, err := sr.ro.mustRoute(t)
 	if err != nil {
@@ -186,29 +226,45 @@ func (sr *ShardedRelation) Insert(t relation.Tuple) error {
 	}
 	sr.routed()
 	sh := &sr.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.r.Insert(t)
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	next := sh.cur.Load().beginVersion()
+	changed, ierr := next.insert(t)
+	sh.publish(next, changed, ierr)
+	return ierr
 }
 
 // Remove implements remove r s. A pattern binding the whole shard key
-// removes under one shard's lock; any other pattern fans out — tuples are
+// removes on one shard; any other pattern fans out — tuples are
 // partitioned, so per-shard removal counts sum without double counting.
+// A shard whose removal fails drops its fork (readers keep its pre-remove
+// version) and contributes zero to the count.
 func (sr *ShardedRelation) Remove(pat relation.Tuple) (int, error) {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
 		sh := &sr.shards[i]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		return sh.r.Remove(pat)
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		next := sh.cur.Load().beginVersion()
+		removed, err := next.remove(pat)
+		sh.publish(next, len(removed) > 0, err)
+		if err != nil {
+			return 0, err
+		}
+		return len(removed), nil
 	}
 	counts := make([]int, len(sr.shards))
 	err := sr.fanOut(func(i int, sh *relShard) error {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		n, err := sh.r.Remove(pat)
-		counts[i] = n
-		return err
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		next := sh.cur.Load().beginVersion()
+		removed, err := next.remove(pat)
+		sh.publish(next, len(removed) > 0, err)
+		if err != nil {
+			return err
+		}
+		counts[i] = len(removed)
+		return nil
 	})
 	total := 0
 	for _, n := range counts {
@@ -226,23 +282,37 @@ func (sr *ShardedRelation) Update(s, u relation.Tuple) (int, error) {
 	if i, ok := sr.ro.route(s); ok {
 		sr.routed()
 		sh := &sr.shards[i]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		next := sh.cur.Load().beginVersion()
+		var n int
+		var err error
 		if sr.keyed {
 			// The shard key is FD-certified and s binds all of it, so s is a
 			// superkey: skip the per-operation key check and take the
 			// compiled point-update path.
-			return sh.r.updatePoint(s, u)
+			n, err = next.updatePoint(s, u)
+		} else {
+			n, err = next.Update(s, u)
 		}
-		return sh.r.Update(s, u)
+		sh.publish(next, n > 0, err)
+		if err != nil {
+			return 0, err
+		}
+		return n, nil
 	}
 	counts := make([]int, len(sr.shards))
 	err := sr.fanOut(func(i int, sh *relShard) error {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		n, err := sh.r.Update(s, u)
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		next := sh.cur.Load().beginVersion()
+		n, err := next.Update(s, u)
+		sh.publish(next, n > 0, err)
+		if err != nil {
+			return err
+		}
 		counts[i] = n
-		return err
+		return nil
 	})
 	total := 0
 	for _, n := range counts {
@@ -251,27 +321,24 @@ func (sr *ShardedRelation) Update(s, u relation.Tuple) (int, error) {
 	return total, err
 }
 
-// Query implements query r s C. Patterns binding the shard key read one
-// shard; when the shard key is FD-certified such a pattern is a superkey,
-// so at most one tuple matches and the dedup map and sort are skipped
-// entirely (the point-query fast path). Other patterns fan out in parallel
-// and merge the per-shard sorted results deterministically.
+// Query implements query r s C, lock-free. Patterns binding the shard key
+// read one shard's snapshot; when the shard key is FD-certified such a
+// pattern is a superkey, so at most one tuple matches and the dedup map
+// and sort are skipped entirely (the point-query fast path). Other
+// patterns fan out in parallel over the shards' snapshots and merge the
+// per-shard sorted results deterministically.
 func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
+		r := sr.shards[i].snapshot()
 		if sr.keyed {
-			return sh.r.queryPoint(pat, out)
+			return r.queryPoint(pat, out)
 		}
-		return sh.r.Query(pat, out)
+		return r.Query(pat, out)
 	}
 	parts := make([][]relation.Tuple, len(sr.shards))
 	err := sr.fanOut(func(i int, sh *relShard) error {
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		res, err := sh.r.Query(pat, out)
+		res, err := sh.snapshot().Query(pat, out)
 		parts[i] = res
 		return err
 	})
@@ -282,17 +349,17 @@ func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.T
 }
 
 // QueryFunc streams π_C of matching tuples like Relation.QueryFunc: no
-// de-duplication, shard-by-shard order. A routed pattern streams one shard
-// under its read lock; otherwise shards stream sequentially, each under its
-// own read lock (never all locks at once). The callback must not mutate
-// the engine.
+// de-duplication, shard-by-shard order. A routed pattern streams one
+// shard's snapshot; otherwise shards stream sequentially, each pinning its
+// snapshot as the stream reaches it. The iteration holds no lock, so the
+// callback may mutate the sharded engine freely: mutations publish new
+// per-shard versions that the in-flight stream does not observe — a shard
+// already pinned keeps streaming its version, and a shard visited later is
+// pinned at whatever version is current when the stream gets there.
 func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		return sh.r.QueryFunc(pat, out, f)
+		return sr.shards[i].snapshot().QueryFunc(pat, out, f)
 	}
 	// The sequential broadcast is still a fan-out for accounting: it visits
 	// every shard for one logical operation.
@@ -303,16 +370,13 @@ func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(re
 	}
 	stopped := false
 	for i := range sr.shards {
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		err := sh.r.QueryFunc(pat, out, func(t relation.Tuple) bool {
+		err := sr.shards[i].snapshot().QueryFunc(pat, out, func(t relation.Tuple) bool {
 			if !f(t) {
 				stopped = true
 				return false
 			}
 			return true
 		})
-		sh.mu.RUnlock()
 		if err != nil || stopped {
 			return err
 		}
@@ -320,21 +384,17 @@ func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(re
 	return nil
 }
 
-// QueryRange implements the order-based query: routed patterns read one
-// shard, others fan out and merge the per-shard sorted results.
+// QueryRange implements the order-based query, lock-free: routed patterns
+// read one shard's snapshot, others fan out and merge the per-shard
+// sorted results.
 func (sr *ShardedRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		return sh.r.QueryRange(pat, col, lo, hi, out)
+		return sr.shards[i].snapshot().QueryRange(pat, col, lo, hi, out)
 	}
 	parts := make([][]relation.Tuple, len(sr.shards))
 	err := sr.fanOut(func(i int, sh *relShard) error {
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		res, err := sh.r.QueryRange(pat, col, lo, hi, out)
+		res, err := sh.snapshot().QueryRange(pat, col, lo, hi, out)
 		parts[i] = res
 		return err
 	})
@@ -344,14 +404,14 @@ func (sr *ShardedRelation) QueryRange(pat relation.Tuple, col string, lo, hi *va
 	return mergeSorted(parts), nil
 }
 
-// InsertBatch inserts many tuples, grouping them by shard and applying each
-// group under a single lock acquisition — the per-op lock traffic of N
-// inserts collapses to one acquisition per touched shard, and distinct
-// shards apply their groups in parallel. Each shard's group applies with
-// per-shard undo: on error the failing shard removes the tuples of its group
-// it had already inserted and returns the first error (by shard index),
-// while the other shards' groups commit or roll back independently — a
-// failing shard never strands its peers mid-batch.
+// InsertBatch inserts many tuples, grouping them by shard and applying
+// each group on a single version fork — the per-op fork-and-publish of N
+// inserts collapses to one version per touched shard, and distinct shards
+// apply their groups in parallel. Each shard's group is atomic: on error
+// the failing shard drops its fork (readers keep the pre-batch version)
+// and returns the first error (by shard index), while the other shards'
+// groups publish independently — a failing shard never strands its peers
+// mid-batch.
 func (sr *ShardedRelation) InsertBatch(ts []relation.Tuple) error {
 	if len(ts) == 0 {
 		return nil
@@ -368,29 +428,29 @@ func (sr *ShardedRelation) InsertBatch(ts []relation.Tuple) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		var done []relation.Tuple
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		next := sh.cur.Load().beginVersion()
+		changed := false
 		for _, t := range groups[i] {
-			changed, err := sh.r.insert(t)
+			ch, err := next.insert(t)
 			if err != nil {
-				sh.r.compensateRemove(done)
+				sh.publish(next, false, err)
 				return err
 			}
-			if changed {
-				done = append(done, t)
-			}
+			changed = changed || ch
 		}
+		sh.publish(next, changed, nil)
 		return nil
 	})
 }
 
-// RemoveBatch removes by many patterns under one lock acquisition per
-// touched shard. Patterns binding the shard key go only to their shard;
-// broadcast patterns run on every shard. It returns the total number of
-// tuples removed. Like InsertBatch it applies per-shard undo: a shard whose
-// group fails re-inserts everything its group had removed and contributes
-// zero to the count, without disturbing the other shards' groups.
+// RemoveBatch removes by many patterns with one version fork per touched
+// shard. Patterns binding the shard key go only to their shard; broadcast
+// patterns run on every shard. It returns the total number of tuples
+// removed. Like InsertBatch, each shard's group is atomic: a shard whose
+// group fails drops its fork and contributes zero to the count, without
+// disturbing the other shards' groups.
 func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
 	if len(pats) == 0 {
 		return 0, nil
@@ -401,19 +461,20 @@ func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
 		if len(groups[i]) == 0 {
 			return nil
 		}
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		var undone []relation.Tuple
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		next := sh.cur.Load().beginVersion()
+		n := 0
 		for _, pat := range groups[i] {
-			removed, err := sh.r.remove(pat)
+			removed, err := next.remove(pat)
 			if err != nil {
-				sh.r.compensateInsert(undone)
-				counts[i] = 0
+				sh.publish(next, false, err)
 				return err
 			}
-			counts[i] += len(removed)
-			undone = append(undone, removed...)
+			n += len(removed)
 		}
+		sh.publish(next, n > 0, nil)
+		counts[i] = n
 		return nil
 	})
 	total := 0
@@ -424,11 +485,12 @@ func (sr *ShardedRelation) RemoveBatch(pats []relation.Tuple) (int, error) {
 }
 
 // Upsert atomically reads the tuple matching the routed pattern pat and
-// inserts or updates it: f receives the current tuple (zero when absent) and
-// returns the non-pattern column values to store — the update tuple when the
-// match exists, the remainder of the new tuple otherwise. The whole
-// read-modify-write runs under the owning shard's exclusive lock, and both
-// the read and the write take the compiled point paths when the shard key is
+// inserts or updates it: f receives the current tuple (zero when absent)
+// and returns the non-pattern column values to store — the update tuple
+// when the match exists, the remainder of the new tuple otherwise. The
+// whole read-modify-write runs on one fork under the owning shard's
+// writer mutex and publishes as a single version, and both the read and
+// the write take the compiled point paths when the shard key is
 // FD-certified, so a counter increment costs two map descents, not two
 // generic plan executions.
 func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple, found bool) (relation.Tuple, error)) (uerr error) {
@@ -442,14 +504,14 @@ func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple,
 		sr.metrics.Upserts.Add(1)
 	}
 	sh := &sr.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	r := sh.r
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	next := sh.cur.Load().beginVersion()
 	cols := sr.spec.Cols().Names()
 	var cur relation.Tuple
 	found := false
 	if sr.keyed {
-		res, err := r.queryPoint(pat, cols)
+		res, err := next.queryPoint(pat, cols)
 		if err != nil {
 			return err
 		}
@@ -457,7 +519,7 @@ func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple,
 			cur, found = res[0], true
 		}
 	} else {
-		if err := r.QueryFunc(pat, cols, func(t relation.Tuple) bool {
+		if err := next.QueryFunc(pat, cols, func(t relation.Tuple) bool {
 			cur, found = t, true
 			return false
 		}); err != nil {
@@ -469,73 +531,80 @@ func (sr *ShardedRelation) Upsert(pat relation.Tuple, f func(cur relation.Tuple,
 		return err
 	}
 	if !found {
-		return r.Insert(pat.Merge(u))
+		changed, ierr := next.insert(pat.Merge(u))
+		sh.publish(next, changed, ierr)
+		return ierr
 	}
+	var n int
 	if sr.keyed {
-		_, err = r.updatePoint(pat, u)
+		n, err = next.updatePoint(pat, u)
 	} else {
-		_, err = r.Update(pat, u)
+		n, err = next.Update(pat, u)
 	}
+	sh.publish(next, n > 0, err)
 	return err
 }
 
-// Exclusive runs f with the shard owning pat's shard-key valuation locked
-// exclusively, giving atomic read-modify-write sequences (a counter upsert,
-// say) without a global lock. pat must bind the whole shard key, and f must
-// only touch tuples sharing pat's shard-key valuation — tuples routed to
-// other shards are invisible to it.
-func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error) (ferr error) {
+// Exclusive runs f on a private fork of the shard owning pat's shard-key
+// valuation, with that shard's writers excluded, giving atomic
+// read-modify-write sequences (a counter upsert, say) without a global
+// lock. The fork publishes as a single version when f returns nil and is
+// dropped entirely when f returns an error or panics — the whole block is
+// atomic even across several mutations, and concurrent readers never
+// observe its intermediate states. pat must bind the whole shard key, and
+// f must only touch tuples sharing pat's shard-key valuation — tuples
+// routed to other shards are invisible to it.
+func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error) error {
 	i, err := sr.ro.mustRoute(pat)
 	if err != nil {
 		return err
 	}
 	sr.routed()
 	sh := &sr.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	defer containRead("exclusive", &ferr)
-	return f(sh.r)
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	next := sh.cur.Load().beginVersion()
+	run := func() (ferr error) {
+		defer containRead("exclusive", &ferr)
+		return f(next)
+	}
+	ferr := run()
+	sh.publish(next, ferr == nil, ferr)
+	return ferr
 }
 
-// Len returns the total number of tuples across all shards. The count is a
-// consistent snapshot only when no writer is concurrent, like SyncRelation
+// Len returns the total number of tuples across all shards, lock-free.
+// Per-shard counts come from each shard's published snapshot; the sum is
+// a consistent total only when no writer is concurrent, like SyncRelation
 // callers composing Len with later operations.
 func (sr *ShardedRelation) Len() int {
 	n := 0
 	for i := range sr.shards {
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		n += sh.r.Len()
-		sh.mu.RUnlock()
+		n += sr.shards[i].cur.Load().Len()
 	}
 	return n
 }
 
-// CheckInvariants verifies every shard's instance well-formedness, that
-// each tuple lives on the shard its key hashes to, and that the declared
-// FDs hold on the union of the shard abstractions (per-shard FD checks
-// cannot see cross-shard violations when the shard key is not a key).
+// CheckInvariants verifies every shard's published snapshot: instance
+// well-formedness, that each tuple lives on the shard its key hashes to,
+// and that the declared FDs hold on the union of the shard abstractions
+// (per-shard FD checks cannot see cross-shard violations when the shard
+// key is not a key). Each snapshot is immutable, so the walk needs no
+// locks.
 func (sr *ShardedRelation) CheckInvariants() error {
 	all := relation.Empty(sr.spec.Cols())
 	for i := range sr.shards {
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		err := sh.r.CheckInvariants()
-		if err == nil {
-			for _, t := range sh.r.inst.Relation().All() {
-				if j, ok := sr.ro.route(t); !ok || j != i {
-					err = fmt.Errorf("core: tuple %v found on shard %d but routes to shard %d", t, i, j)
-					break
-				}
-				if ierr := all.Insert(t); ierr != nil {
-					err = ierr
-					break
-				}
-			}
-		}
-		sh.mu.RUnlock()
-		if err != nil {
+		r := sr.shards[i].cur.Load()
+		if err := r.CheckInvariants(); err != nil {
 			return err
+		}
+		for _, t := range r.inst.Relation().All() {
+			if j, ok := sr.ro.route(t); !ok || j != i {
+				return fmt.Errorf("core: tuple %v found on shard %d but routes to shard %d", t, i, j)
+			}
+			if err := all.Insert(t); err != nil {
+				return err
+			}
 		}
 	}
 	if !sr.spec.FDs.Holds(all) {
@@ -549,16 +618,14 @@ func (sr *ShardedRelation) All() ([]relation.Tuple, error) {
 	return sr.Query(relation.NewTuple(), sr.spec.Cols().Names())
 }
 
-// Poisoned reports whether any shard has degraded to read-only after a
-// failed rollback. Mutations on the other shards keep working — poisoning
-// is per shard, exactly like the per-shard undo that precedes it.
+// Poisoned reports whether any shard's published version has degraded to
+// read-only. Failed mutations on the MVCC tiers drop their unpublished
+// forks instead of rolling back in place, so poisoning is unreachable
+// through this tier's own operations; the method remains for interface
+// compatibility with the single-threaded tier.
 func (sr *ShardedRelation) Poisoned() bool {
 	for i := range sr.shards {
-		sh := &sr.shards[i]
-		sh.mu.RLock()
-		p := sh.r.Poisoned()
-		sh.mu.RUnlock()
-		if p {
+		if sr.shards[i].cur.Load().Poisoned() {
 			return true
 		}
 	}

@@ -2,118 +2,188 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
 
-// SyncRelation is a thread-safe wrapper around a Relation: queries take a
-// shared lock and mutations an exclusive one. The paper's follow-on work
-// explores fine-grained concurrent synthesized representations; this
-// coarse-grained wrapper is the baseline that makes a synthesized relation
-// safe to share between goroutines today.
+// SyncRelation makes a synthesized relation safe to share between
+// goroutines with lock-free reads: the current state is an immutable
+// *Relation version published through an atomic pointer. Queries load the
+// pointer and run against that snapshot without ever taking a lock, so a
+// reader never blocks behind a writer (and never blocks a writer). Writers
+// serialize among themselves on a plain mutex, fork the next version
+// copy-on-write (beginVersion — only the nodes a mutation touches are
+// cloned, the rest of the graph is shared), and publish it atomically on
+// success or drop it on failure. A dropped fork leaves the published
+// version bit-for-bit intact, so the undo-log/poison machinery of the
+// single-threaded tier is never needed here; superseded versions are
+// reclaimed by the garbage collector once the last reader lets go.
 //
-// The streaming methods hold the read lock for the duration of the
-// callback; callbacks must not mutate the relation (use the snapshotting
-// Query/QueryRange instead when they must).
+// Reads are snapshot-isolated, not linearizable with respect to in-flight
+// writers: a query sees the latest version published before its load, and
+// two tuples returned by one query always come from the same version.
 type SyncRelation struct {
-	mu sync.RWMutex
-	r  *Relation
+	wmu sync.Mutex               // serializes writers; readers never touch it
+	cur atomic.Pointer[Relation] // the published immutable version
 }
 
 // NewSync wraps a relation. The caller must not use the wrapped relation
-// directly afterwards.
+// directly afterwards: it becomes the published version 0 and must no
+// longer be mutated.
 func NewSync(r *Relation) *SyncRelation {
-	return &SyncRelation{r: r}
+	s := &SyncRelation{}
+	s.cur.Store(r)
+	return s
 }
 
-// Insert implements insert r t under the write lock.
+// snapshot loads the published version for one read operation, counting
+// the acquisition.
+func (s *SyncRelation) snapshot() *Relation {
+	r := s.cur.Load()
+	if r.metrics != nil {
+		r.metrics.SnapReads.Add(1)
+	}
+	return r
+}
+
+// publish finishes one write operation on the fork next: a successful
+// mutation that changed the relation is published for subsequent readers;
+// a failed one is dropped, leaving the previous version current (this is
+// the whole rollback story on this tier); a no-op neither publishes nor
+// drops. Called with wmu held.
+func (s *SyncRelation) publish(next *Relation, changed bool, err error) {
+	m := next.metrics
+	switch {
+	case err != nil:
+		if m != nil {
+			m.SnapDrops.Add(1)
+		}
+	case changed:
+		s.cur.Store(next)
+		if m != nil {
+			m.SnapPublishes.Add(1)
+		}
+	}
+}
+
+// Insert implements insert r t: fork, mutate copy-on-write, publish.
 func (s *SyncRelation) Insert(t relation.Tuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.r.Insert(t)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	next := s.cur.Load().beginVersion()
+	changed, err := next.insert(t)
+	s.publish(next, changed, err)
+	return err
 }
 
-// Remove implements remove r s under the write lock.
+// Remove implements remove r s. On error the fork is dropped and the
+// published version is unchanged, so the reported count is 0.
 func (s *SyncRelation) Remove(pat relation.Tuple) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.r.Remove(pat)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	next := s.cur.Load().beginVersion()
+	removed, err := next.remove(pat)
+	s.publish(next, len(removed) > 0, err)
+	if err != nil {
+		return 0, err
+	}
+	return len(removed), nil
 }
 
-// Update implements the keyed update under the write lock.
+// Update implements the keyed dupdate; like Remove, a failed update drops
+// the fork and reports 0.
 func (s *SyncRelation) Update(pat, u relation.Tuple) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.r.Update(pat, u)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	next := s.cur.Load().beginVersion()
+	n, err := next.Update(pat, u)
+	s.publish(next, n > 0, err)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
-// Query implements query r s C under a read lock.
+// Query implements query r s C against the current published snapshot,
+// lock-free.
 func (s *SyncRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.Query(pat, out)
+	return s.snapshot().Query(pat, out)
 }
 
-// QueryFunc streams results under a read lock; f must not mutate the
-// relation.
+// QueryFunc streams results from the current published snapshot. The
+// iteration holds no lock, so the callback may mutate this SyncRelation
+// (insert, remove, update) freely: the mutation forks the latest published
+// version while the iteration keeps reading its own pinned snapshot, and
+// tuples published after the stream's snapshot was loaded are not seen.
 func (s *SyncRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.QueryFunc(pat, out, f)
+	return s.snapshot().QueryFunc(pat, out, f)
 }
 
-// QueryRange is the range query under a read lock.
+// QueryRange is the range query against the current published snapshot,
+// lock-free.
 func (s *SyncRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.QueryRange(pat, col, lo, hi, out)
+	return s.snapshot().QueryRange(pat, col, lo, hi, out)
 }
 
-// Len returns the number of tuples.
+// Len returns the number of tuples in the current published snapshot.
 func (s *SyncRelation) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.Len()
+	return s.cur.Load().Len()
 }
 
-// CheckInvariants verifies well-formedness under a read lock.
+// Version returns the published snapshot's version number: the count of
+// write operations that have published a new version.
+func (s *SyncRelation) Version() uint64 {
+	return s.cur.Load().Version()
+}
+
+// Snapshot pins the currently published version and returns it as a
+// read-only handle. The handle is immutable — queries on it keep
+// answering from the same state no matter how many writes are published
+// afterwards. Use it to run several queries against one consistent state;
+// re-load (or go back through the SyncRelation) to observe later writes.
+// The caller must not mutate the returned relation.
+func (s *SyncRelation) Snapshot() *Relation {
+	return s.cur.Load()
+}
+
+// CheckInvariants verifies the current snapshot's well-formedness. The
+// snapshot is immutable, so the walk needs no lock and is trivially
+// consistent.
 func (s *SyncRelation) CheckInvariants() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.CheckInvariants()
+	return s.cur.Load().CheckInvariants()
 }
 
-// SetMetrics attaches a metrics sink to the wrapped relation.
+// SetMetrics attaches a metrics sink to the relation. Like the other
+// configuration knobs, attach before the engine is shared; future forks
+// inherit the sink.
 func (s *SyncRelation) SetMetrics(m *obs.Metrics) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.r.SetMetrics(m)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.cur.Load().SetMetrics(m)
 }
 
-// SetTracer attaches a span-event tracer to the wrapped relation. The
-// tracer runs under this tier's locks; it must not call back in.
+// SetTracer attaches a span-event tracer to the relation. Attach before
+// the engine is shared; the tracer receives events from concurrent readers
+// and must be safe for concurrent use.
 func (s *SyncRelation) SetTracer(t obs.Tracer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.r.SetTracer(t)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.cur.Load().SetTracer(t)
 }
 
 // Metrics returns the attached metrics sink, or nil.
 func (s *SyncRelation) Metrics() *obs.Metrics {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.Metrics()
+	return s.cur.Load().Metrics()
 }
 
-// Poisoned reports whether the wrapped relation has degraded to read-only
-// after a failed rollback. Panics from plan execution and mutation are
-// recovered inside the wrapped Relation's API while this tier's lock is
-// held, so a crashing operation surfaces as an error to one caller instead
-// of poisoning the lock for all of them.
+// Poisoned reports whether the published version has degraded to
+// read-only. On this tier a failed mutation drops its unpublished fork
+// instead of rolling back in place, so the poisoned state is unreachable
+// through this tier's own operations; the method remains for interface
+// compatibility with the other tiers.
 func (s *SyncRelation) Poisoned() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.r.Poisoned()
+	return s.cur.Load().Poisoned()
 }

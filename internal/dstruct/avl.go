@@ -12,13 +12,24 @@ import (
 type AVL[V any] struct {
 	root *avlNode[V]
 	n    int
+
+	// owner is the copy-on-write token. A node is mutable by this tree iff
+	// node.owner == t.owner; Clone hands both trees fresh tokens, so every
+	// pre-clone node becomes frozen for both sides and is copied on the way
+	// down by the first writer that touches it (path copying). Before any
+	// Clone both fields are nil, nil == nil, and writes mutate in place at
+	// zero extra cost.
+	owner *avlOwner
 }
+
+type avlOwner struct{ _ byte }
 
 type avlNode[V any] struct {
 	key         relation.Tuple
 	val         V
 	left, right *avlNode[V]
 	height      int
+	owner       *avlOwner
 }
 
 // NewAVL returns an empty AVL tree.
@@ -45,8 +56,23 @@ func balanceOf[V any](n *avlNode[V]) int {
 	return height(n.left) - height(n.right)
 }
 
-func rotateRight[V any](y *avlNode[V]) *avlNode[V] {
-	x := y.left
+// own returns a node this tree may mutate: n itself when n carries the
+// tree's token, a copy stamped with the token otherwise. Copying only on
+// the mutation path is what makes Clone O(1) and Put/Delete O(log n)
+// worst-case even right after a clone.
+func (t *AVL[V]) own(n *avlNode[V]) *avlNode[V] {
+	if n == nil || n.owner == t.owner {
+		return n
+	}
+	c := *n
+	c.owner = t.owner
+	return &c
+}
+
+// rotateRight and rotateLeft receive an owned pivot but must also own the
+// child they hoist, since both operands are restructured.
+func (t *AVL[V]) rotateRight(y *avlNode[V]) *avlNode[V] {
+	x := t.own(y.left)
 	y.left = x.right
 	x.right = y
 	fix(y)
@@ -54,8 +80,8 @@ func rotateRight[V any](y *avlNode[V]) *avlNode[V] {
 	return x
 }
 
-func rotateLeft[V any](x *avlNode[V]) *avlNode[V] {
-	y := x.right
+func (t *AVL[V]) rotateLeft(x *avlNode[V]) *avlNode[V] {
+	y := t.own(x.right)
 	x.right = y.left
 	y.left = x
 	fix(x)
@@ -63,19 +89,19 @@ func rotateLeft[V any](x *avlNode[V]) *avlNode[V] {
 	return y
 }
 
-func rebalance[V any](n *avlNode[V]) *avlNode[V] {
+func (t *AVL[V]) rebalance(n *avlNode[V]) *avlNode[V] {
 	fix(n)
 	switch b := balanceOf(n); {
 	case b > 1:
 		if balanceOf(n.left) < 0 {
-			n.left = rotateLeft(n.left)
+			n.left = t.rotateLeft(t.own(n.left))
 		}
-		return rotateRight(n)
+		return t.rotateRight(n)
 	case b < -1:
 		if balanceOf(n.right) > 0 {
-			n.right = rotateRight(n.right)
+			n.right = t.rotateRight(t.own(n.right))
 		}
-		return rotateLeft(n)
+		return t.rotateLeft(n)
 	}
 	return n
 }
@@ -126,19 +152,24 @@ func (t *AVL[V]) Put(k relation.Tuple, v V) {
 
 func (t *AVL[V]) put(n *avlNode[V], k relation.Tuple, v V) (*avlNode[V], bool) {
 	if n == nil {
-		return &avlNode[V]{key: k, val: v, height: 1}, true
+		return &avlNode[V]{key: k, val: v, height: 1, owner: t.owner}, true
 	}
-	var inserted bool
 	switch c := k.Compare(n.key); {
 	case c < 0:
-		n.left, inserted = t.put(n.left, k, v)
+		left, inserted := t.put(n.left, k, v)
+		n = t.own(n)
+		n.left = left
+		return t.rebalance(n), inserted
 	case c > 0:
-		n.right, inserted = t.put(n.right, k, v)
+		right, inserted := t.put(n.right, k, v)
+		n = t.own(n)
+		n.right = right
+		return t.rebalance(n), inserted
 	default:
+		n = t.own(n)
 		n.val = v
 		return n, false
 	}
-	return rebalance(n), inserted
 }
 
 // Delete removes k.
@@ -155,14 +186,24 @@ func (t *AVL[V]) del(n *avlNode[V], k relation.Tuple) (*avlNode[V], bool) {
 	if n == nil {
 		return nil, false
 	}
-	var deleted bool
 	switch c := k.Compare(n.key); {
 	case c < 0:
-		n.left, deleted = t.del(n.left, k)
+		left, deleted := t.del(n.left, k)
+		if !deleted {
+			return n, false
+		}
+		n = t.own(n)
+		n.left = left
+		return t.rebalance(n), true
 	case c > 0:
-		n.right, deleted = t.del(n.right, k)
+		right, deleted := t.del(n.right, k)
+		if !deleted {
+			return n, false
+		}
+		n = t.own(n)
+		n.right = right
+		return t.rebalance(n), true
 	default:
-		deleted = true
 		switch {
 		case n.left == nil:
 			return n.right, true
@@ -174,11 +215,12 @@ func (t *AVL[V]) del(n *avlNode[V], k relation.Tuple) (*avlNode[V], bool) {
 			for succ.left != nil {
 				succ = succ.left
 			}
+			n = t.own(n)
 			n.key, n.val = succ.key, succ.val
 			n.right, _ = t.del(n.right, succ.key)
+			return t.rebalance(n), true
 		}
 	}
-	return rebalance(n), deleted
 }
 
 // Range visits entries in ascending key order. The tree must not be mutated
@@ -224,6 +266,16 @@ func (t *AVL[V]) Max() (relation.Tuple, V, bool) {
 		n = n.right
 	}
 	return n.key, n.val, true
+}
+
+// Clone returns an independent tree sharing every node with the receiver.
+// Both sides take fresh owner tokens, so each copies its own write paths
+// from the shared structure on demand (persistent-tree path copying).
+func (t *AVL[V]) Clone() Map[V] {
+	t.owner = new(avlOwner)
+	c := *t
+	c.owner = new(avlOwner)
+	return &c
 }
 
 // checkInvariant verifies AVL balance and BST ordering; used by tests.

@@ -1,0 +1,163 @@
+package dstruct
+
+// Clone contract tests: a clone and its receiver are fully independent —
+// mutations on either side, in any order, interleaved with structural
+// events (hash-table growth, AVL rebalancing, vector regrowth), never leak
+// into the other. The randomized differential drives both sides against
+// reference map oracles.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// snapshotOf captures a map's contents for later comparison.
+func snapshotOf(m Map[int]) map[string]int {
+	got := map[string]int{}
+	m.Range(func(k relation.Tuple, v int) bool {
+		got[k.ValuesKey()] = v
+		return true
+	})
+	return got
+}
+
+func sameContents(t *testing.T, kind Kind, label string, m Map[int], want map[string]int) {
+	t.Helper()
+	got := snapshotOf(m)
+	if len(got) != len(want) || m.Len() != len(want) {
+		t.Fatalf("%s/%s: %d entries (Len %d), want %d\n got %v\nwant %v",
+			kind, label, len(got), m.Len(), len(want), got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s/%s: key %s = %d, want %d", kind, label, k, got[k], v)
+		}
+	}
+}
+
+// TestCloneIndependence mutates the receiver after cloning and the clone
+// after cloning, in both directions, and checks neither side observes the
+// other's writes.
+func TestCloneIndependence(t *testing.T) {
+	for _, kind := range AllKinds() {
+		m := New[int](kind)
+		for i := int64(0); i < 64; i++ {
+			m.Put(key1(i), int(i))
+		}
+		before := snapshotOf(m)
+
+		c := m.Clone()
+		if c.Kind() != kind {
+			t.Fatalf("%s: clone Kind = %s", kind, c.Kind())
+		}
+		sameContents(t, kind, "clone/initial", c, before)
+
+		// Mutate the receiver: overwrites, deletes, and inserts that force
+		// structural churn (growth, rebalancing) over shared nodes.
+		for i := int64(0); i < 32; i++ {
+			m.Put(key1(i), int(1000+i))
+		}
+		for i := int64(32); i < 48; i++ {
+			m.Delete(key1(i))
+		}
+		for i := int64(64); i < 160; i++ {
+			m.Put(key1(i), int(i))
+		}
+		sameContents(t, kind, "clone/after-receiver-writes", c, before)
+
+		// Mutate the clone; the receiver's state must hold too.
+		afterRecv := snapshotOf(m)
+		for i := int64(48); i < 64; i++ {
+			c.Delete(key1(i))
+		}
+		for i := int64(200); i < 264; i++ {
+			c.Put(key1(i), int(i))
+		}
+		c.Put(key1(0), -1)
+		sameContents(t, kind, "receiver/after-clone-writes", m, afterRecv)
+
+		// And the clone's own writes landed.
+		if v, ok := c.Get(key1(0)); !ok || v != -1 {
+			t.Fatalf("%s: clone lost its own overwrite: %d %v", kind, v, ok)
+		}
+		if _, ok := c.Get(key1(50)); ok {
+			t.Fatalf("%s: clone still holds a key it deleted", kind)
+		}
+	}
+}
+
+// TestCloneChainsDifferential chains clones (clone of a clone, repeated
+// re-cloning of a mutated receiver) under a randomized schedule, comparing
+// every live copy against its own oracle at each step.
+func TestCloneChainsDifferential(t *testing.T) {
+	for _, kind := range AllKinds() {
+		rng := rand.New(rand.NewSource(7))
+		type pair struct {
+			m Map[int]
+			o map[string]int
+		}
+		live := []*pair{{m: New[int](kind), o: map[string]int{}}}
+		for step := 0; step < 2000; step++ {
+			p := live[rng.Intn(len(live))]
+			k := int64(rng.Intn(100))
+			switch op := rng.Intn(10); {
+			case op < 5:
+				v := rng.Intn(1 << 20)
+				p.m.Put(key1(k), v)
+				p.o[key1(k).ValuesKey()] = v
+			case op < 8:
+				del := p.m.Delete(key1(k))
+				_, want := p.o[key1(k).ValuesKey()]
+				if del != want {
+					t.Fatalf("%s step %d: Delete = %v, oracle %v", kind, step, del, want)
+				}
+				delete(p.o, key1(k).ValuesKey())
+			default:
+				if len(live) < 8 {
+					o2 := make(map[string]int, len(p.o))
+					for kk, vv := range p.o {
+						o2[kk] = vv
+					}
+					live = append(live, &pair{m: p.m.Clone(), o: o2})
+				}
+			}
+		}
+		for i, p := range live {
+			sameContents(t, kind, fmt.Sprintf("chain-%d", i), p.m, p.o)
+		}
+	}
+}
+
+// TestCloneKeepsCapabilities checks that clones remain usable through the
+// optional fast-path interfaces plan execution discovers by type assertion.
+func TestCloneKeepsCapabilities(t *testing.T) {
+	for _, kind := range AllKinds() {
+		m := New[int](kind)
+		for i := int64(0); i < 16; i++ {
+			m.Put(key1(i), int(i))
+		}
+		c := m.Clone()
+		if _, ok := m.(Ranger[int]); ok {
+			r, still := c.(Ranger[int])
+			if !still {
+				t.Fatalf("%s: clone lost RangeBetween", kind)
+			}
+			sum := 0
+			r.RangeBetween(key1(4), key1(7), func(k relation.Tuple, v int) bool {
+				sum += v
+				return true
+			})
+			if sum != 4+5+6+7 {
+				t.Fatalf("%s: clone RangeBetween sum = %d", kind, sum)
+			}
+		}
+		if _, ok := m.(Entries[int]); ok {
+			if _, still := c.(Entries[int]); !still {
+				t.Fatalf("%s: clone lost AppendEntries", kind)
+			}
+		}
+	}
+}

@@ -109,6 +109,24 @@ func (l *DList[V]) RemoveEntry(e *DListEntry[V]) {
 	l.n--
 }
 
+// Clone returns an independent copy preserving insertion order. The copy
+// is eager: entries embed prev/next pointers into this list's sentinel, so
+// no node can be shared between two lists (same deal as intrusive-list
+// copies in the paper's C++ library). Entry handles held against the
+// receiver do not unlink from the clone.
+func (l *DList[V]) Clone() Map[V] {
+	c := NewDList[V]()
+	for e := l.sentinel.next; e != &l.sentinel; e = e.next {
+		ne := &DListEntry[V]{Key: e.Key, Val: e.Val, list: c}
+		ne.prev = c.sentinel.prev
+		ne.next = &c.sentinel
+		ne.prev.next = ne
+		c.sentinel.prev = ne
+		c.n++
+	}
+	return c
+}
+
 // Range visits entries in insertion order.
 func (l *DList[V]) Range(f func(k relation.Tuple, v V) bool) {
 	for e := l.sentinel.next; e != &l.sentinel; {
@@ -187,6 +205,21 @@ func (l *SList[V]) Delete(k relation.Tuple) bool {
 		}
 	}
 	return false
+}
+
+// Clone returns an independent copy preserving node order. Eager like
+// DList.Clone: sharing a spine whose Delete splices next pointers in place
+// would leak writes between the copies, and Put/Delete already cost a scan,
+// so the copy changes no asymptotics.
+func (l *SList[V]) Clone() Map[V] {
+	c := &SList[V]{n: l.n}
+	tail := &c.head
+	for n := l.head; n != nil; n = n.next {
+		nn := &slistNode[V]{key: n.key, val: n.val}
+		*tail = nn
+		tail = &nn.next
+	}
+	return c
 }
 
 // Range visits entries from most recently inserted to least.

@@ -82,6 +82,17 @@ type Map[V any] interface {
 	Len() int
 	// Range visits entries until f returns false.
 	Range(f func(k relation.Tuple, v V) bool)
+	// Clone returns an independent copy of the map: mutating either side
+	// after the call never changes what the other side observes. Structures
+	// with immutable-friendly layouts (the AVL tree, the hash table, the
+	// vector, the sorted array) share substructure and copy lazily on the
+	// first write to each shared piece, so Clone itself is cheap; list-shaped
+	// structures copy their spines eagerly. The clone is the same concrete
+	// kind as the receiver, preserving optional capabilities (Ranger,
+	// Entries). Clone is the primitive under copy-on-write versioning
+	// (instance.BeginVersion): a frozen version's maps are never mutated, so
+	// readers may traverse them while the clone absorbs writes.
+	Clone() Map[V]
 	// Kind identifies the underlying structure.
 	Kind() Kind
 }

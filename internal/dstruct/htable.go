@@ -11,14 +11,25 @@ import (
 type HTable[V any] struct {
 	buckets []*htNode[V]
 	n       int
+
+	// Copy-on-write state. After Clone the bucket slice is shared between
+	// both tables (sharedBuckets) and every node carries a token neither
+	// side owns, so the first write to a bucket copies the slice and that
+	// bucket's chain. Before any Clone both owner fields are nil and writes
+	// mutate in place at no extra cost.
+	owner         *htOwner
+	sharedBuckets bool
 }
 
+type htOwner struct{ _ byte }
+
 type htNode[V any] struct {
-	key  relation.Tuple
-	enc  string // cached ValuesKey of key
-	hash uint64
-	val  V
-	next *htNode[V]
+	key   relation.Tuple
+	enc   string // cached ValuesKey of key
+	hash  uint64
+	val   V
+	next  *htNode[V]
+	owner *htOwner
 }
 
 const htInitialBuckets = 8
@@ -95,6 +106,33 @@ func (h *HTable[V]) GetByValue(v value.Value) (V, bool) {
 	return zero, false
 }
 
+// ownSlice makes the bucket slice itself writable, copying it if it is
+// still shared with a clone.
+func (h *HTable[V]) ownSlice() {
+	if h.sharedBuckets {
+		h.buckets = append([]*htNode[V](nil), h.buckets...)
+		h.sharedBuckets = false
+	}
+}
+
+// ownBucket makes bucket b's slot and every node of its chain mutable by
+// this table — shared nodes are copied and re-stamped — and returns the
+// chain head. Chains average a single node (the table doubles at load
+// factor 1), so this copies O(1) nodes in expectation.
+func (h *HTable[V]) ownBucket(b int) *htNode[V] {
+	h.ownSlice()
+	p := &h.buckets[b]
+	for *p != nil {
+		if n := *p; n.owner != h.owner {
+			c := *n
+			c.owner = h.owner
+			*p = &c
+		}
+		p = &(*p).next
+	}
+	return h.buckets[b]
+}
+
 // Put inserts or replaces the value for k.
 func (h *HTable[V]) Put(k relation.Tuple, v V) {
 	enc := k.ValuesKey()
@@ -102,15 +140,21 @@ func (h *HTable[V]) Put(k relation.Tuple, v V) {
 	b := h.bucket(hash)
 	for n := h.buckets[b]; n != nil; n = n.next {
 		if n.hash == hash && n.enc == enc {
-			n.val = v
-			return
+			for m := h.ownBucket(b); m != nil; m = m.next {
+				if m.hash == hash && m.enc == enc {
+					m.val = v
+					return
+				}
+			}
+			return // unreachable: the owned chain holds the same keys
 		}
 	}
+	h.ownSlice()
 	if h.n >= len(h.buckets) {
 		h.grow()
 		b = h.bucket(hash)
 	}
-	h.buckets[b] = &htNode[V]{key: k, enc: enc, hash: hash, val: v, next: h.buckets[b]}
+	h.buckets[b] = &htNode[V]{key: k, enc: enc, hash: hash, val: v, next: h.buckets[b], owner: h.owner}
 	h.n++
 }
 
@@ -120,9 +164,17 @@ func (h *HTable[V]) grow() {
 	for _, n := range old {
 		for n != nil {
 			next := n.next
-			b := h.bucket(n.hash)
-			n.next = h.buckets[b]
-			h.buckets[b] = n
+			m := n
+			if m.owner != h.owner {
+				// Relinking mutates next pointers, so shared nodes are
+				// copied into this table's ownership as they move over.
+				c := *n
+				c.owner = h.owner
+				m = &c
+			}
+			b := h.bucket(m.hash)
+			m.next = h.buckets[b]
+			h.buckets[b] = m
 			n = next
 		}
 	}
@@ -133,6 +185,17 @@ func (h *HTable[V]) Delete(k relation.Tuple) bool {
 	enc := k.ValuesKey()
 	hash := fnv1a(enc)
 	b := h.bucket(hash)
+	present := false
+	for n := h.buckets[b]; n != nil; n = n.next {
+		if n.hash == hash && n.enc == enc {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return false
+	}
+	h.ownBucket(b)
 	for p := &h.buckets[b]; *p != nil; p = &(*p).next {
 		if (*p).hash == hash && (*p).enc == enc {
 			*p = (*p).next
@@ -141,6 +204,16 @@ func (h *HTable[V]) Delete(k relation.Tuple) bool {
 		}
 	}
 	return false
+}
+
+// Clone returns an independent table sharing the bucket slice and every
+// chain node with the receiver; both sides copy buckets they later write.
+func (h *HTable[V]) Clone() Map[V] {
+	h.owner = new(htOwner)
+	h.sharedBuckets = true
+	c := *h
+	c.owner = new(htOwner)
+	return &c
 }
 
 // Range visits entries in bucket order. Entries may be deleted during

@@ -140,6 +140,18 @@ func (s *SkipList[V]) Delete(k relation.Tuple) bool {
 	return true
 }
 
+// Clone returns an independent copy: an eager rebuild in key order on a
+// fresh deterministic tower generator. Towers embed mutable next arrays at
+// every level, so lazy sharing would need per-level ownership tracking for
+// a structure whose whole point is simplicity.
+func (s *SkipList[V]) Clone() Map[V] {
+	c := NewSkipList[V]()
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		c.Put(n.key, n.val)
+	}
+	return c
+}
+
 // Range visits entries in ascending key order.
 func (s *SkipList[V]) Range(f func(k relation.Tuple, v V) bool) {
 	for n := s.head.next[0]; n != nil; {

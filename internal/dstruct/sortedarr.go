@@ -12,8 +12,9 @@ import (
 // ordered. It is the right structure for small, read-mostly maps where
 // pointer-chasing structures waste memory.
 type SortedArr[V any] struct {
-	keys []relation.Tuple
-	vals []V
+	keys   []relation.Tuple
+	vals   []V
+	shared bool // both slices are shared with a Clone; copy before any write
 }
 
 // NewSortedArr returns an empty sorted array.
@@ -51,13 +52,26 @@ func (s *SortedArr[V]) GetByValue(v value.Value) (V, bool) {
 	return zero, false
 }
 
+// ownSlices makes the parallel arrays writable, copying both if a Clone
+// still shares them (in-place shifts and truncations would otherwise leak
+// through the shared backing).
+func (s *SortedArr[V]) ownSlices() {
+	if s.shared {
+		s.keys = append([]relation.Tuple(nil), s.keys...)
+		s.vals = append([]V(nil), s.vals...)
+		s.shared = false
+	}
+}
+
 // Put inserts or replaces the value for k.
 func (s *SortedArr[V]) Put(k relation.Tuple, v V) {
 	i, ok := s.search(k)
 	if ok {
+		s.ownSlices()
 		s.vals[i] = v
 		return
 	}
+	s.ownSlices()
 	s.keys = append(s.keys, relation.Tuple{})
 	s.vals = append(s.vals, v)
 	copy(s.keys[i+1:], s.keys[i:])
@@ -72,9 +86,18 @@ func (s *SortedArr[V]) Delete(k relation.Tuple) bool {
 	if !ok {
 		return false
 	}
+	s.ownSlices()
 	s.keys = append(s.keys[:i], s.keys[i+1:]...)
 	s.vals = append(s.vals[:i], s.vals[i+1:]...)
 	return true
+}
+
+// Clone returns an independent sorted array sharing both backing arrays
+// with the receiver; whichever side writes first copies them.
+func (s *SortedArr[V]) Clone() Map[V] {
+	s.shared = true
+	c := *s
+	return &c
 }
 
 // Range visits entries in ascending key order. Snapshot semantics: entries

@@ -24,6 +24,7 @@ type Vector[V any] struct {
 	slots   []vectorSlot[V]
 	n       int
 	started bool
+	shared  bool // slots are shared with a Clone; copy before writing in place
 }
 
 type vectorSlot[V any] struct {
@@ -100,6 +101,7 @@ func (v *Vector[V]) Put(k relation.Tuple, v2 V) {
 		copy(grown[-i:], v.slots)
 		v.slots = grown
 		v.base = key
+		v.shared = false
 		i = 0
 	case i >= int64(len(v.slots)):
 		if i+1 > vectorMaxSpan {
@@ -108,11 +110,23 @@ func (v *Vector[V]) Put(k relation.Tuple, v2 V) {
 		grown := make([]vectorSlot[V], i+1)
 		copy(grown, v.slots)
 		v.slots = grown
+		v.shared = false
+	default:
+		v.ownSlots()
 	}
 	if !v.slots[i].present {
 		v.n++
 	}
 	v.slots[i] = vectorSlot[V]{val: v2, present: true}
+}
+
+// ownSlots makes the slot array writable, copying it if a Clone still
+// shares it. The grow paths allocate fresh arrays and need no copy.
+func (v *Vector[V]) ownSlots() {
+	if v.shared {
+		v.slots = append([]vectorSlot[V](nil), v.slots...)
+		v.shared = false
+	}
 }
 
 // Delete removes k. The array never shrinks; slots are cheap.
@@ -124,10 +138,19 @@ func (v *Vector[V]) Delete(k relation.Tuple) bool {
 	if i < 0 || i >= int64(len(v.slots)) || !v.slots[i].present {
 		return false
 	}
+	v.ownSlots()
 	var zero V
 	v.slots[i] = vectorSlot[V]{val: zero}
 	v.n--
 	return true
+}
+
+// Clone returns an independent vector sharing the slot array with the
+// receiver; whichever side writes first copies it.
+func (v *Vector[V]) Clone() Map[V] {
+	v.shared = true
+	c := *v
+	return &c
 }
 
 // Range visits present entries in ascending key order. Vector cannot

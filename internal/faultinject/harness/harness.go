@@ -13,6 +13,7 @@ package harness
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -26,11 +27,21 @@ import (
 	"repro/internal/relation"
 )
 
+// A Mutator is the mutation surface the corpus closures drive. Both the
+// single-threaded *core.Relation and the MVCC *core.SyncRelation satisfy
+// it, so every corpus case exercises the undo-log rollback path and the
+// copy-on-write drop path with the same operations.
+type Mutator interface {
+	Insert(t relation.Tuple) error
+	Remove(pat relation.Tuple) (int, error)
+	Update(s, u relation.Tuple) (int, error)
+}
+
 // A Mutation is one operation under test; Run returns whatever the public
 // API returned.
 type Mutation struct {
 	Name string
-	Run  func(r *core.Relation) error
+	Run  func(r Mutator) error
 }
 
 // A Case is one corpus entry: how to build the relation, what to seed it
@@ -73,22 +84,22 @@ func schedulerCase() Case {
 		Decomp: paperex.SchedulerDecomp,
 		Seed:   seed,
 		Muts: []Mutation{
-			{"insert", func(r *core.Relation) error {
+			{"insert", func(r Mutator) error {
 				return r.Insert(paperex.SchedulerTuple(3, 1, paperex.StateR, 2))
 			}},
-			{"remove-point", func(r *core.Relation) error {
+			{"remove-point", func(r Mutator) error {
 				_, err := r.Remove(seed[0])
 				return err
 			}},
-			{"remove-pattern", func(r *core.Relation) error {
+			{"remove-pattern", func(r Mutator) error {
 				_, err := r.Remove(relation.NewTuple(bi("ns", 1)))
 				return err
 			}},
-			{"update-inplace", func(r *core.Relation) error {
+			{"update-inplace", func(r Mutator) error {
 				_, err := r.Update(relation.NewTuple(bi("ns", 1), bi("pid", 1)), relation.NewTuple(bi("cpu", 9)))
 				return err
 			}},
-			{"update-replace", func(r *core.Relation) error {
+			{"update-replace", func(r Mutator) error {
 				_, err := r.Update(relation.NewTuple(bi("ns", 1), bi("pid", 1)), relation.NewTuple(bi("state", paperex.StateR)))
 				return err
 			}},
@@ -117,18 +128,18 @@ func graphCase(name string, d func() *decomp.Decomp) Case {
 		Decomp: d,
 		Seed:   seed,
 		Muts: []Mutation{
-			{"insert", func(r *core.Relation) error {
+			{"insert", func(r Mutator) error {
 				return r.Insert(paperex.EdgeTuple(3, 1, 13))
 			}},
-			{"remove-point", func(r *core.Relation) error {
+			{"remove-point", func(r Mutator) error {
 				_, err := r.Remove(seed[0])
 				return err
 			}},
-			{"remove-pattern", func(r *core.Relation) error {
+			{"remove-pattern", func(r Mutator) error {
 				_, err := r.Remove(relation.NewTuple(bi("src", 1)))
 				return err
 			}},
-			{"update-inplace", func(r *core.Relation) error {
+			{"update-inplace", func(r Mutator) error {
 				_, err := r.Update(relation.NewTuple(bi("src", 2), bi("dst", 3)), relation.NewTuple(bi("weight", 99)))
 				return err
 			}},
@@ -166,16 +177,16 @@ func deepCase() Case {
 		Decomp: dcmp,
 		Seed:   seed,
 		Muts: []Mutation{
-			{"insert", func(r *core.Relation) error { return r.Insert(tup(2, 2, 2, 9)) }},
-			{"remove-point", func(r *core.Relation) error {
+			{"insert", func(r Mutator) error { return r.Insert(tup(2, 2, 2, 9)) }},
+			{"remove-point", func(r Mutator) error {
 				_, err := r.Remove(seed[0])
 				return err
 			}},
-			{"remove-pattern", func(r *core.Relation) error {
+			{"remove-pattern", func(r Mutator) error {
 				_, err := r.Remove(relation.NewTuple(bi("a", 1), bi("b", 1)))
 				return err
 			}},
-			{"update-inplace", func(r *core.Relation) error {
+			{"update-inplace", func(r Mutator) error {
 				_, err := r.Update(relation.NewTuple(bi("a", 1), bi("b", 1), bi("c", 1)), relation.NewTuple(bi("d", 42)))
 				return err
 			}},
@@ -218,12 +229,12 @@ func twoKeyCase() Case {
 		Decomp: dcmp,
 		Seed:   seed,
 		Muts: []Mutation{
-			{"insert", func(r *core.Relation) error { return r.Insert(tup(3, 7, 30)) }},
-			{"remove-point", func(r *core.Relation) error {
+			{"insert", func(r Mutator) error { return r.Insert(tup(3, 7, 30)) }},
+			{"remove-point", func(r Mutator) error {
 				_, err := r.Remove(seed[0])
 				return err
 			}},
-			{"update-replace", func(r *core.Relation) error {
+			{"update-replace", func(r Mutator) error {
 				_, err := r.Update(relation.NewTuple(bi("k1", 1)), relation.NewTuple(bi("k2", 9)))
 				return err
 			}},
@@ -320,6 +331,95 @@ func Exhaust(t *testing.T, p *faultinject.Plane, c Case) {
 					}
 					if werr := r.Instance().CheckWF(); werr != nil {
 						t.Fatalf("step %d/%v: retry left instance ill-formed: %v", step, mode, werr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ExhaustCOW runs the exhaustive regime against the MVCC tier: the case's
+// relation wrapped in core.NewSync, so every mutation builds a copy-on-write
+// fork and publishes it atomically. The atomicity contract sharpens to
+// pointer identity: after a failed mutation the published snapshot must be
+// EXACTLY the pre-mutation *core.Relation — always either the old version or
+// the (never-published) new one, never a torn hybrid — with the version
+// counter unchanged and the published instance still well-formed with α
+// equal to the pre-mutation oracle. The clone and link steps of the COW
+// spine walk are themselves injection points (instance.cow.clone,
+// instance.cow.link), so faults land inside fork construction as well as
+// inside the underlying data structures.
+func ExhaustCOW(t *testing.T, p *faultinject.Plane, c Case) {
+	for _, mu := range c.Muts {
+		t.Run(mu.Name, func(t *testing.T) {
+			tr := core.NewSync(c.build(t))
+			p.Reset()
+			p.Trace(true)
+			if err := mu.Run(tr); err != nil {
+				t.Fatalf("trace run: %v", err)
+			}
+			pts := p.Points()
+			p.Trace(false)
+			p.Reset()
+			if len(pts) == 0 {
+				t.Fatal("mutation passed no injection points")
+			}
+			cow := 0
+			for _, pt := range pts {
+				if strings.HasPrefix(pt.Site, "instance.cow.") {
+					cow++
+				}
+			}
+			if cow == 0 {
+				t.Fatal("mutation passed no instance.cow.* points — injection is not reaching the copy-on-write fork path")
+			}
+			for step := 1; step <= len(pts); step++ {
+				for _, mode := range []faultinject.Mode{faultinject.Error, faultinject.Panic} {
+					if mode == faultinject.Error && !pts[step-1].CanError {
+						continue
+					}
+					s := core.NewSync(c.build(t))
+					pre := s.Snapshot()
+					preVer := s.Version()
+					oracle := pre.Instance().Relation()
+					p.Reset()
+					p.Arm(int64(step), mode)
+					err := mu.Run(s)
+					fired := len(p.Fired()) > 0
+					p.Disarm()
+					if !fired {
+						t.Fatalf("step %d/%v: fault did not fire", step, mode)
+					}
+					if err == nil {
+						t.Fatalf("step %d/%v: injected fault surfaced as success", step, mode)
+					}
+					// The torn-hybrid check: failure drops the fork before
+					// publication, so the handle must be the same instance,
+					// pointer-identical, at the same version.
+					if got := s.Snapshot(); got != pre {
+						t.Fatalf("step %d/%v: failed %s published a new version", step, mode, mu.Name)
+					}
+					if got := s.Version(); got != preVer {
+						t.Fatalf("step %d/%v: version advanced %d -> %d across failed %s", step, mode, preVer, got, mu.Name)
+					}
+					if s.Poisoned() {
+						t.Fatalf("step %d/%v: fault poisoned the MVCC tier (the dropped fork should absorb it)", step, mode)
+					}
+					if werr := pre.Instance().CheckWF(); werr != nil {
+						t.Fatalf("step %d/%v: published instance ill-formed after drop: %v", step, mode, werr)
+					}
+					if !pre.Instance().Relation().Equal(oracle) {
+						t.Fatalf("step %d/%v: α of the published snapshot changed across failed %s", step, mode, mu.Name)
+					}
+					if rerr := mu.Run(s); rerr != nil {
+						t.Fatalf("step %d/%v: retry: %v", step, mode, rerr)
+					}
+					post := s.Snapshot()
+					if post == pre {
+						t.Fatalf("step %d/%v: successful retry published no new version", step, mode)
+					}
+					if werr := post.Instance().CheckWF(); werr != nil {
+						t.Fatalf("step %d/%v: retry left published instance ill-formed: %v", step, mode, werr)
 					}
 				}
 			}

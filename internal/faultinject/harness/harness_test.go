@@ -32,6 +32,19 @@ func TestExhaustiveInjection(t *testing.T) {
 	}
 }
 
+// TestExhaustiveCOWInjection runs the same corpus through the MVCC tier:
+// the failed mutation's fork must be dropped wholesale, leaving the
+// published snapshot pointer-identical to the pre-mutation version — never
+// a torn hybrid — at the same version number, and a retry must publish.
+func TestExhaustiveCOWInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			ExhaustCOW(t, p, c)
+		})
+	}
+}
+
 // TestRandomizedSchedules replays seed-driven op/fault schedules against a
 // mirror oracle; raise -faultseeds (see `make faultinject`) for a longer
 // soak.

@@ -31,7 +31,7 @@ func (in *Instance) Insert(t relation.Tuple) (bool, error) {
 	if err := in.planInsert(t); err != nil {
 		return false, err
 	}
-	if err := in.applyInsert(); err != nil {
+	if err := in.applyInsert(t); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -89,13 +89,13 @@ func (in *Instance) planInsert(t relation.Tuple) (err error) {
 		for _, uu := range w.units {
 			want := t.Project(uu.u.Cols)
 			if fresh {
-				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: want})
+				scr.units = append(scr.units, unitWrite{wi: i, slot: uu.slot, val: want})
 				continue
 			}
 			got := n.slots[uu.slot].unit
 			switch {
 			case got.Len() == 0:
-				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: want, logUndo: true})
+				scr.units = append(scr.units, unitWrite{wi: i, slot: uu.slot, val: want, logUndo: true})
 			case !got.Equal(want):
 				return fmt.Errorf("instance: insert of %v violates the functional dependencies: node %s already holds %v", t, in.updWalk[i].name, got)
 			}
@@ -115,16 +115,18 @@ func (in *Instance) planInsert(t relation.Tuple) (err error) {
 				continue
 			}
 		}
-		scr.links = append(scr.links, linkWrite{parent: parent, slot: le.slot, key: k, child: child})
+		scr.links = append(scr.links, linkWrite{pi: le.parent, slot: le.slot, key: k, ci: le.target})
 	}
 	return nil
 }
 
-// applyInsert executes the planned writes. Unit writes into pre-existing
-// nodes are logged for undo; writes into nodes this plan allocated are not
-// (an unlinked node is garbage either way). Each link is logged so rollback
-// unlinks it and drops the reference it added.
-func (in *Instance) applyInsert() (err error) {
+// applyInsert executes the planned writes for t. Unit writes into
+// pre-existing nodes are logged for undo; writes into nodes this plan
+// allocated are not (an unlinked node is garbage either way). Each link is
+// logged so rollback unlinks it and drops the reference it added. On a cow
+// fork the undo log is skipped entirely — the spine is cloned up front and
+// a failed apply abandons the whole fork instead of rolling back.
+func (in *Instance) applyInsert(t relation.Tuple) (err error) {
 	if in.met != nil {
 		in.met.MutApplies.Add(1)
 	}
@@ -136,28 +138,37 @@ func (in *Instance) applyInsert() (err error) {
 	}
 	in.undo.reset()
 	defer in.containApply()
+	if in.cow {
+		if ferr := in.cowSpine(t); ferr != nil {
+			return ferr
+		}
+	}
 	for i := range in.scr.units {
 		uw := &in.scr.units[i]
+		n := in.scr.nodes[uw.wi]
 		if in.fi != nil {
 			if ferr := in.fi.Point("instance.insert.unit", true); ferr != nil {
 				return in.abort(ferr)
 			}
 		}
-		if uw.logUndo {
-			in.undo.pushUnit(uw.n, uw.slot, uw.n.slots[uw.slot].unit)
+		if uw.logUndo && !in.cow {
+			in.undo.pushUnit(n, uw.slot, n.slots[uw.slot].unit)
 		}
-		uw.n.slots[uw.slot].unit = uw.val
+		n.slots[uw.slot].unit = uw.val
 	}
 	for i := range in.scr.links {
 		lw := &in.scr.links[i]
+		parent, child := in.scr.nodes[lw.pi], in.scr.nodes[lw.ci]
 		if in.fi != nil {
 			if ferr := in.fi.Point("instance.insert.link", true); ferr != nil {
 				return in.abort(ferr)
 			}
 		}
-		lw.parent.slots[lw.slot].m.Put(lw.key, lw.child)
-		lw.child.refs++
-		in.undo.pushUnlink(lw.parent, lw.slot, lw.key, lw.child)
+		parent.slots[lw.slot].m.Put(lw.key, child)
+		child.refs++
+		if !in.cow {
+			in.undo.pushUnlink(parent, lw.slot, lw.key, child)
+		}
 	}
 	if in.fi != nil {
 		if ferr := in.fi.Point("instance.insert.commit", true); ferr != nil {

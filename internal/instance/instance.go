@@ -31,6 +31,13 @@ type Node struct {
 	Var   string
 	slots []slot
 	refs  int // number of parent map entries pointing at this node
+
+	// epoch is the instance version that allocated or cloned this node.
+	// Copy-on-write applies (see cowSpine) skip nodes whose epoch matches
+	// the mutating version: those are private to the unpublished version and
+	// may be mutated in place, so a multi-tuple operation clones each spine
+	// node at most once. Always 0 outside versioned instances.
+	epoch uint64
 }
 
 type slot struct {
@@ -97,6 +104,15 @@ type Instance struct {
 	fi   *faultinject.Plane
 	torn bool
 
+	// ver and cow are the multi-version state. BeginVersion forks an
+	// unpublished successor with cow set: its apply phases clone every
+	// pre-existing node they would write (cowSpine) instead of logging undo
+	// entries, so a failure simply abandons the fork and the predecessor —
+	// still published, never touched — stays live. ver counts forks along
+	// the lineage and stamps Node.epoch.
+	ver uint64
+	cow bool
+
 	// met and tr are the observability hooks (see SetObs): the two-phase
 	// mutation counters and span events of package obs. Both nil by
 	// default — the disabled cost is one nil check per phase.
@@ -121,19 +137,22 @@ type linkEdge struct {
 }
 
 // unitWrite and linkWrite are planned writes: the output of a planning pass,
-// the input of an apply pass.
+// the input of an apply pass. Nodes are referenced by walk index, not by
+// pointer: a copy-on-write apply replaces scr.nodes entries with clones
+// between planning and writing, and index-based plans follow the
+// replacement for free.
 type unitWrite struct {
-	n       *Node
+	wi      int // walk index of the node written
 	slot    int
 	val     relation.Tuple
 	logUndo bool // existing node: log the previous unit for rollback
 }
 
 type linkWrite struct {
-	parent *Node
-	slot   int
-	key    relation.Tuple
-	child  *Node
+	pi   int // walk index of the parent node holding the map
+	slot int
+	key  relation.Tuple
+	ci   int // walk index of the child the entry points at
 }
 
 // mutScratch is the reusable planning buffer: nodes and fresh are indexed by
@@ -291,7 +310,7 @@ func (in *Instance) Len() int { return in.count }
 
 func (in *Instance) newNode(v string) *Node {
 	l := in.layouts[v]
-	n := &Node{Var: v, slots: make([]slot, len(l.prims))}
+	n := &Node{Var: v, slots: make([]slot, len(l.prims)), epoch: in.ver}
 	for i, p := range l.prims {
 		if e, ok := p.(*decomp.MapEdge); ok {
 			n.slots[i].m = dstruct.New[*Node](e.DS)

@@ -88,9 +88,18 @@ func (in *Instance) applyRemove(t relation.Tuple) (err error) {
 	}
 	in.undo.reset()
 	defer in.containApply()
+	if in.cow {
+		if ferr := in.cowSpine(t); ferr != nil {
+			return ferr
+		}
+	}
 	scr := &in.scr
 
-	// Break every edge crossing the cut.
+	// Break every edge crossing the cut. On a cow fork the subtree below
+	// the cut needs no release walk: breaking the crossing edges already
+	// makes it unreachable from this version, and the predecessor version
+	// still reaches it untouched — the GC reclaims it when the predecessor
+	// is dropped.
 	for _, le := range in.rmBreaks {
 		parent := scr.nodes[le.parent]
 		m := parent.slots[le.slot].m
@@ -102,8 +111,10 @@ func (in *Instance) applyRemove(t relation.Tuple) (err error) {
 		}
 		if child, ok := m.Get(k); ok {
 			m.Delete(k)
-			in.undo.pushRelink(parent, le.slot, k, child)
-			in.release(child)
+			if !in.cow {
+				in.undo.pushRelink(parent, le.slot, k, child)
+				in.release(child)
+			}
 		}
 	}
 
@@ -127,8 +138,10 @@ func (in *Instance) applyRemove(t relation.Tuple) (err error) {
 					}
 					m.Delete(k)
 					child.refs--
-					in.undo.pushRef(child)
-					in.undo.pushRelink(pn, ue.slot, k, child)
+					if !in.cow {
+						in.undo.pushRef(child)
+						in.undo.pushRelink(pn, ue.slot, k, child)
+					}
 				}
 			}
 		}
@@ -193,7 +206,7 @@ func (in *Instance) UpdateInPlace(t, u relation.Tuple) (bool, error) {
 	if err := in.planUpdate(t, u); err != nil {
 		return false, err
 	}
-	if err := in.applyUpdate(); err != nil {
+	if err := in.applyUpdate(t); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -242,18 +255,20 @@ func (in *Instance) planUpdate(t, u relation.Tuple) (err error) {
 			case uu.u.Cols.Equal(udom):
 				// The update binds exactly this unit's columns: the merged
 				// unit is u itself (right bias), no merge or projection.
-				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: u, logUndo: true})
+				scr.units = append(scr.units, unitWrite{wi: i, slot: uu.slot, val: u, logUndo: true})
 			case uu.u.Cols.Intersects(udom):
 				merged := n.slots[uu.slot].unit.Merge(u.Project(uu.u.Cols))
-				scr.units = append(scr.units, unitWrite{n: n, slot: uu.slot, val: merged, logUndo: true})
+				scr.units = append(scr.units, unitWrite{wi: i, slot: uu.slot, val: merged, logUndo: true})
 			}
 		}
 	}
 	return nil
 }
 
-// applyUpdate writes the planned unit values, logging the previous tuples.
-func (in *Instance) applyUpdate() (err error) {
+// applyUpdate writes the planned unit values for the tuple located by t,
+// logging the previous tuples (or cloning the spine instead, on a cow
+// fork).
+func (in *Instance) applyUpdate(t relation.Tuple) (err error) {
 	if in.met != nil {
 		in.met.MutApplies.Add(1)
 	}
@@ -262,15 +277,23 @@ func (in *Instance) applyUpdate() (err error) {
 	}
 	in.undo.reset()
 	defer in.containApply()
+	if in.cow {
+		if ferr := in.cowSpine(t); ferr != nil {
+			return ferr
+		}
+	}
 	for i := range in.scr.units {
 		uw := &in.scr.units[i]
+		n := in.scr.nodes[uw.wi]
 		if in.fi != nil {
 			if ferr := in.fi.Point("instance.update.unit", true); ferr != nil {
 				return in.abort(ferr)
 			}
 		}
-		in.undo.pushUnit(uw.n, uw.slot, uw.n.slots[uw.slot].unit)
-		uw.n.slots[uw.slot].unit = uw.val
+		if !in.cow {
+			in.undo.pushUnit(n, uw.slot, n.slots[uw.slot].unit)
+		}
+		n.slots[uw.slot].unit = uw.val
 	}
 	in.undo.reset()
 	return nil

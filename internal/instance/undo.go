@@ -96,8 +96,13 @@ func (u *undoLog) rollback() (err error) {
 
 // abort is the error exit of an apply phase: it rolls the recorded writes
 // back and returns the cause. If rollback itself fails the instance is
-// marked torn and the returned error wraps ErrTorn.
+// marked torn and the returned error wraps ErrTorn. A cow fork has nothing
+// to roll back — its writes touched only nodes private to the fork, and
+// the engine drops the whole fork on error — so it can never tear.
 func (in *Instance) abort(cause error) error {
+	if in.cow {
+		return cause
+	}
 	rerr := in.rollbackCounted()
 	if rerr != nil {
 		in.torn = true
@@ -128,8 +133,10 @@ func (in *Instance) rollbackCounted() error {
 // the instance is already restored — or flagged torn when restoring failed.
 func (in *Instance) containApply() {
 	if p := recover(); p != nil {
-		if rerr := in.rollbackCounted(); rerr != nil {
-			in.torn = true
+		if !in.cow {
+			if rerr := in.rollbackCounted(); rerr != nil {
+				in.torn = true
+			}
 		}
 		panic(p)
 	}

@@ -1,0 +1,103 @@
+package instance
+
+// Multi-version concurrency support. A versioned instance is an immutable
+// published snapshot: the engine tiers point readers at it through an
+// atomic pointer and never mutate it again. Writers fork the next version
+// with BeginVersion and run the ordinary two-phase mutations on the fork;
+// with cow set, each apply phase first clones the spine of nodes it would
+// write (cowSpine), mutates only the clones, and leaves the predecessor's
+// node graph bit-for-bit intact. Publishing is the engine's atomic store;
+// dropping a failed fork is garbage collection. Unreferenced versions and
+// the nodes only they reach are reclaimed by the Go GC — there is no epoch
+// tracking or reader registration, which is what lets a streaming query
+// callback mutate the relation it is iterating without deadlock.
+
+import (
+	"repro/internal/relation"
+)
+
+// BeginVersion forks an unpublished successor version of the instance. The
+// fork shares the entire node graph, the layouts, and the per-mutation
+// scratch buffers with its predecessor (writers are serialized by the
+// engine, and a published predecessor never mutates again, so sharing the
+// scratch is safe); its mutations run copy-on-write.
+func (in *Instance) BeginVersion() *Instance {
+	c := *in
+	c.cow = true
+	c.ver = in.ver + 1
+	return &c
+}
+
+// Version returns the instance's version number: 0 for a never-forked
+// instance, and the fork count along the lineage otherwise.
+func (in *Instance) Version() uint64 { return in.ver }
+
+// COW reports whether the instance mutates copy-on-write — true on forks
+// made by BeginVersion, false on directly-mutated instances.
+func (in *Instance) COW() bool { return in.cow }
+
+// cowNode clones one node: units are copied (tuples are immutable), maps
+// are forked with dstruct.Clone (shared substructure, copied lazily on
+// write), and the clone is stamped with the mutating version's epoch.
+func (in *Instance) cowNode(n *Node) *Node {
+	c := &Node{Var: n.Var, refs: n.refs, epoch: in.ver, slots: make([]slot, len(n.slots))}
+	maps := 0
+	for i := range n.slots {
+		c.slots[i].unit = n.slots[i].unit
+		if m := n.slots[i].m; m != nil {
+			c.slots[i].m = m.Clone()
+			maps++
+		}
+	}
+	if in.met != nil {
+		in.met.CowNodeClones.Add(1)
+		in.met.CowMapClones.Add(uint64(maps))
+	}
+	return c
+}
+
+// cowSpine runs at the head of every apply phase of a cow instance: it
+// replaces each located, still-shared node of the mutation plan (the
+// "spine" — root first, so parents are cloned before their children) with
+// a private clone and redirects every in-edge entry of already-cloned
+// parents from the shared node to the clone. t is the tuple driving the
+// mutation; it binds every map-edge key on the spine, which is what lets
+// the redirect find the parent entries without a scan. After cowSpine the
+// plan's walk indices resolve to the clones, so the apply writes touch no
+// node the predecessor version can reach.
+func (in *Instance) cowSpine(t relation.Tuple) error {
+	scr := &in.scr
+	for i := range scr.nodes {
+		n := scr.nodes[i]
+		if n == nil || scr.fresh[i] || n.epoch == in.ver {
+			continue // unlocated, allocated by this plan, or already private
+		}
+		if in.fi != nil {
+			if ferr := in.fi.Point("instance.cow.clone", true); ferr != nil {
+				return in.abort(ferr)
+			}
+		}
+		c := in.cowNode(n)
+		scr.nodes[i] = c
+		if i == 0 {
+			in.root = c
+			continue
+		}
+		for _, ue := range in.updWalk[i].in {
+			pn := scr.nodes[ue.parent]
+			if pn == nil {
+				continue
+			}
+			k := t.Project(ue.e.Key)
+			if old, ok := pn.slots[ue.slot].m.Get(k); ok && old == n {
+				if in.fi != nil {
+					if ferr := in.fi.Point("instance.cow.link", true); ferr != nil {
+						return in.abort(ferr)
+					}
+				}
+				pn.slots[ue.slot].m.Put(k, c)
+			}
+		}
+	}
+	return nil
+}

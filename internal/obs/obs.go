@@ -55,6 +55,23 @@
 //     that locked exactly one shard versus fan-outs over all shards
 //     (including batch mutations, one per batch). FanOutLatency records
 //     the wall-clock duration of each fan-out.
+//   - SnapPublishes / SnapDrops: version turnover on the MVCC tiers — one
+//     publish per write operation that changed the relation and atomically
+//     installed its new version (a no-op mutation publishes nothing), one
+//     drop per write operation that failed and abandoned its unpublished
+//     version. A sharded operation counts per shard that published or
+//     dropped.
+//   - SnapReads: snapshot acquisitions by the lock-free read path — one
+//     per read operation (Query / QueryFunc / QueryRange / point query) on
+//     SyncRelation, one per shard visited on ShardedRelation (routed
+//     reads count 1, fan-outs once per shard). Len and the maintenance
+//     reads (Poisoned, CheckInvariants, ExplainQuery) pin snapshots too
+//     but are not query traffic and do not count.
+//   - CowNodeClones / CowMapClones: copy-on-write volume — nodes cloned by
+//     mutation spines and dstruct maps forked inside those clones. The
+//     clone count per operation depends on decomposition shape and on how
+//     many applies share a spine, so tests treat these as observed values
+//     with sanity bounds rather than exact predictions.
 package obs
 
 import (
@@ -99,6 +116,12 @@ type Metrics struct {
 	RoutedOps     atomic.Uint64
 	FanOuts       atomic.Uint64
 	FanOutLatency Histogram
+
+	SnapPublishes atomic.Uint64
+	SnapDrops     atomic.Uint64
+	SnapReads     atomic.Uint64
+	CowNodeClones atomic.Uint64
+	CowMapClones  atomic.Uint64
 }
 
 // Snapshot is an atomic-free copy of a Metrics block, safe to compare,
@@ -117,6 +140,9 @@ type Snapshot struct {
 
 	RoutedOps, FanOuts uint64
 	FanOutLatency      HistogramSnapshot
+
+	SnapPublishes, SnapDrops, SnapReads uint64
+	CowNodeClones, CowMapClones         uint64
 }
 
 // Snapshot copies every counter. Each counter is read atomically; the
@@ -150,6 +176,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		RoutedOps:       m.RoutedOps.Load(),
 		FanOuts:         m.FanOuts.Load(),
 		FanOutLatency:   m.FanOutLatency.Snapshot(),
+		SnapPublishes:   m.SnapPublishes.Load(),
+		SnapDrops:       m.SnapDrops.Load(),
+		SnapReads:       m.SnapReads.Load(),
+		CowNodeClones:   m.CowNodeClones.Load(),
+		CowMapClones:    m.CowMapClones.Load(),
 	}
 }
 
@@ -182,6 +213,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		RoutedOps:       s.RoutedOps - prev.RoutedOps,
 		FanOuts:         s.FanOuts - prev.FanOuts,
 		FanOutLatency:   s.FanOutLatency.Sub(prev.FanOutLatency),
+		SnapPublishes:   s.SnapPublishes - prev.SnapPublishes,
+		SnapDrops:       s.SnapDrops - prev.SnapDrops,
+		SnapReads:       s.SnapReads - prev.SnapReads,
+		CowNodeClones:   s.CowNodeClones - prev.CowNodeClones,
+		CowMapClones:    s.CowMapClones - prev.CowMapClones,
 	}
 }
 
@@ -222,6 +258,11 @@ func (s Snapshot) String() string {
 	app("poison.events", s.PoisonEvents)
 	app("shard.routed", s.RoutedOps)
 	app("shard.fanouts", s.FanOuts)
+	app("snap.publishes", s.SnapPublishes)
+	app("snap.drops", s.SnapDrops)
+	app("exec.snapshot", s.SnapReads)
+	app("cow.nodes", s.CowNodeClones)
+	app("cow.maps", s.CowMapClones)
 	if s.FanOutLatency.Count > 0 {
 		if len(b) > 0 {
 			b = append(b, ' ')

@@ -1,0 +1,64 @@
+// Package relvet106 is the stalesnapshot corpus.
+package relvet106
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func trigger(s *core.SyncRelation, tup relation.Tuple) (int, error) {
+	snap := s.Snapshot()
+	if err := s.Insert(tup); err != nil {
+		return 0, err
+	}
+	return snap.Len(), nil // want relvet106
+}
+
+func triggerShard(sr *core.ShardedRelation, tup relation.Tuple) ([]relation.Tuple, error) {
+	sh := sr.Shard(0)
+	if _, err := sr.Remove(tup); err != nil {
+		return nil, err
+	}
+	return sh.Query(tup, nil) // want relvet106
+}
+
+func nearMissUseBefore(s *core.SyncRelation, tup relation.Tuple) (int, error) {
+	snap := s.Snapshot()
+	n := snap.Len()
+	if err := s.Insert(tup); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func nearMissRepin(s *core.SyncRelation, tup relation.Tuple) (int, error) {
+	snap := s.Snapshot()
+	if err := s.Insert(tup); err != nil {
+		return 0, err
+	}
+	snap = s.Snapshot()
+	return snap.Len(), nil
+}
+
+func nearMissOtherRelation(s, other *core.SyncRelation, tup relation.Tuple) (int, error) {
+	snap := s.Snapshot()
+	if err := other.Insert(tup); err != nil {
+		return 0, err
+	}
+	return snap.Len(), nil
+}
+
+func nearMissConsistentReads(s *core.SyncRelation, a, b relation.Tuple) (int, error) {
+	// Pinning one version for several queries is the intended use of the
+	// handle; without an interleaved mutation there is nothing to miss.
+	snap := s.Snapshot()
+	ra, err := snap.Query(a, nil)
+	if err != nil {
+		return 0, err
+	}
+	rb, err := snap.Query(b, nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(ra) + len(rb), nil
+}

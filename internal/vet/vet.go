@@ -2,8 +2,9 @@
 // and generated code that uses the relation engine. They run on the
 // stdlib-only framework of internal/analysis and report the misuse
 // patterns the engine's API makes easy: discarding mutation errors,
-// swallowing poisoning, reading query snapshots across mutations, and
-// under-specified option literals. relvet105 — the codegen cleanliness
+// swallowing poisoning, reading query results or pinned MVCC snapshot
+// handles across mutations, and under-specified option literals.
+// relvet105 — the codegen cleanliness
 // contract — is not an AST analyzer; cmd/relvet's -gen mode and the
 // codegen golden test enforce it, and it is catalogued here so the code
 // space is documented in one place.
@@ -27,6 +28,7 @@ const (
 	CodeStaleResults    diag.Code = "relvet103" // query results read across a mutation
 	CodeOptionsMisuse   diag.Code = "relvet104" // options literal missing required fields
 	CodeDirtyCodegen    diag.Code = "relvet105" // generated code not gofmt/analyzer clean
+	CodeStaleSnapshot   diag.Code = "relvet106" // pinned snapshot handle read across its own mutation
 )
 
 // Codes returns the Go-plane catalogue, in the same Info currency as the
@@ -48,12 +50,15 @@ func Codes() []lint.Info {
 		{Code: CodeDirtyCodegen, Severity: diag.Error,
 			Summary:   "generated code is not gofmt-idempotent or fails the relvet analyzers",
 			Grounding: "the §6 compiler contract: RELC output must hold to the same bar as hand-written client code (enforced by cmd/relvet -gen and the codegen golden test)"},
+		{Code: CodeStaleSnapshot, Severity: diag.Warning,
+			Summary:   "pinned snapshot handle (Snapshot()/Shard()) read after a mutation of its relation",
+			Grounding: "MVCC reads run against an immutable published version; a handle pinned before a mutation never observes it — re-acquire the handle (or query the relation) for fresh data"},
 	}
 }
 
 // Analyzers returns the AST analyzers of the suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse}
+	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse, StaleSnapshot}
 }
 
 // relTypeNames are the engine types whose methods the analyzers treat as
@@ -242,24 +247,73 @@ var StaleResults = &analysis.Analyzer{
 	Code:     CodeStaleResults,
 	Severity: diag.Warning,
 	Run: func(pass *analysis.Pass) {
-		for _, f := range pass.Pkg.Files {
-			for _, decl := range f.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if ok && fn.Body != nil {
-					staleInFunc(pass, fn.Body)
-				}
-			}
-		}
+		forEachFuncBody(pass, func(body *ast.BlockStmt) {
+			pinnedAcrossMutation(pass, body,
+				func(method string) bool { return strings.HasPrefix(method, "Query") || method == "All" },
+				func(obj types.Object) bool {
+					_, isSlice := obj.Type().Underlying().(*types.Slice)
+					return isSlice
+				},
+				func(pos token.Pos, name string, mutLine int) {
+					pass.Reportf(pos,
+						"%s read after the relation was mutated at line %d: query results are snapshots and do not reflect the mutation", name, mutLine)
+				})
+		})
 	},
 }
 
-func staleInFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+// StaleSnapshot (relvet106) is the MVCC sibling of relvet103: it flags
+// uses of a pinned snapshot handle — the *core.Relation returned by
+// SyncRelation.Snapshot or ShardedRelation.Shard — after a later mutation
+// of the relation it was pinned from. The handle is an immutable published
+// version; it will never observe the mutation, so code that re-reads it
+// expecting fresh data is wrong by construction. Same position-ordered,
+// flow-insensitive analysis as relvet103.
+var StaleSnapshot = &analysis.Analyzer{
+	Name:     "stalesnapshot",
+	Doc:      "flags pinned snapshot handles read after a mutation of their relation",
+	Code:     CodeStaleSnapshot,
+	Severity: diag.Warning,
+	Run: func(pass *analysis.Pass) {
+		forEachFuncBody(pass, func(body *ast.BlockStmt) {
+			pinnedAcrossMutation(pass, body,
+				func(method string) bool { return method == "Snapshot" || method == "Shard" },
+				func(obj types.Object) bool { return isRelType(obj.Type()) },
+				func(pos token.Pos, name string, mutLine int) {
+					pass.Reportf(pos,
+						"%s is a snapshot pinned before the mutation at line %d and will never observe it: re-acquire the handle (or query the relation) for fresh data", name, mutLine)
+				})
+		})
+	},
+}
+
+func forEachFuncBody(pass *analysis.Pass, fn func(*ast.BlockStmt)) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if d, ok := decl.(*ast.FuncDecl); ok && d.Body != nil {
+				fn(d.Body)
+			}
+		}
+	}
+}
+
+// pinnedAcrossMutation is the shared engine of relvet103 and relvet106:
+// within one function body it tracks variables bound from a
+// handle-producing relation method call (pins selects the methods, keep
+// the assigned types worth tracking), records every mutation of each
+// relation variable, and reports — via report, with the mutation's line —
+// every use of a tracked handle whose binding assignment precedes a
+// mutation of its origin relation that precedes the use.
+func pinnedAcrossMutation(pass *analysis.Pass, body *ast.BlockStmt,
+	pins func(method string) bool,
+	keep func(obj types.Object) bool,
+	report func(pos token.Pos, name string, mutLine int)) {
 	info := pass.Pkg.Info
 	type assign struct {
 		recv types.Object
 		pos  token.Pos
 	}
-	results := map[types.Object][]assign{} // result var → assignments, in order
+	handles := map[types.Object][]assign{} // handle var → assignments, in order
 	muts := map[types.Object][]token.Pos{} // relation var → mutation end positions
 	lhsWrite := map[token.Pos]bool{}       // positions of plain-`=` LHS idents: writes, not reads
 
@@ -299,10 +353,7 @@ func staleInFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 				return true
 			}
 			recv, method, ok := relMethodCall(pass, call)
-			if !ok {
-				return true
-			}
-			if !strings.HasPrefix(method, "Query") && method != "All" {
+			if !ok || !pins(method) {
 				return true
 			}
 			ro := rootObj(recv)
@@ -321,8 +372,8 @@ func staleInFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 				if obj == nil {
 					continue
 				}
-				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
-					results[obj] = append(results[obj], assign{recv: ro, pos: n.Pos()})
+				if keep(obj) {
+					handles[obj] = append(handles[obj], assign{recv: ro, pos: n.Pos()})
 				}
 			}
 		case *ast.CallExpr:
@@ -343,7 +394,7 @@ func staleInFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			return true
 		}
 		obj := info.Uses[id]
-		assigns, tracked := results[obj]
+		assigns, tracked := handles[obj]
 		if !tracked {
 			return true
 		}
@@ -359,9 +410,7 @@ func staleInFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		}
 		for _, m := range muts[cur.recv] {
 			if cur.pos < m && m < id.Pos() {
-				mp := pass.Pkg.Fset.Position(m)
-				pass.Reportf(id.Pos(),
-					"%s read after the relation was mutated at line %d: query results are snapshots and do not reflect the mutation", id.Name, mp.Line)
+				report(id.Pos(), id.Name, pass.Pkg.Fset.Position(m).Line)
 				return true
 			}
 		}

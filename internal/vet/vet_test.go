@@ -23,6 +23,7 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 		{"relvet102", vet.SwallowedPoison},
 		{"relvet103", vet.StaleResults},
 		{"relvet104", vet.OptionsMisuse},
+		{"relvet106", vet.StaleSnapshot},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -76,8 +77,8 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 // analyzers agree with it.
 func TestCatalogue(t *testing.T) {
 	infos := vet.Codes()
-	if len(infos) != 5 {
-		t.Fatalf("catalogue has %d codes, want 5 (relvet101–105)", len(infos))
+	if len(infos) != 6 {
+		t.Fatalf("catalogue has %d codes, want 6 (relvet101–106)", len(infos))
 	}
 	sev := map[diag.Code]diag.Severity{}
 	for _, i := range infos {

@@ -1,0 +1,209 @@
+package repro
+
+// Read-mostly throughput benchmarks for the MVCC snapshot tiers. Each
+// configuration runs a fixed op mix (90/10 or 99/1 read/write) across 8,
+// 16, or 64 goroutines against three engines over the same scheduler
+// decomposition:
+//
+//   - rwmutex:  an RWMutex wrapper around one *core.Relation — the
+//     pre-MVCC SyncRelation design, kept here as the baseline. Readers
+//     share RLock but every write stalls the whole reader population.
+//   - sync:     core.SyncRelation — lock-free snapshot reads, writers
+//     serialized on one mutex, copy-on-write publication.
+//   - sharded:  core.ShardedRelation — lock-free snapshot reads with
+//     writers serialized per shard.
+//
+// Beyond ns/op the benchmarks report reads/s and writes/s so the two
+// populations can be compared directly:
+//
+//	make bench-mvcc        # writes BENCH_mvcc.json
+//	benchstat -col /impl BENCH_mvcc.json
+//
+// The acceptance bar for the MVCC tiers is ≥4× the baseline's read
+// throughput at 64 goroutines on the 99/1 mix with write throughput
+// within 2× of the baseline's. That bar assumes real read parallelism:
+// the lock-free win is readers proceeding on other cores while a write
+// is in flight, which a single-core host cannot exhibit — there, reads
+// cost the same CPU under every tier and the grid degenerates to a
+// relative cost comparison (the sharded tier still leads on write-heavier
+// mixes because RWMutex writer preference parks the whole reader
+// population on every write). Interpret BENCH_mvcc.json against the host
+// core count recorded in its goos/cpu header lines.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+const (
+	mvccKeys   = 4096 // seeded rows; ns in [0,16), pid in [0,256)
+	mvccNSMod  = 16
+	mvccPidDiv = 16
+	// The state column spreads over 64 values so the per-state run-queue
+	// DLists hold ~64 entries, the regime the paper's Figure 2(a) intrusive
+	// lists are sized for. DList.Clone is an eager O(len) copy, so COW
+	// write cost is proportional to the fan-out of the widest list node on
+	// the spine — a giant 2-state seed would benchmark the list copy, not
+	// the concurrency tier.
+	mvccStates = 64
+)
+
+// mvccEngine is the surface the mix loop drives; all three implementations
+// run the same keyed point query and keyed update.
+type mvccEngine interface {
+	Query(pat relation.Tuple, out []string) ([]relation.Tuple, error)
+	Update(s, u relation.Tuple) (int, error)
+}
+
+// rwRelation is the pre-MVCC concurrency tier: one relation, one RWMutex,
+// queries under RLock, mutations under Lock.
+type rwRelation struct {
+	mu sync.RWMutex
+	r  *core.Relation
+}
+
+func (w *rwRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.r.Query(pat, out)
+}
+
+func (w *rwRelation) Update(s, u relation.Tuple) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.r.Update(s, u)
+}
+
+func mvccSeed(b *testing.B, insert func(relation.Tuple) error) {
+	b.Helper()
+	for i := 0; i < mvccKeys; i++ {
+		tup := paperex.SchedulerTuple(int64(i%mvccNSMod), int64(i/mvccPidDiv), int64(i%mvccStates), int64(i%8))
+		if err := insert(tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mvccEngines(b *testing.B) []struct {
+	name string
+	e    mvccEngine
+} {
+	b.Helper()
+	base, err := core.New(processesSpec(), paperex.SchedulerDecomp())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw := &rwRelation{r: base}
+	mvccSeed(b, base.Insert)
+
+	s := core.NewSync(mustRelation(b))
+	mvccSeed(b, s.Insert)
+
+	sr, err := core.NewSharded(processesSpec(), paperex.SchedulerDecomp(),
+		core.ShardOptions{ShardKey: []string{"ns", "pid"}, Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mvccSeed(b, sr.Insert)
+
+	return []struct {
+		name string
+		e    mvccEngine
+	}{
+		{"rwmutex", rw},
+		{"sync", s},
+		{"sharded", sr},
+	}
+}
+
+func mustRelation(b *testing.B) *core.Relation {
+	b.Helper()
+	r, err := core.New(processesSpec(), paperex.SchedulerDecomp())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// runMix drives b.N operations split evenly across g goroutines. Operation
+// i of each goroutine is a keyed update when i%period == 0 and a keyed
+// point query otherwise, so the read fraction is exactly (period-1)/period
+// regardless of scheduling. Reports reads/s and writes/s alongside ns/op.
+func runMix(b *testing.B, e mvccEngine, g, period int) {
+	out := []string{"cpu"}
+	// Warm the plan cache outside the timed region.
+	warm := relation.NewTuple(relation.BindInt("ns", 0), relation.BindInt("pid", 0))
+	if _, err := e.Query(warm, out); err != nil {
+		b.Fatal(err)
+	}
+	var reads, writes atomic.Int64
+	perG := b.N/g + 1
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Cheap per-goroutine xorshift so key choice costs no locks.
+			rnd := uint64(w)*0x9e3779b97f4a7c15 + 0x1234567
+			var nr, nw int64
+			for i := 0; i < perG; i++ {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				k := rnd % mvccKeys
+				key := relation.NewTuple(
+					relation.BindInt("ns", int64(k%mvccNSMod)),
+					relation.BindInt("pid", int64(k/mvccPidDiv)))
+				if i%period == 0 {
+					u := relation.NewTuple(relation.BindInt("cpu", int64(i%8)))
+					if _, err := e.Update(key, u); err != nil {
+						b.Error(err)
+						return
+					}
+					nw++
+				} else {
+					if _, err := e.Query(key, out); err != nil {
+						b.Error(err)
+						return
+					}
+					nr++
+				}
+			}
+			reads.Add(nr)
+			writes.Add(nw)
+		}(w)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	b.ReportMetric(float64(reads.Load())/sec, "reads/s")
+	b.ReportMetric(float64(writes.Load())/sec, "writes/s")
+}
+
+// BenchmarkMVCCReadMostly is the headline grid: engine × mix × goroutines.
+func BenchmarkMVCCReadMostly(b *testing.B) {
+	mixes := []struct {
+		name   string
+		period int
+	}{
+		{"90-10", 10},
+		{"99-1", 100},
+	}
+	for _, mix := range mixes {
+		for _, g := range []int{8, 16, 64} {
+			for _, eng := range mvccEngines(b) {
+				b.Run(fmt.Sprintf("mix=%s/g=%d/impl=%s", mix.name, g, eng.name), func(b *testing.B) {
+					runMix(b, eng.e, g, mix.period)
+				})
+			}
+		}
+	}
+}
