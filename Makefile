@@ -7,9 +7,9 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-smoke test-vec fmt-check faultinject lint
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-wal bench-smoke test-vec fmt-check faultinject fuzz fuzz-smoke lint
 
-ci: vet build race test-vec faultinject lint bench-smoke
+ci: vet build race test-vec faultinject lint fuzz-smoke bench-smoke
 
 # The static-analysis plane, both halves: the decomposition linter over
 # every checked-in spec (relvet0xx — adequacy, storage redundancy, cost
@@ -33,6 +33,7 @@ lint: build
 ci-race: vet build race
 	$(GO) test -race -count 2 -run 'Differential|Vectorized' ./internal/plan ./internal/core
 	$(GO) test -race -count 2 -run 'Concurrent|Randomized' ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
+	$(GO) test -race -count 1 -run 'ExhaustiveWALSharded|WALRecovery' ./internal/faultinject/harness
 
 # The vectorized-tier gate: the randomized corpus differential (every plan
 # in the corpus executed on the interpreter, the closure tier, and the
@@ -47,6 +48,19 @@ test-vec:
 faultinject:
 	$(GO) test -count 1 ./internal/faultinject
 	$(GO) test -count 1 ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
+
+# The crash-recovery fuzzer: random op histories, random torn/corrupt
+# damage to the log, reopen, and compare against the acknowledged states.
+# fuzz-smoke replays the committed corpus and runs a short randomized
+# burst (part of `make ci`); `make fuzz` soaks for longer — new inputs it
+# finds land in the build cache, promote keepers into
+# internal/durable/testdata/fuzz/FuzzRecovery.
+fuzz:
+	$(GO) test -count 1 -run '^FuzzRecovery$$' -fuzz 'FuzzRecovery' -fuzztime 60s ./internal/durable
+
+fuzz-smoke:
+	$(GO) test -count 1 -run '^FuzzRecovery$$' ./internal/durable
+	$(GO) test -count 1 -run '^FuzzRecovery$$' -fuzz 'FuzzRecovery' -fuzztime 5s ./internal/durable
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +105,7 @@ bench-vec:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled|Vectorized)$$' -benchtime 10x ./internal/plan
 	$(GO) test -run '^$$' -bench 'MVCC' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'WAL' -benchtime 1x -short .
 
 # Observability-plane overhead: each BenchmarkObs* runs its hot loop with
 # metrics off and on; compare with `benchstat -col /metrics BENCH_obs.json`
@@ -108,3 +123,12 @@ bench-obs:
 # header comment in mvcc_bench_test.go).
 bench-mvcc:
 	$(GO) test -run '^$$' -bench 'MVCC' -benchmem -count $(COUNT) -json . > BENCH_mvcc.json
+
+# WAL append throughput per fsync policy plus recovery time against log
+# length (the 100k-op legs are the headline; a mid-history checkpoint leg
+# shows the tail bound). Compare with `benchstat -col /policy` for the
+# append grid; BENCH_wal.json is the committed snapshot of the machine
+# the durable tier landed on. History prep makes this the slowest bench
+# target — about a minute at COUNT=6.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'WAL' -benchmem -count $(COUNT) -json . > BENCH_wal.json

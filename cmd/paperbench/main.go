@@ -11,6 +11,7 @@
 //	paperbench sharded [-flows N] [-ops N] [-readpct N] [-shards N]
 //	paperbench compiled [-scale N]
 //	paperbench explain
+//	paperbench durable [-ops N]
 //	paperbench all
 //
 // Absolute numbers depend on the machine (and on this being an interpreted
@@ -55,14 +56,18 @@ func main() {
 		err = compiled(args)
 	case "explain":
 		err = explain()
+	case "durable":
+		err = durableCmd(args)
 	case "all":
 		if err = fig12(); err == nil {
 			if err = table1(); err == nil {
 				if err = parity(nil); err == nil {
 					if err = sharded(nil); err == nil {
 						if err = compiled(nil); err == nil {
-							if err = fig11(nil); err == nil {
-								err = fig13(nil)
+							if err = durableCmd(nil); err == nil {
+								if err = fig11(nil); err == nil {
+									err = fig13(nil)
+								}
 							}
 						}
 					}
@@ -79,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|explain|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|explain|durable|all} [flags]")
 	os.Exit(2)
 }
 
@@ -149,6 +154,39 @@ func compiled(args []string) error {
 		}
 		fmt.Printf("%-18s %-11.4f %-12.4f %-9.2f %-11.4f %-9.2f %s\n",
 			r.Workload, r.InterpSecs, r.CompiledSecs, r.Speedup(), r.VecSecs, r.VecSpeedup(), agree)
+	}
+	fmt.Println()
+	return nil
+}
+
+// durableCmd prints the durable-tier tables: WAL append throughput per
+// fsync policy, and recovery time against log length with and without a
+// mid-history checkpoint.
+func durableCmd(args []string) error {
+	fs := flag.NewFlagSet("durable", flag.ExitOnError)
+	cfg := experiments.DefaultDurableConfig()
+	fs.IntVar(&cfg.Ops, "ops", cfg.Ops, "appends per fsync policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("== Durable tier: WAL append throughput and recovery time ==")
+	res, err := experiments.RunDurable(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-10s %-8s %-10s %-14s %-10s %s\n", "policy", "ops", "time(s)", "appends/sec", "fsyncs", "wal bytes")
+	for _, r := range res.Appends {
+		fmt.Printf("%-10s %-8d %-10.4f %-14.0f %-10d %d\n",
+			r.Policy, r.Ops, r.Seconds, r.OpsPerSec, r.Fsyncs, r.WalBytes)
+	}
+	fmt.Printf("\n%-10s %-12s %-10s %-10s %-14s %s\n", "log ops", "checkpoint", "time(s)", "replayed", "replays/sec", "tuples")
+	for _, r := range res.Recoveries {
+		ck := "none"
+		if r.Checkpointed {
+			ck = "mid-log"
+		}
+		fmt.Printf("%-10d %-12s %-10.4f %-10d %-14.0f %d\n",
+			r.Ops, ck, r.Seconds, r.Replayed, r.OpsPerSec, r.Tuples)
 	}
 	fmt.Println()
 	return nil

@@ -28,7 +28,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("cannot listen on loopback: %v", err)
 	}
-	defer l.Close()
+	defer func() {
+		if cerr := l.Close(); cerr != nil {
+			log.Printf("closing listener: %v", cerr)
+		}
+	}()
 	go func() {
 		// Serve returns when the deferred Close tears the listener down at
 		// exit; any earlier return is a real serving failure.

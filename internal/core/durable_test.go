@@ -1,0 +1,418 @@
+package core_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// newDurableSync builds a fresh durable scheduler relation logging to
+// dir/wal.log under the given fsync policy.
+func newDurableSync(t *testing.T, dir string, policy wal.SyncPolicy) *core.DurableRelation {
+	t.Helper()
+	log, err := wal.Create(filepath.Join(dir, "wal.log"), 1, wal.Config{Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.MustNew(schedSpec(), paperex.SchedulerDecomp())
+	r.CheckFDs = true
+	return core.NewDurableSync(core.NewSync(r), log)
+}
+
+// allTuples reads the full relation state in deterministic order.
+func durAll(t *testing.T, d *core.DurableRelation) []relation.Tuple {
+	t.Helper()
+	res, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// recoverSync rebuilds a fresh sync relation from the snapshot (if any)
+// and log in dir, through the COW replay path, and returns its state.
+func recoverSync(t *testing.T, dir string) []relation.Tuple {
+	t.Helper()
+	r := core.MustNew(schedSpec(), paperex.SchedulerDecomp())
+	r.CheckFDs = true
+	s := core.NewSync(r)
+	var snapSeq uint64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ""
+	for _, e := range entries {
+		if seq, ok := core.ParseSnapshotName(e.Name()); ok && seq >= snapSeq {
+			snap, snapSeq = e.Name(), seq
+		}
+	}
+	if snap != "" {
+		ts, seq, err := wal.ReadSnapshot(filepath.Join(dir, snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapSeq = seq
+		if err := core.ReplaySnapshot(s, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan, err := wal.ReadLog(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range scan.Commits {
+		if c.Seq <= snapSeq {
+			continue
+		}
+		if err := core.ReplayCommit(s, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Query(relation.NewTuple(), []string{"ns", "pid", "state", "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func eqStates(a, b []relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableSyncLogsDeltas verifies the logged deltas are exactly the
+// logical changes: full tuples, one commit per operation, no-ops absent.
+func TestDurableSyncLogsDeltas(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableSync(t, dir, wal.SyncAlways)
+	t1 := paperex.SchedulerTuple(1, 1, paperex.StateS, 7)
+	t2 := paperex.SchedulerTuple(1, 2, paperex.StateR, 4)
+	if err := d.Insert(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(t1); err != nil { // no-op: already present
+		t.Fatal(err)
+	}
+	key := relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 1))
+	if n, err := d.Update(key, relation.NewTuple(relation.BindInt("cpu", 9))); err != nil || n != 1 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	if n, err := d.Remove(relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 2))); err != nil || n != 1 {
+		t.Fatalf("remove: n=%d err=%v", n, err)
+	}
+	if n, err := d.Remove(relation.NewTuple(relation.BindInt("ns", 42))); err != nil || n != 0 { // no-op
+		t.Fatalf("no-op remove: n=%d err=%v", n, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := wal.ReadLog(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Commits) != 4 {
+		t.Fatalf("logged %d commits, want 4 (no-ops must not log)", len(scan.Commits))
+	}
+	upd := scan.Commits[2]
+	if len(upd.Removed) != 1 || len(upd.Inserted) != 1 {
+		t.Fatalf("update delta: %+v", upd)
+	}
+	if !upd.Removed[0].Equal(t1) {
+		t.Errorf("update removed %v, want the old stored tuple %v", upd.Removed[0], t1)
+	}
+	if !upd.Inserted[0].Equal(paperex.SchedulerTuple(1, 1, paperex.StateS, 9)) {
+		t.Errorf("update inserted %v, want the merged tuple", upd.Inserted[0])
+	}
+	rem := scan.Commits[3]
+	if len(rem.Removed) != 1 || !rem.Removed[0].Equal(t2) {
+		t.Errorf("remove delta logs %+v, want the full removed tuple", rem)
+	}
+}
+
+// TestDurableRecoveryRoundTrip replays a log into a fresh relation and
+// compares abstractions with the state the writer last acknowledged.
+func TestDurableRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableSync(t, dir, wal.SyncAlways)
+	for i := int64(0); i < 40; i++ {
+		if err := d.Insert(paperex.SchedulerTuple(i%4, i, i%2, i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 40; i += 5 {
+		key := relation.NewTuple(relation.BindInt("ns", i%4), relation.BindInt("pid", i))
+		if _, err := d.Update(key, relation.NewTuple(relation.BindInt("cpu", i+100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Remove(relation.NewTuple(relation.BindInt("ns", 3))); err != nil {
+		t.Fatal(err)
+	}
+	want := durAll(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := recoverSync(t, dir); !eqStates(got, want) {
+		t.Fatalf("recovered %d tuples != acknowledged %d", len(got), len(want))
+	}
+}
+
+// TestDurableCheckpoint verifies checkpointing truncates the log, the
+// snapshot+tail pair recovers the acknowledged state, and stale
+// snapshots are collected.
+func TestDurableCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableSync(t, dir, wal.SyncAlways)
+	for i := int64(0); i < 20; i++ {
+		if err := d.Insert(paperex.SchedulerTuple(1, i, i%2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if sz := d.Log(0).Size(); sz != 16 {
+		t.Fatalf("log not truncated by checkpoint: %d bytes", sz)
+	}
+	for i := int64(20); i < 30; i++ {
+		if err := d.Insert(paperex.SchedulerTuple(1, i, i%2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail records after the second checkpoint.
+	if n, err := d.Remove(relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 3))); err != nil || n != 1 {
+		t.Fatalf("remove: n=%d err=%v", n, err)
+	}
+	want := durAll(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if _, ok := core.ParseSnapshotName(e.Name()); ok {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("found %d snapshots after GC, want 1", snaps)
+	}
+	if got := recoverSync(t, dir); !eqStates(got, want) {
+		t.Fatalf("snapshot+tail recovery diverged: %d tuples, want %d", len(got), len(want))
+	}
+}
+
+// TestDurableShardedLogsPerShard verifies the sharded durable tier logs
+// each shard's deltas on its own log and the union replays to the
+// acknowledged state.
+func TestDurableShardedLogsPerShard(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 4
+	sr, err := core.NewSharded(schedSpec(), paperex.SchedulerDecomp(), core.ShardOptions{
+		ShardKey: []string{"ns", "pid"},
+		Shards:   shards,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([]*wal.Log, shards)
+	for i := range logs {
+		sub := filepath.Join(dir, core.ShardDirName(i))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if logs[i], err = wal.Create(filepath.Join(sub, "wal.log"), 1, wal.Config{Policy: wal.SyncAlways}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := core.NewDurableSharded(sr, logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []relation.Tuple
+	for i := int64(0); i < 32; i++ {
+		batch = append(batch, paperex.SchedulerTuple(i%3, i, i%2, i))
+	}
+	if err := d.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	key := relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 1))
+	if n, err := d.Update(key, relation.NewTuple(relation.BindInt("cpu", 77))); err != nil || n != 1 {
+		t.Fatalf("routed update: n=%d err=%v", n, err)
+	}
+	// Fan-out remove: the pattern does not bind the shard key.
+	if _, err := d.Remove(relation.NewTuple(relation.BindInt("state", 0))); err != nil {
+		t.Fatal(err)
+	}
+	want := durAll(t, d)
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay each shard's log into a fresh sharded engine.
+	sr2 := core.MustNewSharded(schedSpec(), paperex.SchedulerDecomp(), core.ShardOptions{
+		ShardKey: []string{"ns", "pid"},
+		Shards:   shards,
+		Workers:  1,
+	})
+	total := 0
+	for i := 0; i < shards; i++ {
+		scan, err := wal.ReadLog(filepath.Join(dir, core.ShardDirName(i), "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(scan.Commits)
+		for _, c := range scan.Commits {
+			if err := core.ReplayShardCommit(sr2, i, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no commits logged across shards")
+	}
+	got, err := sr2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqStates(got, want) {
+		t.Fatalf("sharded recovery diverged: %d tuples, want %d", len(got), len(want))
+	}
+	if err := sr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableClosed verifies every surface reports ErrClosed after Close.
+func TestDurableClosed(t *testing.T) {
+	d := newDurableSync(t, t.TempDir(), wal.SyncOff)
+	if err := d.Insert(paperex.SchedulerTuple(1, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("second close: %v", err)
+	}
+	if err := d.Insert(paperex.SchedulerTuple(1, 2, 0, 0)); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("insert after close: %v", err)
+	}
+	if _, err := d.Remove(relation.NewTuple()); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("remove after close: %v", err)
+	}
+	if _, err := d.Update(relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 1)), relation.NewTuple(relation.BindInt("cpu", 1))); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("update after close: %v", err)
+	}
+	if _, err := d.Query(relation.NewTuple(), []string{"ns"}); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("query after close: %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("checkpoint after close: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("sync after close: %v", err)
+	}
+}
+
+// TestDurableAppendErrorDropsFork verifies the WAL ordering invariant's
+// failure half: an append error means the mutation is not published and
+// not on disk, and the caller can simply retry.
+func TestDurableAppendErrorDropsFork(t *testing.T) {
+	p := faultinject.NewPlane()
+	faultinject.Install(p)
+	defer faultinject.Uninstall()
+
+	dir := t.TempDir()
+	d := newDurableSync(t, dir, wal.SyncAlways)
+	if err := d.Insert(paperex.SchedulerTuple(1, 1, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace one insert to find the step index of the first WAL point; the
+	// steps before it belong to the data structures the mutation touches.
+	p.Trace(true)
+	p.Reset()
+	if err := d.Insert(paperex.SchedulerTuple(1, 2, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	walStep := 0
+	for i, pi := range p.Points() {
+		if strings.HasPrefix(pi.Site, "wal.") {
+			walStep = i + 1
+			break
+		}
+	}
+	p.Trace(false)
+	if walStep == 0 {
+		t.Fatal("no wal.* injection point reached by a durable insert")
+	}
+	before := durAll(t, d)
+
+	p.Reset()
+	p.Arm(int64(walStep), faultinject.Error)
+	err := d.Insert(paperex.SchedulerTuple(1, 3, 1, 6))
+	if err == nil {
+		t.Fatal("append fault not surfaced")
+	}
+	p.Disarm()
+	if got := durAll(t, d); !eqStates(got, before) {
+		t.Fatalf("failed append published state: %v", got)
+	}
+	// Retry is safe: the failed record is guaranteed absent from the log.
+	if err := d.Insert(paperex.SchedulerTuple(1, 3, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	want := durAll(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := recoverSync(t, dir); !eqStates(got, want) {
+		t.Fatalf("recovery after retried append diverged")
+	}
+}
+
+// TestDurableExplainTag verifies EXPLAIN carries the durable tag through
+// the wrapped tier's provenance.
+func TestDurableExplainTag(t *testing.T) {
+	d := newDurableSync(t, t.TempDir(), wal.SyncOff)
+	e, err := d.ExplainQuery([]string{"ns", "pid"}, []string{"cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Durable {
+		t.Fatal("explain lost the durable flag")
+	}
+	if s := e.String(); !strings.Contains(s, "durable") {
+		t.Fatalf("rendered explain lacks durable tag:\n%s", s)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,10 @@ type QueryExplain struct {
 	Routing string
 	Shards  int // fan-out width; 0 for single-tier explains
 
+	// Durable is set by the durable tier: writes to the relation are
+	// write-ahead logged. Query execution itself is untouched by logging.
+	Durable bool
+
 	// Snapshot is set by the MVCC tiers (SyncRelation, ShardedRelation):
 	// the explanation was produced against an atomically-published
 	// snapshot, whose version number is SnapshotVersion (shard 0's version
@@ -76,6 +80,9 @@ func (e *QueryExplain) String() string {
 	}
 	if e.Point {
 		tags = append(tags, "point")
+	}
+	if e.Durable {
+		tags = append(tags, "durable")
 	}
 	suffix := ""
 	if len(tags) > 0 {

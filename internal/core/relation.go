@@ -588,22 +588,32 @@ func (r *Relation) Update(s, u relation.Tuple) (n int, err error) {
 // update is Update without the Updates counter, so the sharded tier's
 // updatePoint fast path (which counts once itself) can fall back here
 // without double-counting the logical operation.
-func (r *Relation) update(s, u relation.Tuple) (n int, err error) {
+func (r *Relation) update(s, u relation.Tuple) (int, error) {
+	n, _, _, err := r.updateDelta(s, u)
+	return n, err
+}
+
+// updateDelta is update additionally reporting the logical delta the
+// operation applied — the full stored tuple it replaced (old) and the
+// full merged tuple now stored (upd) — for the durable tier, which logs
+// the pair as one WAL commit. Both are zero when n == 0. Like update it
+// does not count the Updates counter; callers count the logical op once.
+func (r *Relation) updateDelta(s, u relation.Tuple) (n int, old, upd relation.Tuple, err error) {
 	if r.poisoned {
-		return 0, ErrPoisoned
+		return 0, old, upd, ErrPoisoned
 	}
 	defer r.containMut("update", &err)
 	if err := r.spec.CheckTuple(s, false); err != nil {
-		return 0, err
+		return 0, old, upd, err
 	}
 	if err := r.spec.CheckTuple(u, false); err != nil {
-		return 0, err
+		return 0, old, upd, err
 	}
 	if !r.spec.FDs.IsKey(s.Dom(), r.spec.Cols()) {
-		return 0, fmt.Errorf("core: update pattern %v is not a key (the paper's dupdate restriction)", s)
+		return 0, old, upd, fmt.Errorf("core: update pattern %v is not a key (the paper's dupdate restriction)", s)
 	}
 	if !s.Dom().Intersect(u.Dom()).IsEmpty() {
-		return 0, fmt.Errorf("core: update values %v overlap the pattern %v", u, s)
+		return 0, old, upd, fmt.Errorf("core: update values %v overlap the pattern %v", u, s)
 	}
 	var match relation.Tuple
 	found := false
@@ -611,25 +621,29 @@ func (r *Relation) update(s, u relation.Tuple) (n int, err error) {
 		match, found = t.Project(r.spec.Cols()), true
 		return false
 	}); err != nil {
-		return 0, err
+		return 0, old, upd, err
 	}
 	if !found {
-		return 0, nil
+		return 0, old, upd, nil
 	}
 	merged := match.Merge(u)
 	if r.CheckFDs {
 		if err := r.spec.CheckTuple(merged, true); err != nil {
-			return 0, err
+			return 0, old, upd, err
 		}
 	}
 	ok, uerr := r.inst.UpdateInPlace(match, u)
 	if uerr != nil {
-		return 0, uerr
+		return 0, old, upd, uerr
 	}
 	if ok {
-		return 1, nil
+		return 1, match, merged, nil
 	}
-	return r.replace(match, merged)
+	n, err = r.replace(match, merged)
+	if err != nil || n == 0 {
+		return n, old, upd, err
+	}
+	return n, match, merged, nil
 }
 
 // replace is the remove+reinsert fallback of dupdate, made atomic: the

@@ -1,0 +1,385 @@
+// Package durable opens write-ahead-logged relations: it owns the
+// on-disk directory layout (manifest, per-cell log and snapshot files),
+// the crash-recovery protocol that rebuilds a relation from its latest
+// checkpoint plus the log tail, and the validation that refuses to
+// recover from a directory whose manifest disagrees with the requested
+// specification.
+//
+// Layout. A durable relation lives in one directory:
+//
+//	<dir>/MANIFEST            identity: name, columns, tier, sharding
+//	<dir>/wal.log             sync tier: the cell's write-ahead log
+//	<dir>/snap-<seq>.snap     sync tier: checkpoints (highest seq wins)
+//	<dir>/shard-NNN/...       sharded tier: one cell directory per shard
+//
+// Recovery. Open loads each cell's highest-numbered valid snapshot (if
+// any), scans its log — discarding a torn tail, failing loudly on
+// mid-log corruption — and replays the records the snapshot does not
+// cover through the engine's normal copy-on-write publish path
+// (core.ReplaySnapshot / core.ReplayCommit). Replaying through the COW
+// path is a correctness property, not a convenience: a fault mid-replay
+// drops an unpublished fork, so a failed recovery leaves no torn or
+// poisoned state behind and Open can simply be retried.
+//
+// The log records logical deltas (full tuples), so recovery is
+// representation-independent: a directory written under one
+// decomposition recovers under any other decomposition of the same
+// relation.
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// Create permits initializing an empty directory. Without it, Open
+	// fails if dir holds no durable relation — the guard against typo'd
+	// paths silently starting an empty database.
+	Create bool
+
+	// Policy is the WAL fsync policy (default wal.SyncAlways). Interval
+	// is the group-commit tick under wal.SyncInterval (default
+	// wal.DefaultInterval).
+	Policy   wal.SyncPolicy
+	Interval time.Duration
+
+	// Shards selects the sharded tier when > 0; ShardKey, Workers and
+	// AllowNonKey configure it exactly like core.ShardOptions. Shards == 0
+	// opens the single-cell sync tier.
+	Shards      int
+	ShardKey    []string
+	Workers     int
+	AllowNonKey bool
+
+	// CheckFDs enables per-mutation FD checking on the underlying engine.
+	CheckFDs bool
+
+	// Metrics, when set, is attached to the engine and receives the WAL
+	// and recovery counters (wal.appends, recovery.replays, ...).
+	Metrics *obs.Metrics
+}
+
+// manifest is the durable relation's identity record, written once at
+// creation and validated on every open. It pins the facts that must not
+// drift underneath an existing log: the relation's name and columns
+// (replay would misinterpret tuples), the tier, and the shard layout
+// (tuples are partitioned on disk by the original shard key and count).
+type manifest struct {
+	Format   int      `json:"format"`
+	Name     string   `json:"name"`
+	Columns  []string `json:"columns"`
+	Tier     string   `json:"tier"` // "sync" or "sharded"
+	Shards   int      `json:"shards,omitempty"`
+	ShardKey []string `json:"shard_key,omitempty"`
+}
+
+const (
+	manifestName   = "MANIFEST"
+	manifestFormat = 1
+	logName        = "wal.log"
+)
+
+// ErrNoRelation is returned by Open without Options.Create when the
+// directory holds no durable relation.
+var ErrNoRelation = errors.New("durable: directory holds no durable relation")
+
+func specColumns(spec *core.Spec) []string {
+	cols := make([]string, len(spec.Columns))
+	for i, c := range spec.Columns {
+		cols[i] = c.Name + ":" + c.Type.String()
+	}
+	return cols
+}
+
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: manifest in %s is not valid JSON: %w", dir, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("durable: manifest in %s has format %d, this build reads %d", dir, m.Format, manifestFormat)
+	}
+	return &m, nil
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validate refuses to recover when the directory's identity disagrees
+// with the caller's: a mismatch means the log's tuples would be
+// reinterpreted under a different schema, which is silent corruption.
+func (m *manifest) validate(spec *core.Spec, opts Options) error {
+	if m.Name != spec.Name {
+		return fmt.Errorf("durable: directory holds relation %q, caller opened %q", m.Name, spec.Name)
+	}
+	if want := specColumns(spec); !eqStrings(m.Columns, want) {
+		return fmt.Errorf("durable: directory columns %v != spec columns %v", m.Columns, want)
+	}
+	tier := "sync"
+	if opts.Shards > 0 {
+		tier = "sharded"
+	}
+	if m.Tier != tier {
+		return fmt.Errorf("durable: directory holds a %s-tier relation, caller requested %s", m.Tier, tier)
+	}
+	if opts.Shards > 0 {
+		if m.Shards != opts.Shards {
+			return fmt.Errorf("durable: directory is sharded %d ways, caller requested %d", m.Shards, opts.Shards)
+		}
+		if !eqStrings(m.ShardKey, opts.ShardKey) {
+			return fmt.Errorf("durable: directory shard key %v != requested %v", m.ShardKey, opts.ShardKey)
+		}
+	}
+	return nil
+}
+
+// Open opens (or with Options.Create, initializes) the durable relation
+// in dir and recovers it to the state of the last acknowledged write:
+// latest valid checkpoint plus WAL tail, replayed through the engine's
+// copy-on-write publish path. Torn trailing log records — an append cut
+// short by a crash — are detected by CRC and discarded, counted in
+// Metrics.RecoveryDiscards; everything else that fails to verify fails
+// Open loudly, returning a nil relation.
+func Open(dir string, spec *core.Spec, d *decomp.Decomp, opts Options) (*core.DurableRelation, error) {
+	if opts.Policy < wal.SyncAlways || opts.Policy > wal.SyncOff {
+		return nil, fmt.Errorf("durable: unknown sync policy %d", opts.Policy)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := readManifest(dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if !opts.Create {
+			return nil, fmt.Errorf("%w: %s (set Options.Create to initialize)", ErrNoRelation, dir)
+		}
+		m = &manifest{
+			Format:  manifestFormat,
+			Name:    spec.Name,
+			Columns: specColumns(spec),
+			Tier:    "sync",
+		}
+		if opts.Shards > 0 {
+			m.Tier, m.Shards, m.ShardKey = "sharded", opts.Shards, opts.ShardKey
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeManifest(dir, *m); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, err
+	default:
+		if err := m.validate(spec, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg := wal.Config{Policy: opts.Policy, Interval: opts.Interval, Metrics: opts.Metrics}
+	if opts.Shards > 0 {
+		return openSharded(dir, spec, d, opts, cfg)
+	}
+	return openSync(dir, spec, d, opts, cfg)
+}
+
+func openSync(dir string, spec *core.Spec, d *decomp.Decomp, opts Options, cfg wal.Config) (*core.DurableRelation, error) {
+	r, err := core.New(spec, d)
+	if err != nil {
+		return nil, err
+	}
+	r.CheckFDs = opts.CheckFDs
+	s := core.NewSync(r)
+	log, err := recoverCell(dir, cfg, opts.Metrics,
+		func(ts []relation.Tuple) error { return core.ReplaySnapshot(s, ts) },
+		func(c wal.Commit) error { return core.ReplayCommit(s, c) })
+	if err != nil {
+		return nil, err
+	}
+	if opts.Metrics != nil {
+		s.SetMetrics(opts.Metrics)
+	}
+	return core.NewDurableSync(s, log), nil
+}
+
+func openSharded(dir string, spec *core.Spec, d *decomp.Decomp, opts Options, cfg wal.Config) (*core.DurableRelation, error) {
+	sr, err := core.NewSharded(spec, d, core.ShardOptions{
+		ShardKey:    opts.ShardKey,
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		AllowNonKey: opts.AllowNonKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.CheckFDs {
+		for i := 0; i < sr.NumShards(); i++ {
+			sr.Shard(i).CheckFDs = true
+		}
+	}
+	logs := make([]*wal.Log, opts.Shards)
+	for i := range logs {
+		cellDir := filepath.Join(dir, core.ShardDirName(i))
+		if err := os.MkdirAll(cellDir, 0o755); err != nil {
+			closeLogs(logs[:i])
+			return nil, err
+		}
+		shard := i
+		logs[i], err = recoverCell(cellDir, cfg, opts.Metrics,
+			func(ts []relation.Tuple) error { return core.ReplayShardSnapshot(sr, shard, ts) },
+			func(c wal.Commit) error { return core.ReplayShardCommit(sr, shard, c) })
+		if err != nil {
+			closeLogs(logs[:i])
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	if opts.Metrics != nil {
+		sr.SetMetrics(opts.Metrics)
+	}
+	return core.NewDurableSharded(sr, logs)
+}
+
+func closeLogs(logs []*wal.Log) {
+	for _, l := range logs {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// recoverCell rebuilds one cell: pick the highest valid snapshot, scan
+// the log, replay snapshot then uncovered records through the supplied
+// COW-path appliers, and reopen the log for appending. Returns the open
+// log; any error leaves nothing to clean up (the log is the last thing
+// opened).
+func recoverCell(cellDir string, cfg wal.Config, met *obs.Metrics,
+	applySnap func([]relation.Tuple) error, applyCommit func(wal.Commit) error) (*wal.Log, error) {
+	fi := faultinject.Active()
+	logPath := filepath.Join(cellDir, logName)
+
+	snapPath, snapSeq, hasSnap, err := latestSnapshot(cellDir)
+	if err != nil {
+		return nil, err
+	}
+
+	scan, err := wal.ReadLog(logPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist) || errors.Is(err, wal.ErrNoHeader):
+		if hasSnap {
+			// A checkpoint always rotates to a fresh log with a valid
+			// header; a snapshot without one means the log was lost.
+			return nil, fmt.Errorf("durable: %s has checkpoint %s but no usable log: %w", cellDir, filepath.Base(snapPath), err)
+		}
+		scan = nil
+	case err != nil:
+		return nil, err
+	default:
+		if hasSnap && scan.BaseSeq > snapSeq+1 {
+			return nil, fmt.Errorf("durable: log %s starts at record %d but checkpoint covers only through %d: records lost", logPath, scan.BaseSeq, snapSeq)
+		}
+	}
+
+	if hasSnap {
+		ts, seq, err := wal.ReadSnapshot(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		if seq != snapSeq {
+			return nil, fmt.Errorf("durable: snapshot %s declares sequence %d, name says %d", snapPath, seq, snapSeq)
+		}
+		if fi != nil {
+			if err := fi.Point("recovery.apply", true); err != nil {
+				return nil, err
+			}
+		}
+		if err := applySnap(ts); err != nil {
+			return nil, err
+		}
+	}
+
+	replayed := uint64(0)
+	if scan != nil {
+		for _, c := range scan.Commits {
+			if c.Seq <= snapSeq {
+				continue
+			}
+			if fi != nil {
+				if err := fi.Point("recovery.apply", true); err != nil {
+					return nil, err
+				}
+			}
+			if err := applyCommit(c); err != nil {
+				return nil, err
+			}
+			replayed++
+		}
+	}
+	if met != nil {
+		met.RecoveryReplays.Add(replayed)
+		if scan != nil {
+			met.RecoveryDiscards.Add(uint64(scan.Discarded))
+		}
+	}
+
+	if scan == nil {
+		return wal.Create(logPath, snapSeq+1, cfg)
+	}
+	return wal.OpenForAppend(logPath, scan, cfg)
+}
+
+// latestSnapshot finds the highest-numbered checkpoint file in cellDir,
+// ignoring temporaries. Ignoring rather than deleting: recovery must be
+// read-only until it has decided the directory is sane.
+func latestSnapshot(cellDir string) (path string, seq uint64, ok bool, err error) {
+	entries, err := os.ReadDir(cellDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", 0, false, nil
+		}
+		return "", 0, false, err
+	}
+	for _, e := range entries {
+		if s, isSnap := core.ParseSnapshotName(e.Name()); isSnap && (!ok || s > seq) {
+			path, seq, ok = filepath.Join(cellDir, e.Name()), s, true
+		}
+	}
+	return path, seq, ok, nil
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/durable"
+	"repro/internal/fd"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// The durable experiment measures what the WAL costs and what recovery
+// buys: append throughput under each fsync policy, and time to reopen a
+// directory as a function of how much log there is to replay — with and
+// without a checkpoint bounding the tail.
+
+// DurableConfig sizes the durable experiment.
+type DurableConfig struct {
+	Ops        int   // appends per fsync policy
+	RecoverOps []int // log lengths for the recovery sweep
+}
+
+// DefaultDurableConfig keeps the sweep quick enough for a laptop run.
+func DefaultDurableConfig() DurableConfig {
+	return DurableConfig{Ops: 2000, RecoverOps: []int{1000, 5000, 20000}}
+}
+
+// DurableAppendRow is one fsync policy's append throughput.
+type DurableAppendRow struct {
+	Policy    string
+	Ops       int
+	Seconds   float64
+	OpsPerSec float64
+	Fsyncs    uint64
+	WalBytes  uint64
+}
+
+// DurableRecoveryRow is one recovery measurement.
+type DurableRecoveryRow struct {
+	Ops          int // mutations in the log's lifetime
+	Checkpointed bool
+	Seconds      float64
+	OpsPerSec    float64 // replayed mutations per second of recovery
+	Replayed     uint64  // commits actually replayed from the tail
+	Tuples       int     // tuples in the recovered relation
+}
+
+// DurableResult is the full durable experiment.
+type DurableResult struct {
+	Appends    []DurableAppendRow
+	Recoveries []DurableRecoveryRow
+}
+
+func durableFlowSpec() *core.Spec {
+	return &core.Spec{
+		Name: "flows",
+		Columns: []core.ColDef{
+			{Name: "local", Type: core.IntCol},
+			{Name: "foreign", Type: core.IntCol},
+			{Name: "bytes", Type: core.IntCol},
+		},
+		FDs: fd.NewSet(fd.FD{
+			From: relation.NewCols("local", "foreign"),
+			To:   relation.NewCols("bytes"),
+		}),
+	}
+}
+
+func durableFlowDecomp() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"local", "foreign"}, []string{"bytes"},
+			decomp.U("bytes")),
+		decomp.Let("y", []string{"local"}, []string{"foreign", "bytes"},
+			decomp.M(dstruct.HTableKind, "w", "foreign")),
+		decomp.Let("x", nil, []string{"local", "foreign", "bytes"},
+			decomp.M(dstruct.HTableKind, "y", "local")),
+	}, "x")
+}
+
+func durableTuple(i int) relation.Tuple {
+	return relation.NewTuple(
+		relation.BindInt("local", int64(i%1024)),
+		relation.BindInt("foreign", int64(i)),
+		relation.BindInt("bytes", int64(i)*100),
+	)
+}
+
+func openDurableDir(met *obs.Metrics, policy wal.SyncPolicy) (*core.DurableRelation, string, error) {
+	dir, err := os.MkdirTemp("", "durable-exp-*")
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := durable.Open(dir, durableFlowSpec(), durableFlowDecomp(), durable.Options{
+		Create:  true,
+		Policy:  policy,
+		Metrics: met,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	return d, dir, nil
+}
+
+// RunDurable runs the append-throughput and recovery-time sweeps.
+func RunDurable(cfg DurableConfig) (*DurableResult, error) {
+	res := &DurableResult{}
+
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOff} {
+		met := &obs.Metrics{}
+		d, dir, err := openDurableDir(met, policy)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Ops; i++ {
+			if err := d.Insert(durableTuple(i)); err != nil {
+				d.Close()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("append sweep %v op %d: %w", policy, i, err)
+			}
+		}
+		secs := time.Since(start).Seconds()
+		if err := d.Close(); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		os.RemoveAll(dir)
+		snap := met.Snapshot()
+		res.Appends = append(res.Appends, DurableAppendRow{
+			Policy:    policy.String(),
+			Ops:       cfg.Ops,
+			Seconds:   secs,
+			OpsPerSec: float64(cfg.Ops) / secs,
+			Fsyncs:    snap.WalFsyncs,
+			WalBytes:  snap.WalBytes,
+		})
+	}
+
+	for _, ops := range cfg.RecoverOps {
+		for _, ckpt := range []bool{false, true} {
+			row, err := measureRecovery(ops, ckpt)
+			if err != nil {
+				return nil, err
+			}
+			res.Recoveries = append(res.Recoveries, row)
+		}
+	}
+	return res, nil
+}
+
+// measureRecovery writes an ops-long history (checkpointing at the
+// half-way mark when ckpt is set), abandons the directory, and times a
+// fresh durable.Open over it.
+func measureRecovery(ops int, ckpt bool) (DurableRecoveryRow, error) {
+	met := &obs.Metrics{}
+	d, dir, err := openDurableDir(met, wal.SyncOff)
+	if err != nil {
+		return DurableRecoveryRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	for i := 0; i < ops; i++ {
+		if err := d.Insert(durableTuple(i)); err != nil {
+			d.Close()
+			return DurableRecoveryRow{}, fmt.Errorf("recovery prep op %d: %w", i, err)
+		}
+		if ckpt && i == ops/2 {
+			if err := d.Checkpoint(); err != nil {
+				d.Close()
+				return DurableRecoveryRow{}, err
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		return DurableRecoveryRow{}, err
+	}
+
+	rmet := &obs.Metrics{}
+	start := time.Now()
+	d2, err := durable.Open(dir, durableFlowSpec(), durableFlowDecomp(), durable.Options{
+		Policy:  wal.SyncOff,
+		Metrics: rmet,
+	})
+	if err != nil {
+		return DurableRecoveryRow{}, fmt.Errorf("recovery open (%d ops, ckpt=%v): %w", ops, ckpt, err)
+	}
+	secs := time.Since(start).Seconds()
+	tuples := d2.Len()
+	if err := d2.Close(); err != nil {
+		return DurableRecoveryRow{}, err
+	}
+	snap := rmet.Snapshot()
+	return DurableRecoveryRow{
+		Ops:          ops,
+		Checkpointed: ckpt,
+		Seconds:      secs,
+		OpsPerSec:    float64(snap.RecoveryReplays) / secs,
+		Replayed:     snap.RecoveryReplays,
+		Tuples:       tuples,
+	}, nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestRunDurableSmall runs the durable sweep at a toy scale and checks
+// the rows carry the shape the tables print: one append row per fsync
+// policy with SyncAlways fsyncing at least once per op, and recovery rows
+// where a mid-log checkpoint replays roughly half the tail and every
+// recovered relation holds all inserted tuples.
+func TestRunDurableSmall(t *testing.T) {
+	cfg := DurableConfig{Ops: 60, RecoverOps: []int{40}}
+	res, err := RunDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Appends) != 3 {
+		t.Fatalf("want 3 append rows (one per policy), got %d", len(res.Appends))
+	}
+	for _, r := range res.Appends {
+		if r.OpsPerSec <= 0 || r.WalBytes == 0 {
+			t.Errorf("policy %s: degenerate row %+v", r.Policy, r)
+		}
+		if r.Policy == "always" && r.Fsyncs < uint64(cfg.Ops) {
+			t.Errorf("SyncAlways fsynced %d times for %d ops", r.Fsyncs, cfg.Ops)
+		}
+	}
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("want 2 recovery rows (plain and checkpointed), got %d", len(res.Recoveries))
+	}
+	for _, r := range res.Recoveries {
+		if r.Tuples != 40 {
+			t.Errorf("recovery (ckpt=%v) holds %d tuples, want 40", r.Checkpointed, r.Tuples)
+		}
+		if r.Checkpointed && r.Replayed >= 40 {
+			t.Errorf("checkpoint did not bound replay: %d commits replayed", r.Replayed)
+		}
+		if !r.Checkpointed && r.Replayed != 40 {
+			t.Errorf("plain recovery replayed %d commits, want 40", r.Replayed)
+		}
+	}
+}

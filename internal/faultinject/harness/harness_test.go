@@ -66,3 +66,49 @@ func TestConcurrentInjection(t *testing.T) {
 	p := withPlane(t)
 	Concurrent(t, p, 4, 300)
 }
+
+// TestExhaustiveWALInjection is the durability guarantee: a fault — error
+// or kill — at every reachable step of every mutation of a write-ahead-
+// logged relation, including the WAL's own append and fsync steps, leaves
+// a recoverable directory whose α is a prefix of acknowledgement.
+func TestExhaustiveWALInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			ExhaustWAL(t, p, c, 0)
+		})
+	}
+}
+
+// TestExhaustiveWALShardedInjection repeats the kill-point regime on the
+// sharded durable tier (per-shard log segments) for the scheduler case,
+// whose shard key is FD-certified.
+func TestExhaustiveWALShardedInjection(t *testing.T) {
+	p := withPlane(t)
+	ExhaustWAL(t, p, schedulerCase(), 2)
+}
+
+// TestWALCheckpointInjection exhausts the checkpoint path: snapshot
+// write, rename, and log rotation. No fault may disturb the live α, and
+// every crash point must leave a directory that recovers the full state.
+func TestWALCheckpointInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			ExhaustWALCheckpoint(t, p, c)
+		})
+	}
+}
+
+// TestWALRecoveryInjection exhausts recovery itself: durable.Open with a
+// fault at every replay step must fail loudly, and — because replay goes
+// through the copy-on-write publish path — a retried Open must still
+// recover everything.
+func TestWALRecoveryInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			ExhaustWALRecovery(t, p, c)
+		})
+	}
+}

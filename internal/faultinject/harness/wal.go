@@ -1,0 +1,428 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faultinject"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// This file extends the harness to the durable tier: ExhaustWAL injects a
+// fault at every reachable step of every mutation of a write-ahead-logged
+// relation — data-structure steps, fork steps, and the WAL's own append/
+// fsync steps — and asserts the durability contract against an
+// acknowledged-prefix oracle:
+//
+//   - Error mode models a failing substrate under a live process. The
+//     mutation must surface the error, the published state must be
+//     exactly the pre-mutation α (fork dropped, failed append truncated
+//     away), a retry must succeed, and a clean close + reopen must
+//     recover exactly the post-mutation state.
+//
+//   - Panic mode models a crash (kill) at the step. The harness abandons
+//     the handle mid-flight, reopens the directory, and asserts the
+//     recovered α is a prefix of acknowledgement: either the
+//     pre-mutation state (the record never became readable) or the
+//     post-mutation state (the record was fully written — a crash after
+//     a complete but unacknowledged record may legitimately replay).
+//     Nothing else is acceptable: no torn tuples, no partial deltas, and
+//     the recovered instance passes CheckWF. Re-running the mutation
+//     must converge to the post state.
+//
+// ExhaustWALCheckpoint and ExhaustWALRecovery run the same two regimes
+// over the checkpoint path (snapshot write + log rotation) and over
+// recovery itself (durable.Open replaying a prepared directory), the
+// latter being the regression harness for replay-through-COW: a fault
+// mid-replay must fail Open loudly and leave nothing behind that a
+// retried Open would trip over.
+
+// openWAL opens (or creates) the case's durable relation in dir. shards
+// == 0 opens the sync tier; > 0 the sharded tier on the case's key
+// columns with a single worker, keeping fan-out step order deterministic
+// for the step-counting plane.
+func openWAL(t *testing.T, dir string, c Case, shards int) *core.DurableRelation {
+	t.Helper()
+	d, err := tryOpenWAL(dir, c, shards)
+	if err != nil {
+		t.Fatalf("%s: durable open: %v", c.Name, err)
+	}
+	return d
+}
+
+func tryOpenWAL(dir string, c Case, shards int) (*core.DurableRelation, error) {
+	opts := durable.Options{
+		Create:   true,
+		Policy:   wal.SyncAlways,
+		CheckFDs: true,
+	}
+	if shards > 0 {
+		opts.Shards = shards
+		opts.ShardKey = c.Key
+		opts.Workers = 1
+	}
+	return durable.Open(dir, c.Spec(), c.Decomp(), opts)
+}
+
+// seedWAL acknowledges the case's seed tuples through the durable engine.
+func seedWAL(t *testing.T, d *core.DurableRelation, c Case) {
+	t.Helper()
+	for _, tup := range c.Seed {
+		if err := d.Insert(tup); err != nil {
+			t.Fatalf("%s: seed %v: %v", c.Name, tup, err)
+		}
+	}
+}
+
+// alphaWAL reads the durable relation's abstraction α.
+func alphaWAL(t *testing.T, d *core.DurableRelation) *relation.Relation {
+	t.Helper()
+	ts, err := d.All()
+	if err != nil {
+		t.Fatalf("reading α: %v", err)
+	}
+	rr := relation.Empty(d.Spec().Cols())
+	for _, tup := range ts {
+		if err := rr.Insert(tup); err != nil {
+			t.Fatalf("α tuple %v: %v", tup, err)
+		}
+	}
+	return rr
+}
+
+// runContained runs f, converting a panic into (error, panicked=true).
+func runContained(f func() error) (err error, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			panicked = true
+			err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	return f(), false
+}
+
+// walOracles computes the α before and after the mutation on a plain
+// in-memory relation.
+func walOracles(t *testing.T, c Case, mu Mutation) (pre, post *relation.Relation) {
+	t.Helper()
+	r := c.build(t)
+	pre = r.Instance().Relation().Clone()
+	if err := mu.Run(r); err != nil {
+		t.Fatalf("%s: oracle run of %s: %v", c.Name, mu.Name, err)
+	}
+	post = r.Instance().Relation()
+	return pre, post
+}
+
+// ExhaustWAL runs the exhaustive kill-point regime over every mutation of
+// the case on the durable tier.
+func ExhaustWAL(t *testing.T, p *faultinject.Plane, c Case, shards int) {
+	for _, mu := range c.Muts {
+		if shards > 0 && !strings.Contains(mu.Name, "point") && !strings.Contains(mu.Name, "insert") && !strings.Contains(mu.Name, "update") {
+			// Fan-out mutations (pattern removes not binding the shard
+			// key) are atomic per cell, not across cells: a fault in one
+			// shard leaves earlier shards' commits published, so the
+			// all-or-nothing oracle below does not apply. Routed
+			// mutations cover the sharded durable write path.
+			continue
+		}
+		t.Run(mu.Name, func(t *testing.T) {
+			// Trace the mutation's injection points on a clean run.
+			dir := t.TempDir()
+			d := openWAL(t, dir, c, shards)
+			seedWAL(t, d, c)
+			p.Reset()
+			p.Trace(true)
+			if err := mu.Run(d); err != nil {
+				t.Fatalf("trace run: %v", err)
+			}
+			pts := p.Points()
+			p.Trace(false)
+			p.Reset()
+			if err := d.Close(); err != nil {
+				t.Fatalf("trace close: %v", err)
+			}
+			if len(pts) == 0 {
+				t.Fatal("mutation passed no injection points")
+			}
+			walPoints := 0
+			for _, pt := range pts {
+				if strings.HasPrefix(pt.Site, "wal.") {
+					walPoints++
+				}
+			}
+			if walPoints == 0 {
+				t.Fatal("mutation passed no wal.* points — the durable tier is not logging it")
+			}
+
+			pre, post := walOracles(t, c, mu)
+
+			for step := 1; step <= len(pts); step++ {
+				for _, mode := range []faultinject.Mode{faultinject.Error, faultinject.Panic} {
+					if mode == faultinject.Error && !pts[step-1].CanError {
+						continue
+					}
+					dir := t.TempDir()
+					d := openWAL(t, dir, c, shards)
+					seedWAL(t, d, c)
+					p.Reset()
+					p.Arm(int64(step), mode)
+					err, panicked := runContained(func() error { return mu.Run(d) })
+					fired := len(p.Fired()) > 0
+					p.Disarm()
+					if !fired {
+						t.Fatalf("step %d/%v: fault did not fire", step, mode)
+					}
+					if err == nil {
+						t.Fatalf("step %d/%v: injected fault surfaced as success", step, mode)
+					}
+
+					if mode == faultinject.Error {
+						// Live-failure contract: nothing published, nothing
+						// logged, retry works, recovery agrees.
+						if !alphaWAL(t, d).Equal(pre) {
+							t.Fatalf("step %d/error: failed %s changed the published α", step, mu.Name)
+						}
+						if ierr := d.CheckInvariants(); ierr != nil {
+							t.Fatalf("step %d/error: invariants after failed %s: %v", step, mu.Name, ierr)
+						}
+						if rerr := mu.Run(d); rerr != nil {
+							t.Fatalf("step %d/error: retry: %v", step, rerr)
+						}
+						if !alphaWAL(t, d).Equal(post) {
+							t.Fatalf("step %d/error: retried %s did not reach the post state", step, mu.Name)
+						}
+						if cerr := d.Close(); cerr != nil {
+							t.Fatalf("step %d/error: close: %v", step, cerr)
+						}
+						d2 := openWAL(t, dir, c, shards)
+						if !alphaWAL(t, d2).Equal(post) {
+							t.Fatalf("step %d/error: recovery disagrees with the acknowledged state", step)
+						}
+						d2.Close()
+						continue
+					}
+
+					// Kill contract. The handle is dead (possibly wedged);
+					// Close only releases file handles — it cannot repair or
+					// extend the on-disk tail the "crash" left behind.
+					_ = panicked
+					d.Close()
+					d2, oerr := tryOpenWAL(dir, c, shards)
+					if oerr != nil {
+						t.Fatalf("step %d/panic: reopen after kill: %v", step, oerr)
+					}
+					got := alphaWAL(t, d2)
+					if !got.Equal(pre) && !got.Equal(post) {
+						t.Fatalf("step %d/panic: recovered α is neither the pre- nor the post-%s state:\n%v", step, mu.Name, got)
+					}
+					if ierr := d2.CheckInvariants(); ierr != nil {
+						t.Fatalf("step %d/panic: invariants after recovery: %v", step, ierr)
+					}
+					if rerr := mu.Run(d2); rerr != nil {
+						t.Fatalf("step %d/panic: re-running %s after recovery: %v", step, mu.Name, rerr)
+					}
+					if !alphaWAL(t, d2).Equal(post) {
+						t.Fatalf("step %d/panic: re-run did not converge to the post state", step)
+					}
+					if cerr := d2.Close(); cerr != nil {
+						t.Fatalf("step %d/panic: close after recovery: %v", step, cerr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ExhaustWALCheckpoint exhausts the checkpoint path: snapshot write, log
+// rotation, and everything between. A checkpoint never mutates the
+// relation, so under every fault the live α must be untouched, and after
+// a kill the directory must recover to exactly the acknowledged state —
+// served by the old log, the new snapshot, or both, depending on where
+// the crash landed.
+func ExhaustWALCheckpoint(t *testing.T, p *faultinject.Plane, c Case) {
+	// Trace a clean checkpoint.
+	dir := t.TempDir()
+	d := openWAL(t, dir, c, 0)
+	seedWAL(t, d, c)
+	p.Reset()
+	p.Trace(true)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("trace checkpoint: %v", err)
+	}
+	pts := p.Points()
+	p.Trace(false)
+	p.Reset()
+	if err := d.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	ckptPoints := 0
+	for _, pt := range pts {
+		if strings.HasPrefix(pt.Site, "ckpt.") || strings.HasPrefix(pt.Site, "wal.rotate.") {
+			ckptPoints++
+		}
+	}
+	if ckptPoints == 0 {
+		t.Fatal("checkpoint passed no ckpt.*/wal.rotate.* points")
+	}
+
+	pre := func() *relation.Relation {
+		r := c.build(t)
+		return r.Instance().Relation()
+	}()
+
+	for step := 1; step <= len(pts); step++ {
+		for _, mode := range []faultinject.Mode{faultinject.Error, faultinject.Panic} {
+			if mode == faultinject.Error && !pts[step-1].CanError {
+				continue
+			}
+			dir := t.TempDir()
+			d := openWAL(t, dir, c, 0)
+			seedWAL(t, d, c)
+			p.Reset()
+			p.Arm(int64(step), mode)
+			err, _ := runContained(func() error { return d.Checkpoint() })
+			fired := len(p.Fired()) > 0
+			p.Disarm()
+			if !fired {
+				t.Fatalf("step %d/%v: fault did not fire", step, mode)
+			}
+			if err == nil {
+				t.Fatalf("step %d/%v: injected fault surfaced as success", step, mode)
+			}
+			if !alphaWAL(t, d).Equal(pre) {
+				t.Fatalf("step %d/%v: failed checkpoint changed the live α", step, mode)
+			}
+
+			if mode == faultinject.Error {
+				// A failed checkpoint must be retryable in place.
+				if rerr := d.Checkpoint(); rerr != nil {
+					t.Fatalf("step %d/error: checkpoint retry: %v", step, rerr)
+				}
+				if cerr := d.Close(); cerr != nil {
+					t.Fatalf("step %d/error: close: %v", step, cerr)
+				}
+			} else {
+				d.Close() // kill: release handles only
+			}
+
+			d2, oerr := tryOpenWAL(dir, c, 0)
+			if oerr != nil {
+				t.Fatalf("step %d/%v: reopen after checkpoint fault: %v", step, mode, oerr)
+			}
+			if !alphaWAL(t, d2).Equal(pre) {
+				t.Fatalf("step %d/%v: recovery after checkpoint fault lost state", step, mode)
+			}
+			if rerr := d2.Checkpoint(); rerr != nil {
+				t.Fatalf("step %d/%v: checkpoint after recovery: %v", step, mode, rerr)
+			}
+			if cerr := d2.Close(); cerr != nil {
+				t.Fatalf("step %d/%v: close after recovery: %v", step, mode, cerr)
+			}
+		}
+	}
+}
+
+// ExhaustWALRecovery exhausts recovery itself: a directory with a
+// checkpoint and a log tail is prepared once, then durable.Open is run
+// with a fault armed at every step it reaches. A faulted Open must fail
+// (error or abandoned panic) and return no relation; because replay goes
+// through the copy-on-write publish path, the directory is untouched and
+// a disarmed retry must recover the full acknowledged state. This is the
+// regression harness for replay-through-COW — a compensation-based
+// replay would leave a half-applied relation behind on the first fault
+// and the retry would disagree with the oracle.
+func ExhaustWALRecovery(t *testing.T, p *faultinject.Plane, c Case) {
+	dir := t.TempDir()
+	d := openWAL(t, dir, c, 0)
+	seedWAL(t, d, c)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("prepare checkpoint: %v", err)
+	}
+	// Tail records past the checkpoint: run every mutation that still
+	// applies, accepting that later ones may no-op after earlier ones.
+	for _, mu := range c.Muts {
+		if err := mu.Run(d); err != nil {
+			t.Fatalf("prepare tail %s: %v", mu.Name, err)
+		}
+	}
+	want := alphaWAL(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatalf("prepare close: %v", err)
+	}
+
+	// Trace a clean recovery.
+	p.Reset()
+	p.Trace(true)
+	d2, err := tryOpenWAL(dir, c, 0)
+	if err != nil {
+		t.Fatalf("trace open: %v", err)
+	}
+	pts := p.Points()
+	p.Trace(false)
+	p.Reset()
+	if !alphaWAL(t, d2).Equal(want) {
+		t.Fatal("clean recovery disagrees with the acknowledged state")
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	applySteps := 0
+	for _, pt := range pts {
+		if pt.Site == "recovery.apply" {
+			applySteps++
+		}
+	}
+	if applySteps == 0 {
+		t.Fatal("recovery passed no recovery.apply points")
+	}
+
+	for step := 1; step <= len(pts); step++ {
+		for _, mode := range []faultinject.Mode{faultinject.Error, faultinject.Panic} {
+			if mode == faultinject.Error && !pts[step-1].CanError {
+				continue
+			}
+			p.Reset()
+			p.Arm(int64(step), mode)
+			var opened *core.DurableRelation
+			err, _ := runContained(func() error {
+				var oerr error
+				opened, oerr = tryOpenWAL(dir, c, 0)
+				return oerr
+			})
+			fired := len(p.Fired()) > 0
+			p.Disarm()
+			if !fired {
+				t.Fatalf("step %d/%v: fault did not fire", step, mode)
+			}
+			if err == nil {
+				opened.Close()
+				t.Fatalf("step %d/%v: faulted recovery surfaced as success", step, mode)
+			}
+			if opened != nil {
+				opened.Close()
+				t.Fatalf("step %d/%v: faulted recovery returned a relation", step, mode)
+			}
+			// The COW guarantee: a disarmed retry sees an untouched
+			// directory and recovers everything.
+			p.Reset()
+			d3, oerr := tryOpenWAL(dir, c, 0)
+			if oerr != nil {
+				t.Fatalf("step %d/%v: retried recovery failed: %v", step, mode, oerr)
+			}
+			if !alphaWAL(t, d3).Equal(want) {
+				t.Fatalf("step %d/%v: retried recovery disagrees with the acknowledged state", step, mode)
+			}
+			if ierr := d3.CheckInvariants(); ierr != nil {
+				t.Fatalf("step %d/%v: invariants after retried recovery: %v", step, mode, ierr)
+			}
+			if cerr := d3.Close(); cerr != nil {
+				t.Fatalf("step %d/%v: close after retried recovery: %v", step, mode, cerr)
+			}
+		}
+	}
+}

@@ -72,6 +72,17 @@
 //     clone count per operation depends on decomposition shape and on how
 //     many applies share a spine, so tests treat these as observed values
 //     with sanity bounds rather than exact predictions.
+//   - WalAppends / WalFsyncs / WalBytes: durable-tier log traffic — one
+//     append per committed record (a mutation that changed the relation;
+//     no-ops append nothing), one fsync per file synchronization actually
+//     issued (so SyncAlways counts one per append, SyncInterval counts
+//     group commits, SyncOff counts only checkpoint/close syncs), and the
+//     framed bytes written.
+//   - CkptWrites / CkptBytes: completed checkpoint snapshots (per cell on
+//     the sharded tier) and the snapshot-file bytes they wrote.
+//   - RecoveryReplays / RecoveryDiscards: durable.Open work — log records
+//     replayed into the fresh relation, and torn trailing records
+//     discarded by the CRC scan.
 package obs
 
 import (
@@ -122,6 +133,16 @@ type Metrics struct {
 	SnapReads     atomic.Uint64
 	CowNodeClones atomic.Uint64
 	CowMapClones  atomic.Uint64
+
+	WalAppends atomic.Uint64
+	WalFsyncs  atomic.Uint64
+	WalBytes   atomic.Uint64
+
+	CkptWrites atomic.Uint64
+	CkptBytes  atomic.Uint64
+
+	RecoveryReplays  atomic.Uint64
+	RecoveryDiscards atomic.Uint64
 }
 
 // Snapshot is an atomic-free copy of a Metrics block, safe to compare,
@@ -143,6 +164,10 @@ type Snapshot struct {
 
 	SnapPublishes, SnapDrops, SnapReads uint64
 	CowNodeClones, CowMapClones         uint64
+
+	WalAppends, WalFsyncs, WalBytes   uint64
+	CkptWrites, CkptBytes             uint64
+	RecoveryReplays, RecoveryDiscards uint64
 }
 
 // Snapshot copies every counter. Each counter is read atomically; the
@@ -181,6 +206,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		SnapReads:       m.SnapReads.Load(),
 		CowNodeClones:   m.CowNodeClones.Load(),
 		CowMapClones:    m.CowMapClones.Load(),
+
+		WalAppends:       m.WalAppends.Load(),
+		WalFsyncs:        m.WalFsyncs.Load(),
+		WalBytes:         m.WalBytes.Load(),
+		CkptWrites:       m.CkptWrites.Load(),
+		CkptBytes:        m.CkptBytes.Load(),
+		RecoveryReplays:  m.RecoveryReplays.Load(),
+		RecoveryDiscards: m.RecoveryDiscards.Load(),
 	}
 }
 
@@ -218,6 +251,14 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		SnapReads:       s.SnapReads - prev.SnapReads,
 		CowNodeClones:   s.CowNodeClones - prev.CowNodeClones,
 		CowMapClones:    s.CowMapClones - prev.CowMapClones,
+
+		WalAppends:       s.WalAppends - prev.WalAppends,
+		WalFsyncs:        s.WalFsyncs - prev.WalFsyncs,
+		WalBytes:         s.WalBytes - prev.WalBytes,
+		CkptWrites:       s.CkptWrites - prev.CkptWrites,
+		CkptBytes:        s.CkptBytes - prev.CkptBytes,
+		RecoveryReplays:  s.RecoveryReplays - prev.RecoveryReplays,
+		RecoveryDiscards: s.RecoveryDiscards - prev.RecoveryDiscards,
 	}
 }
 
@@ -263,6 +304,13 @@ func (s Snapshot) String() string {
 	app("exec.snapshot", s.SnapReads)
 	app("cow.nodes", s.CowNodeClones)
 	app("cow.maps", s.CowMapClones)
+	app("wal.appends", s.WalAppends)
+	app("wal.fsyncs", s.WalFsyncs)
+	app("wal.bytes", s.WalBytes)
+	app("ckpt.writes", s.CkptWrites)
+	app("ckpt.bytes", s.CkptBytes)
+	app("recovery.replays", s.RecoveryReplays)
+	app("recovery.discards", s.RecoveryDiscards)
 	if s.FanOutLatency.Count > 0 {
 		if len(b) > 0 {
 			b = append(b, ' ')

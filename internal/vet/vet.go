@@ -29,6 +29,7 @@ const (
 	CodeOptionsMisuse   diag.Code = "relvet104" // options literal missing required fields
 	CodeDirtyCodegen    diag.Code = "relvet105" // generated code not gofmt/analyzer clean
 	CodeStaleSnapshot   diag.Code = "relvet106" // pinned snapshot handle read across its own mutation
+	CodeUnsyncedDurable diag.Code = "relvet107" // durable relation mutated, never closed or synced
 )
 
 // Codes returns the Go-plane catalogue, in the same Info currency as the
@@ -53,12 +54,15 @@ func Codes() []lint.Info {
 		{Code: CodeStaleSnapshot, Severity: diag.Warning,
 			Summary:   "pinned snapshot handle (Snapshot()/Shard()) read after a mutation of its relation",
 			Grounding: "MVCC reads run against an immutable published version; a handle pinned before a mutation never observes it — re-acquire the handle (or query the relation) for fresh data"},
+		{Code: CodeUnsyncedDurable, Severity: diag.Warning,
+			Summary:   "durable relation mutated but never closed or synced in the function that opened it",
+			Grounding: "under SyncInterval/SyncOff a mutation is acknowledged before its WAL record reaches disk; only Close or Sync force the flush, so a handle abandoned after mutating can silently lose acknowledged commits on a crash"},
 	}
 }
 
 // Analyzers returns the AST analyzers of the suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse, StaleSnapshot}
+	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse, StaleSnapshot, UnsyncedDurable}
 }
 
 // relTypeNames are the engine types whose methods the analyzers treat as
@@ -68,6 +72,7 @@ var relTypeNames = map[string]bool{
 	"Relation":        true,
 	"SyncRelation":    true,
 	"ShardedRelation": true,
+	"DurableRelation": true,
 }
 
 // mutPrefixes match mutation method names on those types, both the core
@@ -416,6 +421,123 @@ func pinnedAcrossMutation(pass *analysis.Pass, body *ast.BlockStmt,
 		}
 		return true
 	})
+}
+
+// UnsyncedDurable (relvet107) flags a durable relation that a function
+// opens (binds from any call returning *core.DurableRelation — typically
+// durable.Open or core.NewDurableSync/NewDurableSharded), mutates, and
+// then abandons: no Close, Sync, or Checkpoint on the handle anywhere in
+// the function, including deferred calls and closures. Handles that
+// escape — returned, passed to another function, stored — are the
+// caller's responsibility and stay silent, as do handles the function
+// only queries.
+var UnsyncedDurable = &analysis.Analyzer{
+	Name:     "unsynceddurable",
+	Doc:      "flags durable relations mutated but never closed or synced",
+	Code:     CodeUnsyncedDurable,
+	Severity: diag.Warning,
+	Run: func(pass *analysis.Pass) {
+		forEachFuncBody(pass, func(body *ast.BlockStmt) {
+			info := pass.Pkg.Info
+			type durVar struct {
+				name    string
+				bindPos token.Pos
+				mutLine int  // line of the first mutation, 0 when never mutated
+				settled bool // Close/Sync/Checkpoint reachable in this body
+				escapes bool // handed off: lifecycle is someone else's
+			}
+			vars := map[types.Object]*durVar{}
+			var order []*durVar             // binding order, for deterministic reports
+			recvUse := map[token.Pos]bool{} // ident positions used as method receivers
+			lhsUse := map[token.Pos]bool{}  // ident positions written on an assignment LHS
+
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							lhsUse[id.Pos()] = true
+						}
+					}
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					if _, ok := n.Rhs[0].(*ast.CallExpr); !ok {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil && isDurableType(obj.Type()) && vars[obj] == nil {
+							vars[obj] = &durVar{name: id.Name, bindPos: n.Pos()}
+							order = append(order, vars[obj])
+						}
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					v := vars[info.Uses[id]]
+					if v == nil {
+						return true
+					}
+					recvUse[id.Pos()] = true
+					switch {
+					case isMutName(sel.Sel.Name):
+						if v.mutLine == 0 {
+							v.mutLine = pass.Pkg.Fset.Position(n.Pos()).Line
+						}
+					case sel.Sel.Name == "Close" || sel.Sel.Name == "Sync" || sel.Sel.Name == "Checkpoint":
+						v.settled = true
+					}
+				}
+				return true
+			})
+
+			// Any remaining use of the handle — an argument, a return
+			// value, a plain assignment — hands it off.
+			ast.Inspect(body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || recvUse[id.Pos()] || lhsUse[id.Pos()] {
+					return true
+				}
+				if v := vars[info.Uses[id]]; v != nil {
+					v.escapes = true
+				}
+				return true
+			})
+
+			for _, v := range order {
+				if v.mutLine != 0 && !v.settled && !v.escapes {
+					pass.Reportf(v.bindPos,
+						"durable relation %s is mutated (line %d) but never closed or synced: buffered WAL records are lost if the handle is dropped — call Close (or Sync) before it goes out of scope", v.name, v.mutLine)
+				}
+			}
+		})
+	},
+}
+
+func isDurableType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "DurableRelation"
 }
 
 // OptionsMisuse (relvet104) flags keyed options literals missing the

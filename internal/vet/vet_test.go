@@ -24,6 +24,7 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 		{"relvet103", vet.StaleResults},
 		{"relvet104", vet.OptionsMisuse},
 		{"relvet106", vet.StaleSnapshot},
+		{"relvet107", vet.UnsyncedDurable},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -77,8 +78,8 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 // analyzers agree with it.
 func TestCatalogue(t *testing.T) {
 	infos := vet.Codes()
-	if len(infos) != 6 {
-		t.Fatalf("catalogue has %d codes, want 6 (relvet101–106)", len(infos))
+	if len(infos) != 7 {
+		t.Fatalf("catalogue has %d codes, want 7 (relvet101–107)", len(infos))
 	}
 	sev := map[diag.Code]diag.Severity{}
 	for _, i := range infos {

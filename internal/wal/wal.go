@@ -1,0 +1,114 @@
+// Package wal is the durability substrate of the engine: a write-ahead
+// log of logical mutation deltas and a checkpoint snapshot format, both in
+// a compact length-prefixed binary encoding with per-file string interning
+// and a CRC32C (Castagnoli) checksum on every record.
+//
+// The unit of logging is a Commit — the logical delta of one engine-level
+// write operation, captured by the durable tier between the copy-on-write
+// apply and the atomic publish: the full tuples the operation removed and
+// the full tuples it inserted (an update logs one of each). Replaying a
+// log is therefore representation-independent: the same records rebuild
+// the relation under any decomposition, because recovery re-runs the
+// deltas through the engine's own mutation path rather than restoring
+// data-structure bytes.
+//
+// # File formats
+//
+// A log file is a 16-byte header — magic "RWL1", a little-endian uint32
+// format version, and the little-endian uint64 sequence number of the
+// first record the file may hold (baseSeq) — followed by frames:
+//
+//	[uint32 payloadLen][uint32 crc32c(payload)][payload]
+//
+// A commit payload is: a record-type byte, the record's sequence number,
+// the string-dictionary entries this record introduces (interning is
+// incremental per file: a string is written once, in full, by the first
+// record that uses it, and referred to by dense integer id afterwards),
+// and the removed/inserted tuple lists. Integers are varint-encoded
+// (zigzag for signed values); column names and string values share one
+// dictionary.
+//
+// A snapshot file is a 24-byte header — magic "RSN1", version, the
+// sequence number the snapshot covers (every record with seq ≤ that is
+// reflected in it), and the tuple count — followed by chunk frames in the
+// same [len][crc][payload] framing.
+//
+// # Torn tails versus corruption
+//
+// The scan distinguishes the two failure shapes a crash can and cannot
+// produce. A crash mid-append truncates the file's suffix, so a trailing
+// frame that is incomplete — fewer than 8 bytes left, a claimed payload
+// length running past end-of-file, or a CRC mismatch on a frame that
+// extends exactly to end-of-file — is a torn tail: it is cleanly
+// discarded (counted in Metrics.RecoveryDiscards) and the log is
+// truncated back to its last valid frame before appends resume. A CRC
+// mismatch with more data after the frame, a sequence-number gap, or a
+// malformed payload under a valid CRC cannot result from a torn write;
+// they mean the file was corrupted in place, and the scan fails loudly
+// with ErrCorrupt rather than silently dropping acknowledged commits.
+package wal
+
+import (
+	"errors"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SyncPolicy selects when an appended record is flushed to stable storage
+// — the durability/latency trade every WAL exposes.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append acknowledges: an acknowledged
+	// mutation survives any crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges after the buffered write and fsyncs on a
+	// background group-commit tick (Config.Interval): a crash may lose the
+	// last interval's acknowledged mutations, never more.
+	SyncInterval
+	// SyncOff never fsyncs on the append path; only checkpoints and Close
+	// sync. Crash durability is whatever the OS page cache provides.
+	SyncOff
+)
+
+// String names the policy, for benchmarks and EXPLAIN output.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "off"
+	}
+}
+
+// DefaultInterval is the group-commit tick used when Config.Interval is
+// zero under SyncInterval.
+const DefaultInterval = 2 * time.Millisecond
+
+// Config configures a Log.
+type Config struct {
+	Policy   SyncPolicy
+	Interval time.Duration // group-commit tick for SyncInterval; 0 = DefaultInterval
+	Metrics  *obs.Metrics  // optional sink for wal.* counters
+}
+
+// ErrCorrupt reports in-place log or snapshot corruption: damage that a
+// torn write cannot explain. Recovery fails loudly on it instead of
+// guessing; errors.Is(err, ErrCorrupt) identifies it.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// ErrWedged reports an append attempted after a previous append or
+// rotation was interrupted by a panic mid-write: the file tail is in an
+// unknown state, and the log refuses further writes until it is reopened
+// (reopening discards the torn tail).
+var ErrWedged = errors.New("wal: log wedged by an interrupted write; reopen to recover")
+
+// castagnoli is the CRC32C table shared by log and snapshot framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+func tup(bs ...relation.Binding) relation.Tuple { return relation.NewTuple(bs...) }
+
+func bi(col string, v int64) relation.Binding  { return relation.BindInt(col, v) }
+func bs(col string, s string) relation.Binding { return relation.BindString(col, s) }
+func eqTuples(a, b []relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	enc := newEncoder()
+	commits := []Commit{
+		{Seq: 1, Inserted: []relation.Tuple{tup(bi("pid", 7), bs("state", "running"), bs("host", "a1"))}},
+		{Seq: 2, Removed: []relation.Tuple{tup(bi("pid", 7), bs("state", "running"), bs("host", "a1"))},
+			Inserted: []relation.Tuple{tup(bi("pid", 7), bs("state", "sleeping"), bs("host", "a1"))}},
+		{Seq: 3, Inserted: []relation.Tuple{tup(bi("pid", -9), bs("state", "running"), bs("host", "a2"))}},
+	}
+	dec := &decoder{}
+	for i, c := range commits {
+		payload := enc.appendCommit(nil, c)
+		enc.commit()
+		got, err := dec.readCommit(payload)
+		if err != nil {
+			t.Fatalf("commit %d: decode: %v", i, err)
+		}
+		if got.Seq != c.Seq || !eqTuples(got.Removed, c.Removed) || !eqTuples(got.Inserted, c.Inserted) {
+			t.Fatalf("commit %d: round-trip mismatch: %+v != %+v", i, got, c)
+		}
+	}
+	// Interning: the second record reuses "pid"/"state"/"host"/"running"
+	// and adds only "sleeping"; the payload must be smaller than the first.
+	p1 := enc.appendCommit(nil, commits[0])
+	enc.abort()
+	if len(p1) <= 0 {
+		t.Fatal("empty payload")
+	}
+}
+
+func TestEncoderAbortRollsBackDict(t *testing.T) {
+	enc := newEncoder()
+	_ = enc.appendCommit(nil, Commit{Seq: 1, Inserted: []relation.Tuple{tup(bs("c", "x"))}})
+	enc.abort()
+	if len(enc.dict) != 0 || enc.next != 0 {
+		t.Fatalf("abort left dictionary state: %v next=%d", enc.dict, enc.next)
+	}
+	// A committed record then re-interns from scratch and decodes.
+	payload := enc.appendCommit(nil, Commit{Seq: 1, Inserted: []relation.Tuple{tup(bs("c", "x"))}})
+	enc.commit()
+	dec := &decoder{}
+	if _, err := dec.readCommit(payload); err != nil {
+		t.Fatalf("decode after abort+retry: %v", err)
+	}
+}
+
+func writeCommits(t *testing.T, path string, n int) *Log {
+	t.Helper()
+	l, err := Create(path, 1, Config{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c := Commit{Inserted: []relation.Tuple{tup(bi("k", int64(i)), bs("v", "payload"))}}
+		if err := l.Append(c); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	return l
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := writeCommits(t, path, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.BaseSeq != 1 || sc.NextSeq != 11 || len(sc.Commits) != 10 || sc.Discarded != 0 {
+		t.Fatalf("scan: base=%d next=%d commits=%d discarded=%d", sc.BaseSeq, sc.NextSeq, len(sc.Commits), sc.Discarded)
+	}
+	for i, c := range sc.Commits {
+		if c.Seq != uint64(i+1) {
+			t.Fatalf("commit %d has seq %d", i, c.Seq)
+		}
+		want := tup(bi("k", int64(i)), bs("v", "payload"))
+		if len(c.Inserted) != 1 || !c.Inserted[0].Equal(want) {
+			t.Fatalf("commit %d: %v != %v", i, c.Inserted, want)
+		}
+	}
+}
+
+// TestTornTailDiscarded truncates the file at every offset inside the
+// final record: every cut must scan as a clean torn tail holding exactly
+// the first n-1 commits.
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := writeCommits(t, path, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset where the last record begins.
+	lastStart := int64(len(full))
+	{
+		l2 := writeCommits(t, filepath.Join(dir, "two.log"), 2)
+		lastStart = l2.Size()
+		l2.Close()
+	}
+	for cut := lastStart + 1; cut < int64(len(full)); cut++ {
+		p := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadLog(p)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got.Commits) != 2 || got.Discarded != 1 {
+			t.Fatalf("cut %d: %d commits, %d discarded", cut, len(got.Commits), got.Discarded)
+		}
+		if got.ValidSize != lastStart {
+			t.Fatalf("cut %d: valid size %d, want %d", cut, got.ValidSize, lastStart)
+		}
+	}
+	_ = sc
+}
+
+// TestMidLogCorruptionLoud flips a byte inside an interior record: with
+// valid data following, the scan must refuse with ErrCorrupt instead of
+// discarding acknowledged commits.
+func TestMidLogCorruptionLoud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := writeCommits(t, path, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[logHdrSize+frameHdrSize+1] ^= 0xFF // inside the first record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption scanned as %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTornFinalRecordCRC corrupts the last record without shortening the
+// file: the frame extends exactly to EOF, so it is discarded as torn.
+func TestTornFinalRecordCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := writeCommits(t, path, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("CRC-failed final record: %v", err)
+	}
+	if len(sc.Commits) != 2 || sc.Discarded != 1 {
+		t.Fatalf("got %d commits, %d discarded", len(sc.Commits), sc.Discarded)
+	}
+}
+
+func TestOpenForAppendContinuesDictionaryAndSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := writeCommits(t, path, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenForAppend(path, sc, Config{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reopened log reuses interned strings and continues sequencing.
+	if err := l2.Append(Commit{Inserted: []relation.Tuple{tup(bi("k", 99), bs("v", "payload"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc2.Commits) != 3 || sc2.Commits[2].Seq != 3 {
+		t.Fatalf("after reopen-append: %d commits, last seq %d", len(sc2.Commits), sc2.Commits[len(sc2.Commits)-1].Seq)
+	}
+	if got := sc2.Commits[2].Inserted[0]; !got.Equal(tup(bi("k", 99), bs("v", "payload"))) {
+		t.Fatalf("reopen-append round trip: %v", got)
+	}
+}
+
+func TestOpenForAppendTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := writeCommits(t, path, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage frame header at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sc, err := ReadLog(path)
+	if err != nil || sc.Discarded != 1 {
+		t.Fatalf("scan: %v discarded=%d", err, sc.Discarded)
+	}
+	l2, err := OpenForAppend(path, sc, Config{Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(Commit{Inserted: []relation.Tuple{tup(bi("k", 5), bs("v", "x"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := ReadLog(path)
+	if err != nil || len(sc2.Commits) != 3 || sc2.Discarded != 0 {
+		t.Fatalf("after truncate+append: err=%v commits=%d discarded=%d", err, len(sc2.Commits), sc2.Discarded)
+	}
+}
+
+func TestRotateTruncatesAndRebase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	m := &obs.Metrics{}
+	l, err := Create(path, 1, Config{Policy: SyncAlways, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append(Commit{Inserted: []relation.Tuple{tup(bi("k", int64(i)))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(5); err != nil {
+		t.Fatal(err)
+	}
+	if l.NextSeq() != 5 {
+		t.Fatalf("nextSeq after rotate: %d", l.NextSeq())
+	}
+	if err := l.Append(Commit{Inserted: []relation.Tuple{tup(bi("k", 100))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.BaseSeq != 5 || len(sc.Commits) != 1 || sc.Commits[0].Seq != 5 {
+		t.Fatalf("after rotate: base=%d commits=%d", sc.BaseSeq, len(sc.Commits))
+	}
+	if m.WalAppends.Load() != 5 {
+		t.Fatalf("wal.appends = %d, want 5", m.WalAppends.Load())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("rotation left a tmp file: %v", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-1.snap")
+	var tuples []relation.Tuple
+	for i := 0; i < 10000; i++ { // several chunks
+		tuples = append(tuples, tup(bi("k", int64(i)), bs("v", "state")))
+	}
+	m := &obs.Metrics{}
+	n, err := WriteSnapshot(path, 42, tuples, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("no bytes written")
+	}
+	got, seq, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || !eqTuples(got, tuples) {
+		t.Fatalf("snapshot round trip: seq=%d len=%d", seq, len(got))
+	}
+	if m.CkptWrites.Load() != 1 || m.CkptBytes.Load() != uint64(n) {
+		t.Fatalf("ckpt counters: writes=%d bytes=%d want 1/%d", m.CkptWrites.Load(), m.CkptBytes.Load(), n)
+	}
+}
+
+func TestSnapshotCorruptionLoud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-1.snap")
+	tuples := []relation.Tuple{tup(bi("k", 1), bs("v", "x"))}
+	if _, err := WriteSnapshot(path, 7, tuples, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) - 1, snapHdrSize + 2} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated snapshot at %d read as %v, want ErrCorrupt", cut, err)
+		}
+	}
+	flip := append([]byte(nil), data...)
+	flip[snapHdrSize+frameHdrSize] ^= 0xFF
+	if err := os.WriteFile(path, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped snapshot read as %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGroupCommitSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	m := &obs.Metrics{}
+	l, err := Create(path, 1, Config{Policy: SyncInterval, Interval: time.Millisecond, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Commit{Inserted: []relation.Tuple{tup(bi("k", 1))}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for m.WalFsyncs.Load() < 2 && time.Now().Before(deadline) { // header sync + group commit
+		time.Sleep(time.Millisecond)
+	}
+	if m.WalFsyncs.Load() < 2 {
+		t.Fatalf("group commit never synced: fsyncs=%d", m.WalFsyncs.Load())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package repro
+
+// Durable-tier benchmarks: what the write-ahead log costs on the append
+// path and what recovery costs as the log grows.
+//
+//	make bench-wal         # writes BENCH_wal.json
+//	benchstat -col /policy BENCH_wal.json
+//
+// BenchmarkWALAppend inserts distinct flows through core.DurableRelation
+// under each fsync policy. SyncAlways pays one fsync per acknowledged
+// commit — its ns/op IS the disk's sync latency, and the fsyncs/op metric
+// should sit at ~1. SyncInterval and SyncOff acknowledge from the OS
+// buffer cache, so their ns/op tracks the in-memory engine plus encoding.
+//
+// BenchmarkWALRecovery prepares a directory holding an N-mutation
+// history (one sub-benchmark also checkpoints mid-history, bounding the
+// tail to N/2) and times durable.Open end to end: header scan, snapshot
+// load, CRC-checked decode, and replay through the copy-on-write publish
+// path. The 100k-op legs are the headline numbers; replays/s is reported
+// so runs with different histories compare directly. Preparing those
+// histories takes a few seconds per run — they are built outside the
+// timed region but inside the sub-benchmark, so expect bench-wal to take
+// a minute or two at COUNT=6.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dstruct"
+	"repro/internal/durable"
+	"repro/internal/fd"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+func walBenchSpec() *core.Spec {
+	return &core.Spec{
+		Name: "flows",
+		Columns: []core.ColDef{
+			{Name: "local", Type: core.IntCol},
+			{Name: "foreign", Type: core.IntCol},
+			{Name: "bytes", Type: core.IntCol},
+		},
+		FDs: fd.NewSet(fd.FD{
+			From: relation.NewCols("local", "foreign"),
+			To:   relation.NewCols("bytes"),
+		}),
+	}
+}
+
+func walBenchDecomp() *decomp.Decomp {
+	return decomp.MustNew([]decomp.Binding{
+		decomp.Let("w", []string{"local", "foreign"}, []string{"bytes"},
+			decomp.U("bytes")),
+		decomp.Let("y", []string{"local"}, []string{"foreign", "bytes"},
+			decomp.M(dstruct.HTableKind, "w", "foreign")),
+		decomp.Let("x", nil, []string{"local", "foreign", "bytes"},
+			decomp.M(dstruct.HTableKind, "y", "local")),
+	}, "x")
+}
+
+func walBenchTuple(i int) relation.Tuple {
+	return relation.NewTuple(
+		relation.BindInt("local", int64(i%1024)),
+		relation.BindInt("foreign", int64(i)),
+		relation.BindInt("bytes", int64(i)*100),
+	)
+}
+
+func openWALBench(b *testing.B, dir string, create bool, policy wal.SyncPolicy, met *obs.Metrics) *core.DurableRelation {
+	b.Helper()
+	d, err := durable.Open(dir, walBenchSpec(), walBenchDecomp(), durable.Options{
+		Create:  create,
+		Policy:  policy,
+		Metrics: met,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOff} {
+		b.Run("policy="+policy.String(), func(b *testing.B) {
+			met := &obs.Metrics{}
+			d := openWALBench(b, b.TempDir(), true, policy, met)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Insert(walBenchTuple(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			snap := met.Snapshot()
+			b.ReportMetric(float64(snap.WalFsyncs)/float64(b.N), "fsyncs/op")
+			b.ReportMetric(float64(snap.WalBytes)/float64(b.N), "walB/op")
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, cfg := range []struct {
+		ops  int
+		ckpt bool
+	}{
+		{10_000, false},
+		{100_000, false},
+		{100_000, true},
+	} {
+		name := fmt.Sprintf("ops=%d", cfg.ops)
+		if cfg.ckpt {
+			name += "-ckpt"
+		}
+		b.Run(name, func(b *testing.B) {
+			if testing.Short() && cfg.ops > 10_000 {
+				b.Skip("100k-op history prep skipped under -short")
+			}
+			// Prepare the history once, untimed. SyncOff keeps the prep
+			// fast; the orderly Close flushes everything to disk.
+			dir := b.TempDir()
+			d := openWALBench(b, dir, true, wal.SyncOff, nil)
+			for i := 0; i < cfg.ops; i++ {
+				if err := d.Insert(walBenchTuple(i)); err != nil {
+					b.Fatal(err)
+				}
+				if cfg.ckpt && i == cfg.ops/2 {
+					if err := d.Checkpoint(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+
+			met := &obs.Metrics{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d2 := openWALBench(b, dir, false, wal.SyncOff, met)
+				b.StopTimer()
+				if d2.Len() != cfg.ops {
+					b.Fatalf("recovered %d tuples, want %d", d2.Len(), cfg.ops)
+				}
+				if err := d2.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			snap := met.Snapshot()
+			b.ReportMetric(float64(snap.RecoveryReplays)/b.Elapsed().Seconds(), "replays/s")
+		})
+	}
+}
