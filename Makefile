@@ -7,22 +7,35 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-wal bench-smoke test-vec fmt-check faultinject fuzz fuzz-smoke lint
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-wal bench-smoke test-vec fmt-check faultinject fuzz fuzz-smoke lint lint-engine
 
-ci: vet build race test-vec faultinject lint fuzz-smoke bench-smoke
+ci: vet build race test-vec faultinject lint lint-engine fuzz-smoke bench-smoke
 
-# The static-analysis plane, both halves: the decomposition linter over
-# every checked-in spec (relvet0xx — adequacy, storage redundancy, cost
-# smells), the Go-plane multichecker over the whole module (relvet1xx —
-# engine misuse in client and generated packages), and the codegen
-# contract (relvet105 — regenerated output must be gofmt-idempotent and
-# analyzer-clean). All three must exit 0 on a healthy checkout; there are
-# no standing suppressions.
-lint: build
+# The static-analysis plane, all three layers: the decomposition linter
+# over every checked-in spec (relvet0xx — adequacy, storage redundancy,
+# cost smells), the Go-plane multichecker over the whole module
+# (relvet1xx — engine misuse in client and generated packages; one
+# invocation, `go list ./...` already includes examples/), and the
+# codegen contract (relvet105 — regenerated output must be
+# gofmt-idempotent and analyzer-clean). relvet is built once into bin/
+# rather than `go run` three times. All legs must exit 0 on a healthy
+# checkout; zero standing suppressions — enforced by
+# TestNoStandingSuppressions in internal/vet.
+lint: bin/relvet
 	$(GO) run ./cmd/relc -lint spec/*.rel
-	$(GO) run ./cmd/relvet ./...
-	$(GO) run ./cmd/relvet ./examples/...
-	$(GO) run ./cmd/relvet -gen spec/*.rel
+	bin/relvet ./...
+	bin/relvet -gen spec/*.rel
+
+# The engine-invariant plane (relvet2xx): the interprocedural analyzers
+# turned inward on internal/core, instance, dstruct, durable, and wal —
+# COW write containment, lock-free read purity, WAL-before-publish
+# ordering, and atomic-pointer publication discipline. Exemptions only
+# via //relvet:role annotations, never //relvet:ignore.
+lint-engine: bin/relvet
+	bin/relvet -engine
+
+bin/relvet: $(shell find cmd/relvet internal -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o bin/relvet ./cmd/relvet
 
 # The race gate plus an explicit rerun of the execution-tier differential
 # tests (plan-level and engine-level, including the randomized vectorized
@@ -34,6 +47,7 @@ ci-race: vet build race
 	$(GO) test -race -count 2 -run 'Differential|Vectorized' ./internal/plan ./internal/core
 	$(GO) test -race -count 2 -run 'Concurrent|Randomized' ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
 	$(GO) test -race -count 1 -run 'ExhaustiveWALSharded|WALRecovery' ./internal/faultinject/harness
+	$(GO) test -race -count 1 -run 'EngineCorpus|EngineCleanOnModule' ./internal/vet
 
 # The vectorized-tier gate: the randomized corpus differential (every plan
 # in the corpus executed on the interpreter, the closure tier, and the

@@ -1,8 +1,10 @@
 // Command relvet is the Go-plane half of the static-analysis suite: a
 // multichecker that vets client code and generated code for misuse of the
-// relation engine (the relvet1xx codes of internal/vet), plus a codegen
-// mode asserting RELC output is gofmt-idempotent and analyzer-clean
-// (relvet105), and a catalogue mode documenting every code of both
+// relation engine (the relvet1xx codes of internal/vet), an engine mode
+// that turns the same machinery inward (the relvet2xx engine-invariant
+// analyzers over internal/core and friends), plus a codegen mode
+// asserting RELC output is gofmt-idempotent and analyzer-clean
+// (relvet105), and a catalogue mode documenting every code of all
 // planes. The decomposition-plane linter (relvet0xx) runs via
 // `relc -lint`; this command deliberately shares its diagnostic currency
 // so CI output from both reads identically.
@@ -11,6 +13,10 @@
 //
 //	relvet [-suppress CODES] [PACKAGES...]   vet Go packages (default ./...)
 //	relvet -gen FILE.rel...                  regenerate and vet codegen output
+//	relvet -engine [PACKAGES...]             vet the engine packages against
+//	                                         the 2xx invariants (default scope
+//	                                         internal/core, instance, dstruct,
+//	                                         durable, wal)
 //	relvet -codes                            print the code catalogue
 //
 // Suppression in Go sources is per-line: a `//relvet:ignore relvet101`
@@ -39,11 +45,13 @@ import (
 
 func main() {
 	genMode := flag.Bool("gen", false, "treat arguments as .rel files: regenerate their packages in memory and vet the output")
+	engineMode := flag.Bool("engine", false, "run the 2xx engine-invariant analyzers over the engine packages")
 	codes := flag.Bool("codes", false, "print the catalogue of relvet codes and exit")
 	suppress := flag.String("suppress", "", "comma-separated codes to drop")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: relvet [-suppress CODES] [PACKAGES...]\n")
 		fmt.Fprintf(os.Stderr, "       relvet -gen FILE.rel...\n")
+		fmt.Fprintf(os.Stderr, "       relvet -engine [PACKAGES...]\n")
 		fmt.Fprintf(os.Stderr, "       relvet -codes\n")
 		flag.PrintDefaults()
 	}
@@ -54,6 +62,12 @@ func main() {
 		printCatalogue()
 	case *genMode:
 		os.Exit(runGen(flag.Args(), splitCodes(*suppress)))
+	case *engineMode:
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = vet.EnginePackages()
+		}
+		os.Exit(runEngine(patterns, splitCodes(*suppress)))
 	default:
 		patterns := flag.Args()
 		if len(patterns) == 0 {
@@ -83,6 +97,26 @@ func runVet(patterns, suppress []string) int {
 	if len(ds) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runEngine loads the engine packages as one program — the 2xx plane
+// reasons interprocedurally across them — and applies the
+// engine-invariant analyzers. True positives must be fixed or carry a
+// //relvet:role exemption; ignores are barred by the suppression
+// meta-test.
+func runEngine(patterns, suppress []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relvet: %v\n", err)
+		return 2
+	}
+	ds := diag.Filter(analysis.Run(pkgs, vet.EngineAnalyzers()), suppress)
+	printDiags(ds)
+	if len(ds) > 0 {
+		return 1
+	}
+	fmt.Printf("relvet: engine invariants clean for %s\n", strings.Join(patterns, " "))
 	return 0
 }
 
@@ -181,7 +215,11 @@ func printCatalogue() {
 	for _, i := range vet.Codes() {
 		printInfo(i)
 	}
-	fmt.Printf("\nsuppression: .rel findings via -suppress CODE,...; Go findings via //relvet:ignore CODE comments or -suppress\n")
+	fmt.Printf("\nengine-invariant plane (relvet -engine):\n")
+	for _, i := range vet.EngineCodes() {
+		printInfo(i)
+	}
+	fmt.Printf("\nsuppression: .rel findings via -suppress CODE,...; Go findings via //relvet:ignore CODE comments or -suppress; engine findings only via //relvet:role exemptions\n")
 }
 
 func printInfo(i lint.Info) {

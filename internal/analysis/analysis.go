@@ -35,10 +35,14 @@ type Analyzer struct {
 }
 
 // A Pass carries one (package, analyzer) pairing. The analyzer inspects
-// Pkg and calls Reportf for each finding.
+// Pkg and calls Reportf for each finding. Prog is the whole-program
+// index over every package in the Run — function summaries, the call
+// graph, and //relvet:role annotations — for analyzers that reason
+// interprocedurally (the relvet 2xx plane).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 
 	findings []finding
 }
@@ -58,11 +62,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // honoured here, after the analyzers run, so analyzers stay oblivious to
 // the mechanism.
 func Run(pkgs []*Package, analyzers []*Analyzer) []diag.Diagnostic {
+	prog := BuildProgram(pkgs)
 	var ds []diag.Diagnostic
 	for _, pkg := range pkgs {
 		ig := ignoresFor(pkg)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
 			a.Run(pass)
 			for _, f := range pass.findings {
 				pos := pkg.Fset.Position(f.pos)

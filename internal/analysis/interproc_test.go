@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadInterproc builds the Program over the fixture package and returns
+// it with a by-short-name index of the fixture's functions.
+func loadInterproc(t *testing.T) (*analysis.Program, map[string]*analysis.FuncInfo) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./testdata/interproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.BuildProgram(pkgs)
+	byName := make(map[string]*analysis.FuncInfo)
+	for _, pkg := range pkgs {
+		for _, fi := range prog.FuncsOf(pkg) {
+			byName[fi.Name] = fi
+		}
+	}
+	return prog, byName
+}
+
+func TestInterprocSummaries(t *testing.T) {
+	_, fns := loadInterproc(t)
+
+	cases := []struct {
+		name       string
+		mutatesRef bool // MutatesParam on the relation/box parameter (index 0)
+		returnsPub bool
+		returnsArg bool // ReturnsParam[0]
+	}{
+		{"view", false, true, false},
+		{"same", false, false, true},
+		{"poke", true, false, false},
+		{"pokeVia", true, false, false}, // propagated through same() into poke()
+		{"fork", false, false, false},   // role=fork: returns are fresh by contract
+		{"configure", true, false, false},
+		{"applyConfig", false, false, false}, // role=config stops propagation
+	}
+	for _, c := range cases {
+		fi := fns[c.name]
+		if fi == nil {
+			t.Fatalf("fixture function %q not indexed", c.name)
+		}
+		if got := fi.MutatesParam[0]; got != c.mutatesRef {
+			t.Errorf("%s: MutatesParam[0] = %v, want %v", c.name, got, c.mutatesRef)
+		}
+		if fi.ReturnsPublished != c.returnsPub {
+			t.Errorf("%s: ReturnsPublished = %v, want %v", c.name, fi.ReturnsPublished, c.returnsPub)
+		}
+		if got := fi.ReturnsParam[0]; got != c.returnsArg {
+			t.Errorf("%s: ReturnsParam[0] = %v, want %v", c.name, got, c.returnsArg)
+		}
+	}
+}
+
+func TestInterprocRoleMarks(t *testing.T) {
+	prog, fns := loadInterproc(t)
+
+	roles := make(map[string]string)
+	for _, m := range prog.Marks {
+		if m.Fn != nil && !m.Dup {
+			roles[m.Fn.Name] = m.Role
+		}
+	}
+	if roles["fork"] != analysis.RoleFork {
+		t.Errorf("fork mark = %q, want %q", roles["fork"], analysis.RoleFork)
+	}
+	if roles["configure"] != analysis.RoleConfig {
+		t.Errorf("configure mark = %q, want %q", roles["configure"], analysis.RoleConfig)
+	}
+	if fns["fork"].Role != analysis.RoleFork {
+		t.Errorf("FuncInfo.Role for fork = %q", fns["fork"].Role)
+	}
+	if fns["view"].Role != "" {
+		t.Errorf("unannotated view has role %q", fns["view"].Role)
+	}
+}
+
+func TestInterprocReach(t *testing.T) {
+	prog, fns := loadInterproc(t)
+
+	order, parent := prog.Reach(fns["top"].Key)
+	reached := make(map[string]bool, len(order))
+	for _, key := range order {
+		reached[key] = true
+	}
+	for _, want := range []string{"top", "mid", "leaf", "view"} {
+		if !reached[fns[want].Key] {
+			t.Errorf("Reach(top) misses %s", want)
+		}
+	}
+	if reached[fns["poke"].Key] {
+		t.Error("Reach(top) includes poke, which top never calls")
+	}
+
+	path := prog.PathTo(parent, fns["leaf"].Key)
+	if want := "top -> mid -> leaf"; path != want {
+		t.Errorf("PathTo(leaf) = %q, want %q", path, want)
+	}
+	if !strings.HasPrefix(path, "top") {
+		t.Errorf("path does not start at the root: %q", path)
+	}
+}

@@ -137,6 +137,8 @@ func (d *DurableRelation) insertCell(cur *atomic.Pointer[Relation], log *wal.Log
 // publishCell is relShard.publish/SyncRelation.publish generalized over
 // the cell's atomic pointer, so the durable write path has one body for
 // both tiers.
+//
+//relvet:role=publish
 func publishCell(cur *atomic.Pointer[Relation], next *Relation, changed bool, err error) {
 	m := next.metrics
 	switch {
@@ -337,6 +339,8 @@ func (d *DurableRelation) insertBatchCell(cur *atomic.Pointer[Relation], log *wa
 
 // Query implements query r s C against the embedded tier's published
 // snapshots, lock-free.
+//
+//relvet:role=read
 func (d *DurableRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
 	if d.closed.Load() {
 		return nil, ErrClosed
@@ -348,6 +352,8 @@ func (d *DurableRelation) Query(pat relation.Tuple, out []string) ([]relation.Tu
 }
 
 // QueryFunc streams results from the embedded tier, lock-free.
+//
+//relvet:role=read
 func (d *DurableRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
 	if d.closed.Load() {
 		return ErrClosed
@@ -359,6 +365,8 @@ func (d *DurableRelation) QueryFunc(pat relation.Tuple, out []string, f func(rel
 }
 
 // QueryRange implements the order-based query against the embedded tier.
+//
+//relvet:role=read
 func (d *DurableRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
 	if d.closed.Load() {
 		return nil, ErrClosed
@@ -370,6 +378,8 @@ func (d *DurableRelation) QueryRange(pat relation.Tuple, col string, lo, hi *val
 }
 
 // Len returns the tuple count of the published state.
+//
+//relvet:role=read
 func (d *DurableRelation) Len() int {
 	if d.sync != nil {
 		return d.sync.Len()
@@ -394,6 +404,8 @@ func (d *DurableRelation) CheckInvariants() error {
 // tag: the shape's plan, cache and routing provenance are unchanged by
 // logging (queries never touch the log), but the tag records that writes
 // to this relation are write-ahead logged.
+//
+//relvet:role=read
 func (d *DurableRelation) ExplainQuery(input, output []string) (*QueryExplain, error) {
 	var (
 		e   *QueryExplain

@@ -99,6 +99,8 @@ func (e *QueryExplain) String() string {
 // plans it (and, with CompilePrograms, promotes and compiles it) exactly
 // like running it would, so the Cached flag reflects the state before the
 // call and later executions of the shape are cache hits.
+//
+//relvet:role=read
 func (r *Relation) ExplainQuery(input, output []string) (*QueryExplain, error) {
 	in := relation.NewCols(input...)
 	out := relation.NewCols(output...)
@@ -141,6 +143,8 @@ func (r *Relation) planCached(input, output relation.Cols) bool {
 // its own synchronization.) The explanation carries the snapshot's version
 // number; a later explanation with a higher version ran against a state
 // some write has replaced since.
+//
+//relvet:role=read
 func (s *SyncRelation) ExplainQuery(input, output []string) (*QueryExplain, error) {
 	r := s.cur.Load()
 	e, err := r.ExplainQuery(input, output)
@@ -156,6 +160,8 @@ func (s *SyncRelation) ExplainQuery(input, output []string) (*QueryExplain, erro
 // provenance from shard 0 (all shards share one plan cache, so the chosen
 // plan and its compilation state are shard-independent) plus the routing
 // decision the input's columns produce.
+//
+//relvet:role=read
 func (sr *ShardedRelation) ExplainQuery(input, output []string) (*QueryExplain, error) {
 	r := sr.shards[0].cur.Load()
 	e, err := r.ExplainQuery(input, output)

@@ -52,6 +52,8 @@ func newPlanCache() *planCache {
 
 // outCols converts an output column list to a Cols set through the cache: a
 // hit builds the lookup key in a stack buffer and allocates nothing.
+//
+//relvet:role=cachefill
 func (pc *planCache) outCols(out []string) relation.Cols {
 	var arr [96]byte
 	buf := arr[:0]
@@ -88,6 +90,8 @@ func (pc *planCache) get(sig string) (*plan.Candidate, bool) {
 // concurrent callers (other callers block until the first finishes).
 // Planning errors are returned to every waiter but not cached: a failed
 // shape stays re-plannable, and error shapes are rejected upstream anyway.
+//
+//relvet:role=cachefill
 func (pc *planCache) do(sig string, f func() (*plan.Candidate, error)) (*plan.Candidate, error) {
 	if c, ok := pc.get(sig); ok {
 		return c, nil

@@ -121,6 +121,8 @@ func (r *Relation) Decomp() *decomp.Decomp { return r.dcmp }
 func (r *Relation) Instance() *instance.Instance { return r.inst }
 
 // Len returns the number of tuples.
+//
+//relvet:role=read
 func (r *Relation) Len() int { return r.inst.Len() }
 
 // Version returns the relation's MVCC version number: 0 on a directly
@@ -135,6 +137,8 @@ func (r *Relation) Version() uint64 { return r.inst.Version() }
 // indices, which are version-independent — see SlotOfEdge) over a
 // copy-on-write fork of the instance. The caller mutates the fork and
 // either publishes it atomically or drops it.
+//
+//relvet:role=fork
 func (r *Relation) beginVersion() *Relation {
 	c := *r
 	c.inst = r.inst.BeginVersion()
@@ -144,6 +148,8 @@ func (r *Relation) beginVersion() *Relation {
 // SetMetrics attaches (or, with nil, detaches) a metrics sink. Like the
 // CheckFDs/CachePlans flags, set it before the relation is shared;
 // sharded shards may safely share one sink — every counter is atomic.
+//
+//relvet:role=config
 func (r *Relation) SetMetrics(m *obs.Metrics) {
 	r.metrics = m
 	r.inst.SetObs(m, r.tracer)
@@ -152,6 +158,8 @@ func (r *Relation) SetMetrics(m *obs.Metrics) {
 // SetTracer attaches (or, with nil, detaches) a span-event tracer. The
 // tracer must be safe for concurrent use and must not call back into
 // this relation (events fire while engine locks are held).
+//
+//relvet:role=config
 func (r *Relation) SetTracer(t obs.Tracer) {
 	r.tracer = t
 	r.inst.SetObs(r.metrics, t)
@@ -307,6 +315,8 @@ func (r *Relation) insert(t relation.Tuple) (changed bool, err error) {
 // de-duplicated and in deterministic order. It is a convenience wrapper;
 // performance-sensitive clients should use QueryFunc, which streams like
 // the paper's generated iterators.
+//
+//relvet:role=read
 func (r *Relation) Query(s relation.Tuple, out []string) (res []relation.Tuple, err error) {
 	defer containRead("query", &err)
 	if r.metrics != nil {
@@ -370,6 +380,8 @@ func (r *Relation) countExec(cand *plan.Candidate) {
 // iterators: f is called with π_C(t) for each matching tuple t, stopping if
 // f returns false. Like the paper's constant-space query execution it does
 // not eliminate duplicate projections.
+//
+//relvet:role=read
 func (r *Relation) QueryFunc(s relation.Tuple, out []string, f func(relation.Tuple) bool) (err error) {
 	defer containRead("query", &err)
 	if r.metrics != nil {
@@ -434,6 +446,8 @@ func (r *Relation) queryFunc(s relation.Tuple, out relation.Cols, f func(relatio
 // may be nil for a half-open range. When the chosen plan scans an ordered
 // structure keyed by col, the bound turns into a seek instead of a filter.
 // Results are de-duplicated and deterministic, like Query.
+//
+//relvet:role=read
 func (r *Relation) QueryRange(s relation.Tuple, col string, lo, hi *value.Value, out []string) (res []relation.Tuple, rerr error) {
 	defer containRead("query-range", &rerr)
 	if r.metrics != nil {

@@ -67,6 +67,8 @@ func (sh *relShard) snapshot() *Relation {
 // publish finishes one write operation on the shard's fork next: publish
 // on success-with-change, drop on error, neither on a no-op. Called with
 // the shard's wmu held.
+//
+//relvet:role=publish
 func (sh *relShard) publish(next *Relation, changed bool, err error) {
 	m := next.metrics
 	switch {
@@ -115,6 +117,8 @@ type ShardedRelation struct {
 // NewSharded builds a sharded engine over the given decomposition. Every
 // shard gets its own decomposition instance; the decomposition and spec
 // themselves are immutable at run time and shared.
+//
+//relvet:role=publish
 func NewSharded(spec *Spec, d *decomp.Decomp, opts ShardOptions) (*ShardedRelation, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
@@ -180,12 +184,16 @@ func (sr *ShardedRelation) NumShards() int { return len(sr.shards) }
 // this handle will never reflect. (Configuration knobs like CheckFDs may
 // still be set through it before the engine is shared — version forks
 // inherit them.)
+//
+//relvet:role=read
 func (sr *ShardedRelation) Shard(i int) *Relation { return sr.shards[i].cur.Load() }
 
 // SetMetrics attaches one shared metrics sink to every shard and to the
 // sharded tier's routing counters. Counters are atomic, so the shards can
 // increment the shared block without coordination. Attach before the
 // engine is shared, like the other configuration knobs.
+//
+//relvet:role=config
 func (sr *ShardedRelation) SetMetrics(m *obs.Metrics) {
 	sr.metrics = m
 	for i := range sr.shards {
@@ -198,11 +206,28 @@ func (sr *ShardedRelation) SetMetrics(m *obs.Metrics) {
 
 // SetTracer attaches one tracer to every shard. The tracer receives events
 // from fan-out workers concurrently; it must be safe for concurrent use.
+//
+//relvet:role=config
 func (sr *ShardedRelation) SetTracer(t obs.Tracer) {
 	for i := range sr.shards {
 		sh := &sr.shards[i]
 		sh.wmu.Lock()
 		sh.cur.Load().SetTracer(t)
+		sh.wmu.Unlock()
+	}
+}
+
+// SetCheckFDs toggles per-mutation FD validation on every shard. Like the
+// other configuration knobs it belongs to the pre-share window: call it
+// before the engine is visible to concurrent readers, since version forks
+// inherit the flag from the version they copy.
+//
+//relvet:role=config
+func (sr *ShardedRelation) SetCheckFDs(on bool) {
+	for i := range sr.shards {
+		sh := &sr.shards[i]
+		sh.wmu.Lock()
+		sh.cur.Load().CheckFDs = on
 		sh.wmu.Unlock()
 	}
 }
@@ -327,6 +352,8 @@ func (sr *ShardedRelation) Update(s, u relation.Tuple) (int, error) {
 // and sort are skipped entirely (the point-query fast path). Other
 // patterns fan out in parallel over the shards' snapshots and merge the
 // per-shard sorted results deterministically.
+//
+//relvet:role=read
 func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
@@ -356,6 +383,8 @@ func (sr *ShardedRelation) Query(pat relation.Tuple, out []string) ([]relation.T
 // per-shard versions that the in-flight stream does not observe — a shard
 // already pinned keeps streaming its version, and a shard visited later is
 // pinned at whatever version is current when the stream gets there.
+//
+//relvet:role=read
 func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
@@ -387,6 +416,8 @@ func (sr *ShardedRelation) QueryFunc(pat relation.Tuple, out []string, f func(re
 // QueryRange implements the order-based query, lock-free: routed patterns
 // read one shard's snapshot, others fan out and merge the per-shard
 // sorted results.
+//
+//relvet:role=read
 func (sr *ShardedRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
 	if i, ok := sr.ro.route(pat); ok {
 		sr.routed()
@@ -577,6 +608,8 @@ func (sr *ShardedRelation) Exclusive(pat relation.Tuple, f func(*Relation) error
 // Per-shard counts come from each shard's published snapshot; the sum is
 // a consistent total only when no writer is concurrent, like SyncRelation
 // callers composing Len with later operations.
+//
+//relvet:role=read
 func (sr *ShardedRelation) Len() int {
 	n := 0
 	for i := range sr.shards {

@@ -57,6 +57,8 @@ type Spec struct {
 // Cols returns the column set of the specification. The set is computed once
 // and cached: Cols sits on every operation's validation path, and Columns is
 // fixed after construction.
+//
+//relvet:role=cachefill
 func (s *Spec) Cols() relation.Cols {
 	s.colsOnce.Do(func() {
 		names := make([]string, len(s.Columns))

@@ -33,6 +33,8 @@ type SyncRelation struct {
 // NewSync wraps a relation. The caller must not use the wrapped relation
 // directly afterwards: it becomes the published version 0 and must no
 // longer be mutated.
+//
+//relvet:role=publish
 func NewSync(r *Relation) *SyncRelation {
 	s := &SyncRelation{}
 	s.cur.Store(r)
@@ -54,6 +56,8 @@ func (s *SyncRelation) snapshot() *Relation {
 // a failed one is dropped, leaving the previous version current (this is
 // the whole rollback story on this tier); a no-op neither publishes nor
 // drops. Called with wmu held.
+//
+//relvet:role=publish
 func (s *SyncRelation) publish(next *Relation, changed bool, err error) {
 	m := next.metrics
 	switch {
@@ -109,6 +113,8 @@ func (s *SyncRelation) Update(pat, u relation.Tuple) (int, error) {
 
 // Query implements query r s C against the current published snapshot,
 // lock-free.
+//
+//relvet:role=read
 func (s *SyncRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple, error) {
 	return s.snapshot().Query(pat, out)
 }
@@ -118,17 +124,23 @@ func (s *SyncRelation) Query(pat relation.Tuple, out []string) ([]relation.Tuple
 // (insert, remove, update) freely: the mutation forks the latest published
 // version while the iteration keeps reading its own pinned snapshot, and
 // tuples published after the stream's snapshot was loaded are not seen.
+//
+//relvet:role=read
 func (s *SyncRelation) QueryFunc(pat relation.Tuple, out []string, f func(relation.Tuple) bool) error {
 	return s.snapshot().QueryFunc(pat, out, f)
 }
 
 // QueryRange is the range query against the current published snapshot,
 // lock-free.
+//
+//relvet:role=read
 func (s *SyncRelation) QueryRange(pat relation.Tuple, col string, lo, hi *value.Value, out []string) ([]relation.Tuple, error) {
 	return s.snapshot().QueryRange(pat, col, lo, hi, out)
 }
 
 // Len returns the number of tuples in the current published snapshot.
+//
+//relvet:role=read
 func (s *SyncRelation) Len() int {
 	return s.cur.Load().Len()
 }
@@ -145,6 +157,8 @@ func (s *SyncRelation) Version() uint64 {
 // afterwards. Use it to run several queries against one consistent state;
 // re-load (or go back through the SyncRelation) to observe later writes.
 // The caller must not mutate the returned relation.
+//
+//relvet:role=read
 func (s *SyncRelation) Snapshot() *Relation {
 	return s.cur.Load()
 }

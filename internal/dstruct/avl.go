@@ -271,6 +271,8 @@ func (t *AVL[V]) Max() (relation.Tuple, V, bool) {
 // Clone returns an independent tree sharing every node with the receiver.
 // Both sides take fresh owner tokens, so each copies its own write paths
 // from the shared structure on demand (persistent-tree path copying).
+//
+//relvet:role=clone
 func (t *AVL[V]) Clone() Map[V] {
 	t.owner = new(avlOwner)
 	c := *t

@@ -114,6 +114,8 @@ func (l *DList[V]) RemoveEntry(e *DListEntry[V]) {
 // no node can be shared between two lists (same deal as intrusive-list
 // copies in the paper's C++ library). Entry handles held against the
 // receiver do not unlink from the clone.
+//
+//relvet:role=clone
 func (l *DList[V]) Clone() Map[V] {
 	c := NewDList[V]()
 	for e := l.sentinel.next; e != &l.sentinel; e = e.next {
@@ -211,6 +213,8 @@ func (l *SList[V]) Delete(k relation.Tuple) bool {
 // DList.Clone: sharing a spine whose Delete splices next pointers in place
 // would leak writes between the copies, and Put/Delete already cost a scan,
 // so the copy changes no asymptotics.
+//
+//relvet:role=clone
 func (l *SList[V]) Clone() Map[V] {
 	c := &SList[V]{n: l.n}
 	tail := &c.head

@@ -57,6 +57,8 @@ func (f *faultMap[V]) Range(fn func(k relation.Tuple, v V) bool) {
 // Clone fires its own point and rewraps the inner clone, so copy-on-write
 // node cloning stays inside the injection surface: a schedule can kill a
 // mutation exactly at the moment it forks a version.
+//
+//relvet:role=clone
 func (f *faultMap[V]) Clone() Map[V] {
 	_ = f.p.Point("dstruct.clone", false)
 	return &faultMap[V]{m: f.m.Clone(), p: f.p}

@@ -208,6 +208,8 @@ func (h *HTable[V]) Delete(k relation.Tuple) bool {
 
 // Clone returns an independent table sharing the bucket slice and every
 // chain node with the receiver; both sides copy buckets they later write.
+//
+//relvet:role=clone
 func (h *HTable[V]) Clone() Map[V] {
 	h.owner = new(htOwner)
 	h.sharedBuckets = true

@@ -144,6 +144,8 @@ func (s *SkipList[V]) Delete(k relation.Tuple) bool {
 // fresh deterministic tower generator. Towers embed mutable next arrays at
 // every level, so lazy sharing would need per-level ownership tracking for
 // a structure whose whole point is simplicity.
+//
+//relvet:role=clone
 func (s *SkipList[V]) Clone() Map[V] {
 	c := NewSkipList[V]()
 	for n := s.head.next[0]; n != nil; n = n.next[0] {

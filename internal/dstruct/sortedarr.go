@@ -94,6 +94,8 @@ func (s *SortedArr[V]) Delete(k relation.Tuple) bool {
 
 // Clone returns an independent sorted array sharing both backing arrays
 // with the receiver; whichever side writes first copies them.
+//
+//relvet:role=clone
 func (s *SortedArr[V]) Clone() Map[V] {
 	s.shared = true
 	c := *s

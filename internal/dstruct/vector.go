@@ -147,6 +147,8 @@ func (v *Vector[V]) Delete(k relation.Tuple) bool {
 
 // Clone returns an independent vector sharing the slot array with the
 // receiver; whichever side writes first copies it.
+//
+//relvet:role=clone
 func (v *Vector[V]) Clone() Map[V] {
 	v.shared = true
 	c := *v

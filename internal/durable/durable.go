@@ -251,9 +251,7 @@ func openSharded(dir string, spec *core.Spec, d *decomp.Decomp, opts Options, cf
 		return nil, err
 	}
 	if opts.CheckFDs {
-		for i := 0; i < sr.NumShards(); i++ {
-			sr.Shard(i).CheckFDs = true
-		}
+		sr.SetCheckFDs(true)
 	}
 	logs := make([]*wal.Log, opts.Shards)
 	for i := range logs {

@@ -287,6 +287,8 @@ func (in *Instance) buildUpdWalk() {
 // MutRollbacks) and t the phase span events. The engine's SetMetrics and
 // SetTracer call this; set hooks before sharing the instance, like the
 // engine's other configuration flags.
+//
+//relvet:role=config
 func (in *Instance) SetObs(m *obs.Metrics, t obs.Tracer) {
 	in.met = m
 	in.tr = t

@@ -21,6 +21,8 @@ import (
 // scratch buffers with its predecessor (writers are serialized by the
 // engine, and a published predecessor never mutates again, so sharing the
 // scratch is safe); its mutations run copy-on-write.
+//
+//relvet:role=fork
 func (in *Instance) BeginVersion() *Instance {
 	c := *in
 	c.cow = true
@@ -39,6 +41,8 @@ func (in *Instance) COW() bool { return in.cow }
 // cowNode clones one node: units are copied (tuples are immutable), maps
 // are forked with dstruct.Clone (shared substructure, copied lazily on
 // write), and the clone is stamped with the mutating version's epoch.
+//
+//relvet:role=clone
 func (in *Instance) cowNode(n *Node) *Node {
 	c := &Node{Var: n.Var, refs: n.refs, epoch: in.ver, slots: make([]slot, len(n.slots))}
 	maps := 0
@@ -65,6 +69,8 @@ func (in *Instance) cowNode(n *Node) *Node {
 // the redirect find the parent entries without a scan. After cowSpine the
 // plan's walk indices resolve to the clones, so the apply writes touch no
 // node the predecessor version can reach.
+//
+//relvet:role=clone
 func (in *Instance) cowSpine(t relation.Tuple) error {
 	scr := &in.scr
 	for i := range scr.nodes {

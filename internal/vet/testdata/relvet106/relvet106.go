@@ -48,6 +48,18 @@ func nearMissOtherRelation(s, other *core.SyncRelation, tup relation.Tuple) (int
 	return snap.Len(), nil
 }
 
+func nearMissGoroutine(s *core.SyncRelation, tup relation.Tuple, out chan<- int) error {
+	// The pinned handle escapes into a goroutine before the mutation;
+	// whether its reads interleave with the Insert is a scheduling
+	// question the position-ordered analyzer cannot decide, so handing
+	// the handle off deliberately ends its flow-tracking.
+	snap := s.Snapshot()
+	go func() {
+		out <- snap.Len()
+	}()
+	return s.Insert(tup)
+}
+
 func nearMissConsistentReads(s *core.SyncRelation, a, b relation.Tuple) (int, error) {
 	// Pinning one version for several queries is the intended use of the
 	// handle; without an interleaved mutation there is nothing to miss.

@@ -1,0 +1,58 @@
+// Package relvet200 is the roleannotation corpus: the closed
+// //relvet:role vocabulary and its attachment rules.
+package relvet200
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+type slot struct {
+	cur atomic.Pointer[core.Relation]
+}
+
+// install is a valid publish point; a correct annotation stays silent.
+//
+//relvet:role=publish
+func install(s *slot, r *core.Relation) { s.cur.Store(r) }
+
+// forkTypo misspells the fork role.
+//
+//relvet:role=frok // want relvet200
+func forkTypo(s *slot) *core.Relation {
+	c := *s.cur.Load()
+	return &c
+}
+
+// A role annotation on a var declaration designates nothing.
+//
+//relvet:role=read // want relvet200
+var defaultSlot slot
+
+func triggerInner(s *slot, r *core.Relation) {
+	//relvet:role=publish // want relvet200
+	s.cur.Store(r)
+}
+
+// dup already carries the read role; a second role is a contradiction.
+//
+//relvet:role=read
+//relvet:role=publish // want relvet200
+func dup(s *slot) *core.Relation { return s.cur.Load() }
+
+func nearMissDoc(s *slot) *core.Relation {
+	// Prose may quote the annotation form when indented, which is not
+	// a marker:
+	//	//relvet:role=fork
+	return s.cur.Load()
+}
+
+func use(s *slot, r *core.Relation) *core.Relation {
+	install(s, r)
+	install(&defaultSlot, r)
+	triggerInner(s, r)
+	_ = forkTypo(s)
+	_ = dup(s)
+	return nearMissDoc(s)
+}

@@ -1,0 +1,103 @@
+// Package relvet202 is the lockfreeread corpus: locks and engine-state
+// writes reachable from role=read snapshot entry points.
+package relvet202
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// cell mirrors the engine's writer cell: a writer mutex beside the
+// published pointer.
+type cell struct {
+	wmu  sync.Mutex
+	cur  atomic.Pointer[core.Relation]
+	hits int
+}
+
+//relvet:role=publish
+func install(c *cell, r *core.Relation) { c.cur.Store(r) }
+
+//relvet:role=read
+func queryLocked(c *cell, pat relation.Tuple) ([]relation.Tuple, error) {
+	c.wmu.Lock() // want relvet202
+	defer c.wmu.Unlock()
+	return c.cur.Load().Query(pat, nil)
+}
+
+//relvet:role=read
+func lenVia(c *cell) int { return lockedLen(c) }
+
+func lockedLen(c *cell) int {
+	c.wmu.Lock() // want relvet202
+	defer c.wmu.Unlock()
+	return c.cur.Load().Len()
+}
+
+//relvet:role=read
+func countingQuery(c *cell, pat relation.Tuple) ([]relation.Tuple, error) {
+	record(c)
+	return c.cur.Load().Query(pat, nil)
+}
+
+func record(c *cell) {
+	c.hits++ // want relvet202
+}
+
+var auxMu sync.Mutex
+
+//relvet:role=read
+func lenAux(c *cell) int {
+	auxMu.Lock() // want relvet202
+	auxMu.Unlock()
+	return c.cur.Load().Len()
+}
+
+// badFill holds the cachefill role, but cell mutexes are never exempt:
+// blocking on the writer lock is exactly what snapshot reads must not do.
+//
+//relvet:role=cachefill
+func badFill(c *cell) {
+	c.wmu.Lock() // want relvet202
+	defer c.wmu.Unlock()
+}
+
+//relvet:role=read
+func lenBadFill(c *cell) int {
+	badFill(c)
+	return c.cur.Load().Len()
+}
+
+var memoMu sync.Mutex
+var memo = map[string]int{}
+
+// fill takes its own memoization lock, the sanctioned cachefill shape
+// (the engine's plan-cache fill path).
+//
+//relvet:role=cachefill
+func fill(k string) int {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	memo[k]++
+	return memo[k]
+}
+
+//relvet:role=read
+func lenMemo(c *cell) int {
+	_ = fill("k")
+	return c.cur.Load().Len()
+}
+
+// mutate locks the writer mutex off the read closure — the writers'
+// side of the protocol, not a finding.
+func mutate(c *cell, r *core.Relation) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	install(c, r)
+}
+
+//relvet:role=read
+func lenPure(c *cell) int { return c.cur.Load().Len() }

@@ -1,0 +1,48 @@
+// Package relvet204 is the atomicpublish corpus: the published
+// atomic.Pointer is stored only at publish points and never copied or
+// dereferenced as a plain value.
+package relvet204
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+type holder struct {
+	cur atomic.Pointer[core.Relation]
+}
+
+//relvet:role=publish
+func publish(h *holder, r *core.Relation) { h.cur.Store(r) }
+
+//relvet:role=publish
+func installAt(p *atomic.Pointer[core.Relation], r *core.Relation) { p.Store(r) }
+
+func triggerStore(h *holder, r *core.Relation) {
+	h.cur.Store(r) // want relvet204
+}
+
+func triggerSwap(h *holder, r *core.Relation) *core.Relation {
+	return h.cur.Swap(r) // want relvet204
+}
+
+func triggerCopy(h *holder) *core.Relation {
+	cur := h.cur // want relvet204
+	return cur.Load()
+}
+
+func triggerDeref(p *atomic.Pointer[core.Relation]) *core.Relation {
+	snap := *p // want relvet204
+	return snap.Load()
+}
+
+func nearMissLoad(h *holder) *core.Relation { return h.cur.Load() }
+
+func nearMissAddr(h *holder) *atomic.Pointer[core.Relation] { return &h.cur }
+
+// nearMissHandle passes the cell by address to an annotated publish
+// point — the engine's per-shard cell-method shape.
+func nearMissHandle(h *holder, r *core.Relation) {
+	installAt(&h.cur, r)
+}

@@ -28,49 +28,57 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
-			pkgs, err := analysis.Load(".", "./testdata/"+c.dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(pkgs) != 1 {
-				t.Fatalf("loaded %d packages, want 1", len(pkgs))
-			}
-			pkg := pkgs[0]
-
-			want := map[int]diag.Code{}
-			for _, f := range pkg.Files {
-				for _, cg := range f.Comments {
-					for _, cm := range cg.List {
-						m := wantRe.FindStringSubmatch(cm.Text)
-						if m == nil {
-							continue
-						}
-						want[pkg.Fset.Position(cm.Pos()).Line] = diag.Code(m[1])
-					}
-				}
-			}
-			if len(want) == 0 {
-				t.Fatal("fixture has no want markers")
-			}
-
-			got := map[int]diag.Code{}
-			for _, d := range analysis.Run(pkgs, []*analysis.Analyzer{c.an}) {
-				if prev, dup := got[d.Pos.Line]; dup && prev != d.Code {
-					t.Errorf("two codes on line %d", d.Pos.Line)
-				}
-				got[d.Pos.Line] = d.Code
-			}
-			for line, code := range want {
-				if got[line] != code {
-					t.Errorf("line %d: want %s, got %q", line, code, got[line])
-				}
-			}
-			for line, code := range got {
-				if _, ok := want[line]; !ok {
-					t.Errorf("line %d: unexpected %s finding", line, code)
-				}
-			}
+			runCorpus(t, c.dir, c.an)
 		})
+	}
+}
+
+// runCorpus loads one fixture package and checks the analyzer flags
+// exactly the `// want relvetNNN` lines; shared by the 1xx and the
+// engine-plane (2xx) corpus tests.
+func runCorpus(t *testing.T, dir string, an *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./testdata/"+dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	want := map[int]diag.Code{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				m := wantRe.FindStringSubmatch(cm.Text)
+				if m == nil {
+					continue
+				}
+				want[pkg.Fset.Position(cm.Pos()).Line] = diag.Code(m[1])
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers")
+	}
+
+	got := map[int]diag.Code{}
+	for _, d := range analysis.Run(pkgs, []*analysis.Analyzer{an}) {
+		if prev, dup := got[d.Pos.Line]; dup && prev != d.Code {
+			t.Errorf("two codes on line %d", d.Pos.Line)
+		}
+		got[d.Pos.Line] = d.Code
+	}
+	for line, code := range want {
+		if got[line] != code {
+			t.Errorf("line %d: want %s, got %q", line, code, got[line])
+		}
+	}
+	for line, code := range got {
+		if _, ok := want[line]; !ok {
+			t.Errorf("line %d: unexpected %s finding", line, code)
+		}
 	}
 }
 
