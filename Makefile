@@ -7,7 +7,7 @@ BENCH ?= .
 COUNT ?= 6
 FAULTSEEDS ?= 8
 
-.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-wal bench-smoke test-vec fmt-check faultinject fuzz fuzz-smoke lint lint-engine
+.PHONY: ci ci-race vet build test race bench bench-sharded bench-compiled bench-obs bench-vec bench-mvcc bench-wal bench-repl bench-smoke test-vec fmt-check faultinject fuzz fuzz-smoke lint lint-engine
 
 ci: vet build race test-vec faultinject lint lint-engine fuzz-smoke bench-smoke
 
@@ -47,6 +47,7 @@ ci-race: vet build race
 	$(GO) test -race -count 2 -run 'Differential|Vectorized' ./internal/plan ./internal/core
 	$(GO) test -race -count 2 -run 'Concurrent|Randomized' ./internal/faultinject/harness -faultseeds $(FAULTSEEDS)
 	$(GO) test -race -count 1 -run 'ExhaustiveWALSharded|WALRecovery' ./internal/faultinject/harness
+	$(GO) test -race -count 1 -run 'PartitionPrefix|ReplResubscribe' ./internal/repl ./internal/faultinject/harness
 	$(GO) test -race -count 1 -run 'EngineCorpus|EngineCleanOnModule' ./internal/vet
 
 # The vectorized-tier gate: the randomized corpus differential (every plan
@@ -120,6 +121,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '(Scan|Enumerate|Join|Collect)(Interpreted|Compiled|Vectorized)$$' -benchtime 10x ./internal/plan
 	$(GO) test -run '^$$' -bench 'MVCC' -benchtime 10x .
 	$(GO) test -run '^$$' -bench 'WAL' -benchtime 1x -short .
+	$(GO) test -run '^$$' -bench 'Repl' -benchtime 1x -short .
 
 # Observability-plane overhead: each BenchmarkObs* runs its hot loop with
 # metrics off and on; compare with `benchstat -col /metrics BENCH_obs.json`
@@ -146,3 +148,11 @@ bench-mvcc:
 # target — about a minute at COUNT=6.
 bench-wal:
 	$(GO) test -run '^$$' -bench 'WAL' -benchmem -count $(COUNT) -json . > BENCH_wal.json
+
+# Replication throughput and catch-up: end-to-end ship rate through a
+# connected follower, tail-replay and snapshot-bootstrap catch-up rates,
+# and the replica-side read path under a live 90/10 stream (maxlag
+# reports the deepest backlog the probe observed). BENCH_repl.json is
+# the committed snapshot of the machine the replication tier landed on.
+bench-repl:
+	$(GO) test -run '^$$' -bench 'Repl' -benchmem -count $(COUNT) -json . > BENCH_repl.json

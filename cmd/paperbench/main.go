@@ -12,6 +12,7 @@
 //	paperbench compiled [-scale N]
 //	paperbench explain
 //	paperbench durable [-ops N]
+//	paperbench repl [-ops N] [-mixed N] [-readpct N]
 //	paperbench all
 //
 // Absolute numbers depend on the machine (and on this being an interpreted
@@ -58,6 +59,8 @@ func main() {
 		err = explain()
 	case "durable":
 		err = durableCmd(args)
+	case "repl":
+		err = replCmd(args)
 	case "all":
 		if err = fig12(); err == nil {
 			if err = table1(); err == nil {
@@ -65,8 +68,10 @@ func main() {
 					if err = sharded(nil); err == nil {
 						if err = compiled(nil); err == nil {
 							if err = durableCmd(nil); err == nil {
-								if err = fig11(nil); err == nil {
-									err = fig13(nil)
+								if err = replCmd(nil); err == nil {
+									if err = fig11(nil); err == nil {
+										err = fig13(nil)
+									}
 								}
 							}
 						}
@@ -84,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|explain|durable|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paperbench {fig11|fig12|fig13|table1|parity|sharded|compiled|explain|durable|repl|all} [flags]")
 	os.Exit(2)
 }
 
@@ -189,6 +194,38 @@ func durableCmd(args []string) error {
 			r.Ops, ck, r.Seconds, r.Replayed, r.OpsPerSec, r.Tuples)
 	}
 	fmt.Println()
+	return nil
+}
+
+// replCmd prints the replication tables: end-to-end ship throughput,
+// catch-up replay throughput for the tail and snapshot paths, and the
+// lag a mixed read/write load sustains on the replica.
+func replCmd(args []string) error {
+	fs := flag.NewFlagSet("repl", flag.ExitOnError)
+	cfg := experiments.DefaultReplConfig()
+	fs.IntVar(&cfg.ShipOps, "ops", cfg.ShipOps, "records in the ship and catch-up sweeps")
+	fs.IntVar(&cfg.MixedOps, "mixed", cfg.MixedOps, "operations in the mixed-load lag phase")
+	fs.IntVar(&cfg.ReadPct, "readpct", cfg.ReadPct, "percentage of replica reads in the mixed phase")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.ReadPct < 0 || cfg.ReadPct > 100 {
+		return fmt.Errorf("-readpct must be between 0 and 100, got %d", cfg.ReadPct)
+	}
+	fmt.Println("== Replication: log-shipping throughput, catch-up, and lag ==")
+	res, err := experiments.RunRepl(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-14s %-8s %-10s %-14s %s\n", "phase", "ops", "time(s)", "records/sec", "wire bytes")
+	fmt.Printf("%-14s %-8d %-10.4f %-14.0f %d\n",
+		"ship", res.Ship.Ops, res.Ship.Seconds, res.Ship.RecordsPerSec, res.Ship.WireBytes)
+	fmt.Printf("\n%-20s %-10s %-10s %s\n", "catch-up path", "records", "time(s)", "records/sec")
+	for _, r := range res.CatchUps {
+		fmt.Printf("%-20s %-10d %-10.4f %.0f\n", r.Mode, r.Records, r.Seconds, r.RecordsPerSec)
+	}
+	fmt.Printf("\nmixed load: %d replica reads / %d primary writes in %.4fs — max lag %d records, final lag %d\n\n",
+		res.Lag.Reads, res.Lag.Writes, res.Lag.Seconds, res.Lag.MaxLag, res.Lag.FinalLag)
 	return nil
 }
 

@@ -52,6 +52,7 @@ type DurableRelation struct {
 	shr  *ShardedRelation // ... and shr is non-nil
 	logs []*wal.Log       // one per cell: logs[0] for sync, logs[i] per shard
 	met  *obs.Metrics
+	sink CommitSink // acknowledged-delta tap; read under a cell mutex, written under all of them
 
 	closed atomic.Bool
 }
@@ -71,6 +72,50 @@ func NewDurableSharded(sr *ShardedRelation, logs []*wal.Log) (*DurableRelation, 
 		return nil, fmt.Errorf("core: durable sharded relation needs one log per shard: %d logs for %d shards", len(logs), sr.NumShards())
 	}
 	return &DurableRelation{shr: sr, logs: logs, met: sr.Metrics()}, nil
+}
+
+// A CommitSink observes every acknowledged delta of a DurableRelation,
+// in the order the engine acknowledged it: the sink is invoked after the
+// record is on the write-ahead log and the new version is published,
+// while the mutating cell's writer mutex is still held — so per cell the
+// sink sees deltas in exactly WAL order, and a delta it never sees was
+// never acknowledged. The sink must not call back into the relation's
+// mutation API (the cell mutex is held) and must be fast: it runs on the
+// writer's critical path. The replication plane (internal/repl) is the
+// intended consumer.
+type CommitSink func(c wal.Commit)
+
+// SetCommitSink installs (or with nil, removes) the acknowledged-delta
+// tap and returns a tuple snapshot consistent with the installation
+// point: every delta acknowledged before SetCommitSink returned is
+// reflected in the returned tuples, and every delta acknowledged after
+// it reaches the sink exactly once — no gap, no overlap. The cut is
+// exact because installation holds every cell's writer mutex, so no
+// writer is between its log append and its sink call while the snapshot
+// is read.
+func (d *DurableRelation) SetCommitSink(sink CommitSink) ([]relation.Tuple, error) {
+	if d.sync != nil {
+		s := d.sync
+		s.wmu.Lock()
+		defer s.wmu.Unlock()
+		d.sink = sink
+		return d.All()
+	}
+	for i := range d.shr.shards {
+		sh := &d.shr.shards[i]
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+	}
+	d.sink = sink
+	return d.All()
+}
+
+// ship hands one acknowledged delta to the sink, if any. Called with the
+// mutating cell's writer mutex held, after log append and publish.
+func (d *DurableRelation) ship(c wal.Commit) {
+	if d.sink != nil {
+		d.sink(c)
+	}
 }
 
 // Spec returns the relational specification.
@@ -131,6 +176,9 @@ func (d *DurableRelation) insertCell(cur *atomic.Pointer[Relation], log *wal.Log
 		}
 	}
 	publishCell(cur, next, changed, err)
+	if err == nil && changed {
+		d.ship(wal.Commit{Inserted: []relation.Tuple{t}})
+	}
 	return err
 }
 
@@ -208,6 +256,9 @@ func (d *DurableRelation) removeCell(cur *atomic.Pointer[Relation], log *wal.Log
 	if err != nil {
 		return 0, err
 	}
+	if len(removed) > 0 {
+		d.ship(wal.Commit{Removed: removed})
+	}
 	return len(removed), nil
 }
 
@@ -269,6 +320,9 @@ func (d *DurableRelation) updateCell(cur *atomic.Pointer[Relation], log *wal.Log
 	publishCell(cur, next, n > 0, err)
 	if err != nil {
 		return 0, err
+	}
+	if n > 0 {
+		d.ship(wal.Commit{Removed: []relation.Tuple{old}, Inserted: []relation.Tuple{upd}})
 	}
 	return n, nil
 }
@@ -334,6 +388,9 @@ func (d *DurableRelation) insertBatchCell(cur *atomic.Pointer[Relation], log *wa
 		}
 	}
 	publishCell(cur, next, len(inserted) > 0, nil)
+	if len(inserted) > 0 {
+		d.ship(wal.Commit{Inserted: inserted})
+	}
 	return nil
 }
 
@@ -631,6 +688,77 @@ func ReplayShardCommit(sr *ShardedRelation, i int, c wal.Commit) error {
 	sh.wmu.Lock()
 	defer sh.wmu.Unlock()
 	return replayCommit(&sh.cur, c)
+}
+
+// ReplayShardedSnapshot applies a logical snapshot — tuples that are NOT
+// pre-partitioned for this engine's layout — by routing each tuple to
+// its shard and applying per shard. A replication follower uses it to
+// bootstrap a sharded replica whose shard key or count differs from the
+// publisher's. Atomic per shard, like every sharded operation.
+func ReplayShardedSnapshot(sr *ShardedRelation, ts []relation.Tuple) error {
+	groups := make([][]relation.Tuple, len(sr.shards))
+	for _, t := range ts {
+		i, err := sr.ro.mustRoute(t)
+		if err != nil {
+			return err
+		}
+		groups[i] = append(groups[i], t)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := ReplayShardSnapshot(sr, i, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayShardedCommit applies one logical delta to a sharded engine by
+// routing the removed and inserted tuples to their shards and replaying
+// each shard's piece as its own atomic version, removals before
+// insertions. Deltas produced by the durable write path route whole to
+// one shard whenever the replica shares the publisher's shard key
+// (mutations preserve key columns); under a different key a delta may
+// split, in which case readers get the sharded tier's documented
+// per-shard snapshot consistency.
+func ReplayShardedCommit(sr *ShardedRelation, c wal.Commit) error {
+	type piece struct{ removed, inserted []relation.Tuple }
+	pieces := make(map[int]*piece)
+	at := func(i int) *piece {
+		p := pieces[i]
+		if p == nil {
+			p = &piece{}
+			pieces[i] = p
+		}
+		return p
+	}
+	for _, t := range c.Removed {
+		i, err := sr.ro.mustRoute(t)
+		if err != nil {
+			return err
+		}
+		at(i).removed = append(at(i).removed, t)
+	}
+	for _, t := range c.Inserted {
+		i, err := sr.ro.mustRoute(t)
+		if err != nil {
+			return err
+		}
+		at(i).inserted = append(at(i).inserted, t)
+	}
+	for i := range sr.shards {
+		p := pieces[i]
+		if p == nil {
+			continue
+		}
+		err := ReplayShardCommit(sr, i, wal.Commit{Seq: c.Seq, Removed: p.removed, Inserted: p.inserted})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func replayCommit(cur *atomic.Pointer[Relation], c wal.Commit) error {

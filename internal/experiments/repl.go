@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// The repl experiment measures what log shipping costs and how a replica
+// behaves under load: end-to-end ship throughput (primary mutation to
+// replica apply), catch-up replay throughput for both recovery paths
+// (tail replay after a partition, snapshot bootstrap for a fresh
+// replica), and the replication lag a 90/10 read/write mix sustains.
+
+// ReplConfig sizes the replication experiment.
+type ReplConfig struct {
+	ShipOps  int // records in the ship and catch-up sweeps
+	MixedOps int // operations in the mixed-load lag phase
+	ReadPct  int // percentage of replica reads in the mixed phase
+}
+
+// DefaultReplConfig keeps the sweep quick enough for a laptop run.
+func DefaultReplConfig() ReplConfig {
+	return ReplConfig{ShipOps: 5000, MixedOps: 20000, ReadPct: 90}
+}
+
+// ReplShipRow is the end-to-end streaming measurement: a connected
+// follower applying the primary's write stream as it is produced.
+type ReplShipRow struct {
+	Ops           int
+	Seconds       float64
+	RecordsPerSec float64
+	WireBytes     uint64
+}
+
+// ReplCatchUpRow is one recovery-path measurement: how fast a follower
+// that fell behind (tail replay) or started empty (snapshot bootstrap)
+// reaches the acknowledged head.
+type ReplCatchUpRow struct {
+	Mode          string // "tail-replay" or "snapshot-bootstrap"
+	Records       uint64 // commit records (or snapshot tuples) applied
+	Seconds       float64
+	RecordsPerSec float64
+}
+
+// ReplLagRow summarizes the mixed-load phase: replica reads racing the
+// primary's writes, with the repl.lag gauge sampled after every write.
+type ReplLagRow struct {
+	Writes   int
+	Reads    int
+	MaxLag   uint64
+	FinalLag uint64 // lag when the writer stopped, before the final drain
+	Seconds  float64
+}
+
+// ReplResult is the full replication experiment.
+type ReplResult struct {
+	Ship     ReplShipRow
+	CatchUps []ReplCatchUpRow
+	Lag      ReplLagRow
+}
+
+const replExpWait = 60 * time.Second
+
+// gateDialer wraps the in-process dialer with a switch the experiment
+// uses to keep the follower dark while the primary writes ahead.
+type gateDialer struct {
+	inner repl.Dialer
+	mu    sync.Mutex
+	shut  bool
+	cur   io.Closer
+}
+
+func (g *gateDialer) dial() (io.ReadWriteCloser, error) {
+	g.mu.Lock()
+	shut := g.shut
+	g.mu.Unlock()
+	if shut {
+		return nil, fmt.Errorf("repl experiment: link is down")
+	}
+	c, err := g.inner()
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.cur = c
+	g.mu.Unlock()
+	return c, nil
+}
+
+// sever closes the live connection and refuses redials until restore.
+func (g *gateDialer) sever() {
+	g.mu.Lock()
+	g.shut = true
+	cur := g.cur
+	g.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+}
+
+func (g *gateDialer) restore() {
+	g.mu.Lock()
+	g.shut = false
+	g.mu.Unlock()
+}
+
+// RunRepl runs the ship, catch-up, and mixed-load lag measurements.
+func RunRepl(cfg ReplConfig) (*ReplResult, error) {
+	d, dir, err := openDurableDir(&obs.Metrics{}, wal.SyncOff)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	defer d.Close()
+
+	pm := &obs.Metrics{}
+	pub, err := repl.NewPublisher(d, repl.PublisherOptions{Retain: 1 << 22, Metrics: pm})
+	if err != nil {
+		return nil, err
+	}
+	defer pub.Close()
+	gd := &gateDialer{inner: repl.InProcDialer(pub)}
+	fm := &obs.Metrics{}
+	fol, err := repl.NewFollower(durableFlowSpec(), gd.dial, repl.FollowerOptions{
+		Decomp:  durableFlowDecomp(),
+		Metrics: fm,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fol.Close()
+	if err := fol.WaitFor(1, replExpWait); err != nil {
+		return nil, fmt.Errorf("repl experiment attach: %w", err)
+	}
+	res := &ReplResult{}
+
+	// Ship throughput: the follower applies the stream as it is written.
+	start := time.Now()
+	for i := 0; i < cfg.ShipOps; i++ {
+		if err := d.Insert(durableTuple(i)); err != nil {
+			return nil, fmt.Errorf("ship phase op %d: %w", i, err)
+		}
+	}
+	if err := fol.WaitFor(pub.Head(), replExpWait); err != nil {
+		return nil, fmt.Errorf("ship phase drain: %w", err)
+	}
+	secs := time.Since(start).Seconds()
+	res.Ship = ReplShipRow{
+		Ops:           cfg.ShipOps,
+		Seconds:       secs,
+		RecordsPerSec: float64(cfg.ShipOps) / secs,
+		WireBytes:     pm.Snapshot().ReplBytes,
+	}
+
+	// Tail replay: sever the link, write the same volume dark, and time
+	// the reconnected follower's catch-up from its own applied count.
+	gd.sever()
+	for i := 0; i < cfg.ShipOps; i++ {
+		if err := d.Insert(durableTuple(cfg.ShipOps + i)); err != nil {
+			return nil, fmt.Errorf("dark phase op %d: %w", i, err)
+		}
+	}
+	behind := pub.Head() - fol.Applied()
+	gd.restore()
+	start = time.Now()
+	if err := fol.WaitFor(pub.Head(), replExpWait); err != nil {
+		return nil, fmt.Errorf("tail replay: %w", err)
+	}
+	secs = time.Since(start).Seconds()
+	res.CatchUps = append(res.CatchUps, ReplCatchUpRow{
+		Mode:          "tail-replay",
+		Records:       behind,
+		Seconds:       secs,
+		RecordsPerSec: float64(behind) / secs,
+	})
+
+	// Snapshot bootstrap: a fresh follower against the now-full primary.
+	start = time.Now()
+	boot, err := repl.NewFollower(durableFlowSpec(), repl.InProcDialer(pub), repl.FollowerOptions{
+		Decomp:  durableFlowDecomp(),
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer boot.Close()
+	if err := boot.WaitFor(pub.Head(), replExpWait); err != nil {
+		return nil, fmt.Errorf("snapshot bootstrap: %w", err)
+	}
+	secs = time.Since(start).Seconds()
+	tuples := uint64(boot.Len())
+	res.CatchUps = append(res.CatchUps, ReplCatchUpRow{
+		Mode:          "snapshot-bootstrap",
+		Records:       tuples,
+		Seconds:       secs,
+		RecordsPerSec: float64(tuples) / secs,
+	})
+
+	// Mixed load: replica reads race primary writes; the repl.lag gauge
+	// is sampled after every write.
+	keys := 2 * cfg.ShipOps
+	writes, reads := 0, 0
+	var maxLag uint64
+	start = time.Now()
+	for i := 0; i < cfg.MixedOps; i++ {
+		if i%100 < cfg.ReadPct {
+			pat := relation.NewTuple(relation.BindInt("local", int64(i*7919%1024)))
+			if _, err := fol.Query(pat, []string{"foreign", "bytes"}); err != nil {
+				return nil, fmt.Errorf("mixed phase read %d: %w", i, err)
+			}
+			reads++
+			continue
+		}
+		j := i * 7919 % keys
+		key := relation.NewTuple(
+			relation.BindInt("local", int64(j%1024)),
+			relation.BindInt("foreign", int64(j)),
+		)
+		upd := relation.NewTuple(relation.BindInt("bytes", int64(i)))
+		if _, err := d.Update(key, upd); err != nil {
+			return nil, fmt.Errorf("mixed phase write %d: %w", i, err)
+		}
+		writes++
+		if lag := fol.Lag(); lag > maxLag {
+			maxLag = lag
+		}
+	}
+	final := fol.Lag()
+	secs = time.Since(start).Seconds()
+	if err := fol.WaitFor(pub.Head(), replExpWait); err != nil {
+		return nil, fmt.Errorf("mixed phase drain: %w", err)
+	}
+	res.Lag = ReplLagRow{Writes: writes, Reads: reads, MaxLag: maxLag, FinalLag: final, Seconds: secs}
+	return res, nil
+}

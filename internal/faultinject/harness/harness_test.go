@@ -112,3 +112,30 @@ func TestWALRecoveryInjection(t *testing.T) {
 		})
 	}
 }
+
+// TestExhaustiveReplInjection is the replication guarantee: a fault —
+// error or panic — at every repl.send/recv/apply step of every
+// replicated mutation kills at most one session, never surfaces into the
+// writer, and leaves a follower that catches back up to exactly the
+// acknowledged history.
+func TestExhaustiveReplInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			ExhaustRepl(t, p, c)
+		})
+	}
+}
+
+// TestReplResubscribeInjection exhausts the reconnect path itself: a
+// fault at the repl.resubscribe kill-point and at each handshake frame
+// of the resubscription following a severed connection must be absorbed
+// by the retry loop, with the recovered session proven live.
+func TestReplResubscribeInjection(t *testing.T) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			p := withPlane(t)
+			ExhaustReplResubscribe(t, p, c)
+		})
+	}
+}

@@ -83,6 +83,19 @@
 //   - RecoveryReplays / RecoveryDiscards: durable.Open work — log records
 //     replayed into the fresh relation, and torn trailing records
 //     discarded by the CRC scan.
+//   - ReplRecords / ReplBytes / ReplSnapshots: replication traffic, each
+//     side counting its own work on its own Metrics — a publisher counts
+//     commit records and framed bytes sent plus bootstrap snapshots
+//     served, a follower counts records applied, framed bytes received,
+//     and snapshots loaded. One record shipped to two followers counts
+//     once per follower connection on the publisher.
+//   - ReplReconnects: follower re-subscription attempts after the first
+//     connection — every dial after a session ended, successful or not.
+//   - ReplLag: a gauge, not a counter — the follower's current sequence
+//     delta behind the publisher's acknowledged head (head seen on the
+//     wire minus records applied), stored on every commit frame and on
+//     catch-up completion. Sub keeps the later snapshot's value rather
+//     than subtracting, since a gauge delta is meaningless.
 package obs
 
 import (
@@ -143,6 +156,12 @@ type Metrics struct {
 
 	RecoveryReplays  atomic.Uint64
 	RecoveryDiscards atomic.Uint64
+
+	ReplRecords    atomic.Uint64
+	ReplBytes      atomic.Uint64
+	ReplSnapshots  atomic.Uint64
+	ReplReconnects atomic.Uint64
+	ReplLag        atomic.Uint64 // gauge: current sequence delta behind the publisher
 }
 
 // Snapshot is an atomic-free copy of a Metrics block, safe to compare,
@@ -168,6 +187,9 @@ type Snapshot struct {
 	WalAppends, WalFsyncs, WalBytes   uint64
 	CkptWrites, CkptBytes             uint64
 	RecoveryReplays, RecoveryDiscards uint64
+
+	ReplRecords, ReplBytes, ReplSnapshots uint64
+	ReplReconnects, ReplLag               uint64
 }
 
 // Snapshot copies every counter. Each counter is read atomically; the
@@ -214,6 +236,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		CkptBytes:        m.CkptBytes.Load(),
 		RecoveryReplays:  m.RecoveryReplays.Load(),
 		RecoveryDiscards: m.RecoveryDiscards.Load(),
+
+		ReplRecords:    m.ReplRecords.Load(),
+		ReplBytes:      m.ReplBytes.Load(),
+		ReplSnapshots:  m.ReplSnapshots.Load(),
+		ReplReconnects: m.ReplReconnects.Load(),
+		ReplLag:        m.ReplLag.Load(),
 	}
 }
 
@@ -259,6 +287,12 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		CkptBytes:        s.CkptBytes - prev.CkptBytes,
 		RecoveryReplays:  s.RecoveryReplays - prev.RecoveryReplays,
 		RecoveryDiscards: s.RecoveryDiscards - prev.RecoveryDiscards,
+
+		ReplRecords:    s.ReplRecords - prev.ReplRecords,
+		ReplBytes:      s.ReplBytes - prev.ReplBytes,
+		ReplSnapshots:  s.ReplSnapshots - prev.ReplSnapshots,
+		ReplReconnects: s.ReplReconnects - prev.ReplReconnects,
+		ReplLag:        s.ReplLag, // gauge: carry the later value
 	}
 }
 
@@ -311,6 +345,11 @@ func (s Snapshot) String() string {
 	app("ckpt.bytes", s.CkptBytes)
 	app("recovery.replays", s.RecoveryReplays)
 	app("recovery.discards", s.RecoveryDiscards)
+	app("repl.records", s.ReplRecords)
+	app("repl.bytes", s.ReplBytes)
+	app("repl.snapshots", s.ReplSnapshots)
+	app("repl.reconnects", s.ReplReconnects)
+	app("repl.lag", s.ReplLag)
 	if s.FanOutLatency.Count > 0 {
 		if len(b) > 0 {
 			b = append(b, ' ')

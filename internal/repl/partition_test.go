@@ -1,0 +1,153 @@
+package repl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+)
+
+// TestPartitionPrefixDifferential is the concurrent half of the
+// acknowledged-prefix proof (the exhaustive half lives in
+// internal/faultinject/harness): a writer mutates the primary while the
+// connection is repeatedly severed, and a polling reader continuously
+// samples the replica. Every sample whose before/after applied counts
+// agree must equal an exact prefix of the publisher's acknowledged
+// history — never a torn delta, never a state beyond the history. Run
+// under -race by `make ci-race`, this also pits the replica's lock-free
+// readers against the session's COW publishes.
+func TestPartitionPrefixDifferential(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{Retain: 1 << 20})
+	cd := &cutDialer{inner: InProcDialer(p)}
+	fm := &obs.Metrics{}
+	f := newTestFollower(t, schedSpec(), cd.dial, FollowerOptions{
+		Metrics: fm,
+		Backoff: time.Millisecond,
+	})
+	if err := f.WaitFor(1, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	type sample struct {
+		applied uint64
+		ts      []relation.Tuple
+	}
+	var samples []sample
+	stop := make(chan struct{})
+	polled := make(chan struct{})
+	go func() {
+		defer close(polled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a1 := f.Applied()
+			ts, err := f.All()
+			a2 := f.Applied()
+			if err == nil && a1 == a2 && len(samples) < 4096 {
+				samples = append(samples, sample{applied: a1, ts: ts})
+			}
+		}
+	}()
+
+	// The writer: a deterministic op mix over a small key space, with
+	// the link severed every 40 operations.
+	rnd := rand.New(rand.NewSource(7))
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		if i%40 == 39 {
+			cd.cut()
+		}
+		ns, pid := rnd.Int63n(3)+1, rnd.Int63n(5)+1
+		key := relation.NewTuple(relation.BindInt("ns", ns), relation.BindInt("pid", pid))
+		switch rnd.Intn(3) {
+		case 0:
+			tup := paperex.SchedulerTuple(ns, pid, rnd.Int63n(2), rnd.Int63n(8))
+			_ = d.Insert(tup) // duplicate-key inserts may legitimately fail
+		case 1:
+			if _, err := d.Remove(key); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			// Updates of absent keys fail like duplicate inserts; a
+			// failed mutation acknowledges nothing and ships nothing.
+			_, _ = d.Update(key, relation.NewTuple(relation.BindInt("cpu", rnd.Int63n(8))))
+		}
+	}
+	if err := f.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatalf("final catch-up: %v (last session error: %v)", err, f.Err())
+	}
+	close(stop)
+	<-polled
+	wantSame(t, d, f)
+	if fm.Snapshot().ReplReconnects == 0 {
+		t.Fatal("no reconnects — the partitions never bit")
+	}
+
+	// Verify every quiescent sample against the acknowledged history.
+	// The replica publishes the engine version a moment before it
+	// publishes the applied counter, so a sample taken in that gap may
+	// be one record newer than its counter claims — still an exact
+	// prefix. The mirror is advanced monotonically: engine states are
+	// monotonic in history order, so each sample must match at or after
+	// the previous sample's match point.
+	base, records := p.History()
+	if base != 1 {
+		t.Fatalf("history base = %d, want 1 (nothing may compact in this test)", base)
+	}
+	cols := schedSpec().Cols()
+	mirror := relation.Empty(cols)
+	at := uint64(1) // mirror holds the state at this sequence
+	next := 0       // records[next] is the first unapplied record
+	advance := func(to uint64) {
+		for next < len(records) && records[next].Seq <= to {
+			c := records[next]
+			for _, tup := range c.Removed {
+				if n := mirror.Remove(tup); n != 1 {
+					t.Fatalf("history replay: record %d removed %d copies of %v", c.Seq, n, tup)
+				}
+			}
+			for _, tup := range c.Inserted {
+				if err := mirror.Insert(tup); err != nil {
+					t.Fatalf("history replay: record %d: %v", c.Seq, err)
+				}
+			}
+			at = c.Seq
+			next++
+		}
+		if to > at {
+			at = to // sequences with no retained record (the attach epoch)
+		}
+	}
+	checked := 0
+	for _, s := range samples {
+		got := asRel(t, cols, s.ts)
+		lo := s.applied
+		if lo < at {
+			lo = at
+		}
+		matched := false
+		for j := lo; j <= s.applied+1; j++ {
+			advance(j)
+			if got.Equal(mirror) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("sample at applied=%d is not a prefix of the acknowledged history:\n%v", s.applied, s.ts)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("the poller captured no quiescent samples")
+	}
+	t.Logf("verified %d samples against %d acknowledged records across %d reconnects",
+		checked, len(records), fm.Snapshot().ReplReconnects)
+}

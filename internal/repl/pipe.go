@@ -1,0 +1,32 @@
+package repl
+
+import (
+	"io"
+	"net"
+)
+
+// Transports. A Dialer is just "give me an ordered byte stream", so the
+// same publisher and follower run over TCP in production and over
+// net.Pipe in-process in tests — the pipe is synchronous and unbuffered,
+// which makes every frame hand-off a deterministic rendezvous the
+// fault-injection harness can count on.
+
+// InProcDialer subscribes through an in-process pipe: each dial spawns a
+// publisher session on the server half and hands the follower the client
+// half. Closing either half ends the session, so partition tests can cut
+// the link from either side.
+func InProcDialer(p *Publisher) Dialer {
+	return func() (io.ReadWriteCloser, error) {
+		client, server := net.Pipe()
+		go p.Handle(server)
+		return client, nil
+	}
+}
+
+// NetDialer subscribes over TCP to a publisher serving on addr (see
+// Publisher.Serve).
+func NetDialer(network, addr string) Dialer {
+	return func() (io.ReadWriteCloser, error) {
+		return net.Dial(network, addr)
+	}
+}

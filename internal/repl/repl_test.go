@@ -1,0 +1,569 @@
+package repl
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+func schedSpec() *core.Spec {
+	return &core.Spec{
+		Name: "processes",
+		Columns: []core.ColDef{
+			{Name: "ns", Type: core.IntCol},
+			{Name: "pid", Type: core.IntCol},
+			{Name: "state", Type: core.IntCol},
+			{Name: "cpu", Type: core.IntCol},
+		},
+		FDs: paperex.SchedulerFDs(),
+	}
+}
+
+// openPrimary opens a fresh durable relation in a temp dir; shards == 0
+// is the sync tier.
+func openPrimary(t *testing.T, shards int) *core.DurableRelation {
+	t.Helper()
+	// CheckFDs keeps randomized writers honest: the paper's adequacy
+	// argument (and therefore exact-delta replay on a replica) only holds
+	// for relations that satisfy their FDs, so the primary must reject a
+	// violating insert rather than ship a delta for undefined state.
+	opts := durable.Options{Create: true, Policy: wal.SyncOff, CheckFDs: true}
+	if shards > 0 {
+		opts.Shards = shards
+		opts.ShardKey = []string{"ns", "pid"}
+	}
+	d, err := durable.Open(t.TempDir(), schedSpec(), paperex.SchedulerDecomp(), opts)
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func newTestPublisher(t *testing.T, d *core.DurableRelation, opts PublisherOptions) *Publisher {
+	t.Helper()
+	p, err := NewPublisher(d, opts)
+	if err != nil {
+		t.Fatalf("new publisher: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func newTestFollower(t *testing.T, spec *core.Spec, dial Dialer, opts FollowerOptions) *Follower {
+	t.Helper()
+	if opts.Decomp == nil {
+		opts.Decomp = paperex.SchedulerDecomp()
+	}
+	f, err := NewFollower(spec, dial, opts)
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// asRel folds tuples into a relation for order-insensitive comparison.
+func asRel(t *testing.T, cols relation.Cols, ts []relation.Tuple) *relation.Relation {
+	t.Helper()
+	r := relation.Empty(cols)
+	for _, tup := range ts {
+		if err := r.Insert(tup); err != nil {
+			t.Fatalf("fold %v: %v", tup, err)
+		}
+	}
+	return r
+}
+
+// wantSame asserts the follower's α equals the primary's.
+func wantSame(t *testing.T, d *core.DurableRelation, f *Follower) {
+	t.Helper()
+	dts, err := d.All()
+	if err != nil {
+		t.Fatalf("primary All: %v", err)
+	}
+	fts, err := f.All()
+	if err != nil {
+		t.Fatalf("follower All: %v", err)
+	}
+	cols := d.Spec().Cols()
+	if !asRel(t, cols, dts).Equal(asRel(t, cols, fts)) {
+		t.Fatalf("replica diverged:\nprimary  %v\nfollower %v", dts, fts)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("follower invariants: %v", err)
+	}
+}
+
+const waitTimeout = 10 * time.Second
+
+func TestBootstrapSnapshot(t *testing.T) {
+	d := openPrimary(t, 0)
+	for _, tup := range []relation.Tuple{
+		paperex.SchedulerTuple(1, 1, paperex.StateS, 7),
+		paperex.SchedulerTuple(1, 2, paperex.StateR, 4),
+		paperex.SchedulerTuple(2, 1, paperex.StateS, 5),
+	} {
+		if err := d.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := newTestPublisher(t, d, PublisherOptions{})
+	if got := p.Head(); got != 1 {
+		t.Fatalf("attach head = %d, want 1 (the attach snapshot)", got)
+	}
+	fm := &obs.Metrics{}
+	f := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{Metrics: fm})
+	if err := f.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	wantSame(t, d, f)
+	if f.Lag() != 0 {
+		t.Fatalf("lag = %d after catch-up", f.Lag())
+	}
+	if got := fm.Snapshot().ReplSnapshots; got != 1 {
+		t.Fatalf("repl.snapshots = %d, want 1 (one bootstrap)", got)
+	}
+}
+
+func TestTailStream(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{})
+	fm := &obs.Metrics{}
+	f := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{Metrics: fm})
+	if err := f.WaitFor(1, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	before := fm.Snapshot()
+
+	if err := d.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(paperex.SchedulerTuple(1, 2, paperex.StateR, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Update(
+		relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 1)),
+		relation.NewTuple(relation.BindInt("cpu", 9))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Remove(relation.NewTuple(relation.BindInt("ns", 1), relation.BindInt("pid", 2))); err != nil {
+		t.Fatal(err)
+	}
+	head := p.Head()
+	if head != 5 {
+		t.Fatalf("head = %d, want 5 (attach + 4 deltas)", head)
+	}
+	if err := f.WaitFor(head, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	wantSame(t, d, f)
+	diff := fm.Snapshot().Sub(before)
+	if diff.ReplRecords != 4 {
+		t.Fatalf("repl.records delta = %d, want 4", diff.ReplRecords)
+	}
+	if diff.ReplLag != 0 {
+		t.Fatalf("repl.lag gauge = %d after catch-up", diff.ReplLag)
+	}
+	if diff.ReplBytes == 0 {
+		t.Fatal("repl.bytes did not count received frames")
+	}
+}
+
+// cutDialer wraps a dialer and remembers the live connection so a test
+// can sever it, simulating a network partition.
+type cutDialer struct {
+	inner Dialer
+	mu    sync.Mutex
+	cur   io.Closer
+}
+
+func (c *cutDialer) dial() (io.ReadWriteCloser, error) {
+	conn, err := c.inner()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cur = conn
+	c.mu.Unlock()
+	return conn, nil
+}
+
+func (c *cutDialer) cut() {
+	c.mu.Lock()
+	cur := c.cur
+	c.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+}
+
+func TestReconnectCatchUp(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{})
+	cd := &cutDialer{inner: InProcDialer(p)}
+	fm := &obs.Metrics{}
+	f := newTestFollower(t, schedSpec(), cd.dial, FollowerOptions{Metrics: fm})
+	if err := f.WaitFor(1, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition, write while the follower is dark, reconnect.
+	cd.cut()
+	for pid := int64(2); pid <= 6; pid++ {
+		if err := d.Insert(paperex.SchedulerTuple(1, pid, paperex.StateR, pid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	wantSame(t, d, f)
+	if got := fm.Snapshot().ReplReconnects; got == 0 {
+		t.Fatal("repl.reconnects = 0 after a severed connection")
+	}
+	// Catch-up resumed from the applied prefix: no second snapshot.
+	if got := fm.Snapshot().ReplSnapshots; got != 1 {
+		t.Fatalf("repl.snapshots = %d, want 1 (catch-up must stream the tail)", got)
+	}
+}
+
+func TestSlowFollowerCompaction(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{Retain: 4})
+
+	// A hand-rolled subscriber that is caught up, then stops reading
+	// while the primary races ahead of the retained window.
+	client, server := net.Pipe()
+	defer client.Close()
+	go p.Handle(server)
+	fr := newFramer(client, nil, false, false)
+	h := hello{version: protocolVersion, resume: p.Head() + 1, name: "processes", cols: specColumns(schedSpec())}
+	if err := fr.writeFrame(appendHello(nil, h)); err != nil {
+		t.Fatal(err)
+	}
+	// One write, one read: proves the session is in its tail loop (a
+	// hello still unprocessed could race the flood below into the
+	// snapshot path instead).
+	if err := d.Insert(paperex.SchedulerTuple(9, 9, paperex.StateR, 9)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := fr.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != msgCommit {
+		t.Fatalf("first message 0x%02x, want commit", first[0])
+	}
+
+	for pid := int64(1); pid <= 11; pid++ {
+		if err := d.Insert(paperex.SchedulerTuple(1, pid, paperex.StateS, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain: some commits may have been batched before compaction
+	// overtook the session; the stream must end with the refusal.
+	var last []byte
+	for {
+		payload, err := fr.readFrame()
+		if err != nil {
+			t.Fatalf("session ended without an error frame (last=%v): %v", last, err)
+		}
+		if payload[0] == msgError {
+			if msg := parseErrorMsg(payload); !strings.Contains(msg, "resubscribe") {
+				t.Fatalf("compaction refusal = %q, want a resubscribe hint", msg)
+			}
+			return
+		}
+		if payload[0] != msgCommit {
+			t.Fatalf("unexpected message 0x%02x", payload[0])
+		}
+		last = append(last[:0], payload...)
+	}
+}
+
+func TestCompactedResumeBootstrapsAgain(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{Retain: 4})
+	fm := &obs.Metrics{}
+	f := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{Metrics: fm})
+	if err := f.WaitFor(1, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// With the follower gone, out-write the retained window, then let a
+	// fresh follower resume from its stale prefix.
+	for pid := int64(1); pid <= 10; pid++ {
+		if err := d.Insert(paperex.SchedulerTuple(2, pid, paperex.StateR, pid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fm2 := &obs.Metrics{}
+	f2 := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{Metrics: fm2})
+	if err := f2.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	wantSame(t, d, f2)
+	if got := fm2.Snapshot().ReplSnapshots; got != 1 {
+		t.Fatalf("repl.snapshots = %d, want 1 (compacted resume must re-bootstrap)", got)
+	}
+}
+
+func TestNeverAheadRefused(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{})
+	client, server := net.Pipe()
+	defer client.Close()
+	go p.Handle(server)
+	fr := newFramer(client, nil, false, false)
+	h := hello{version: protocolVersion, resume: 99, name: "processes", cols: specColumns(schedSpec())}
+	if err := fr.writeFrame(appendHello(nil, h)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := fr.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != msgError {
+		t.Fatalf("message 0x%02x, want error", payload[0])
+	}
+	if msg := parseErrorMsg(payload); !strings.Contains(msg, "ahead") {
+		t.Fatalf("refusal = %q, want a never-ahead refusal", msg)
+	}
+}
+
+func TestSubscriptionRefusals(t *testing.T) {
+	good := hello{version: protocolVersion, resume: 1, name: "processes", cols: specColumns(schedSpec())}
+	cases := []struct {
+		name string
+		mut  func(h hello) hello
+		want string
+	}{
+		{"version", func(h hello) hello { h.version = 99; return h }, "version"},
+		{"name", func(h hello) hello { h.name = "threads"; return h }, "threads"},
+		{"columns", func(h hello) hello { h.cols = []string{"ns:int"}; return h }, "columns"},
+		{"resume-zero", func(h hello) hello { h.resume = 0; return h }, "1-based"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := openPrimary(t, 0)
+			p := newTestPublisher(t, d, PublisherOptions{})
+			client, server := net.Pipe()
+			defer client.Close()
+			go p.Handle(server)
+			fr := newFramer(client, nil, false, false)
+			if err := fr.writeFrame(appendHello(nil, tc.mut(good))); err != nil {
+				t.Fatal(err)
+			}
+			payload, err := fr.readFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if payload[0] != msgError {
+				t.Fatalf("message 0x%02x, want error", payload[0])
+			}
+			if msg := parseErrorMsg(payload); !strings.Contains(msg, tc.want) {
+				t.Fatalf("refusal = %q, want mention of %q", msg, tc.want)
+			}
+		})
+	}
+}
+
+func TestShardedFollowerDifferentLayout(t *testing.T) {
+	// Primary: 4 shards on the key {ns, pid}. Replica: 2 shards on the
+	// non-key {ns} with its own worker pool — replication ships logical
+	// tuples, so the layouts are free to differ.
+	d := openPrimary(t, 4)
+	p := newTestPublisher(t, d, PublisherOptions{})
+	f := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{
+		ShardKey:    []string{"ns"},
+		Shards:      2,
+		AllowNonKey: true,
+	})
+	for ns := int64(1); ns <= 3; ns++ {
+		for pid := int64(1); pid <= 4; pid++ {
+			if err := d.Insert(paperex.SchedulerTuple(ns, pid, paperex.StateS, pid)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := d.Update(
+		relation.NewTuple(relation.BindInt("ns", 2), relation.BindInt("pid", 3)),
+		relation.NewTuple(relation.BindInt("state", paperex.StateR))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Remove(relation.NewTuple(relation.BindInt("ns", 3), relation.BindInt("pid", 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	wantSame(t, d, f)
+
+	// Routed point query on the replica's own shard key.
+	got, err := f.Query(relation.NewTuple(relation.BindInt("ns", 2)), []string{"pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replica ns=2 query returned %d rows, want 4", len(got))
+	}
+}
+
+func TestFollowerServesAfterClose(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{})
+	f := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{})
+	if err := d.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitFor(p.Head(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	applied := f.Applied()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	// The frozen replica keeps serving its last applied prefix.
+	if err := d.Insert(paperex.SchedulerTuple(9, 9, paperex.StateR, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Applied(); got != applied {
+		t.Fatalf("closed follower advanced %d -> %d", applied, got)
+	}
+	if got := f.Len(); got != 1 {
+		t.Fatalf("closed follower Len = %d, want 1", got)
+	}
+	if err := f.WaitFor(p.Head(), time.Second); err == nil {
+		t.Fatal("WaitFor past the frozen prefix should fail on a closed follower")
+	}
+}
+
+func TestPublisherCloseEndsSessions(t *testing.T) {
+	d := openPrimary(t, 0)
+	p := newTestPublisher(t, d, PublisherOptions{})
+	f := newTestFollower(t, schedSpec(), InProcDialer(p), FollowerOptions{})
+	if err := f.WaitFor(1, waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	// The primary keeps accepting writes; they are simply not shipped.
+	if err := d.Insert(paperex.SchedulerTuple(1, 1, paperex.StateS, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Head(); got != 1 {
+		t.Fatalf("closed publisher advanced its head to %d", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fr := newFramer(&buf, nil, false, false)
+	h := hello{version: 3, resume: 42, name: "edges", cols: []string{"src:int", "dst:int"}}
+	if err := fr.writeFrame(appendHello(nil, h)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := fr.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.version != h.version || got.resume != h.resume || got.name != h.name || !eqStrings(got.cols, h.cols) {
+		t.Fatalf("hello round trip: %+v != %+v", got, h)
+	}
+
+	buf.Reset()
+	if err := fr.writeFrame(appendSnapBegin(nil, 7, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err = fr.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, n, err := parseSnapBegin(payload)
+	if err != nil || seq != 7 || n != 1000 {
+		t.Fatalf("snapBegin round trip: %d %d %v", seq, n, err)
+	}
+}
+
+func TestCorruptFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	fr := newFramer(&buf, nil, false, false)
+	if err := fr.writeFrame(appendErrorMsg(nil, "hello there")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x01 // flip one payload bit
+	fr2 := newFramer(bytes.NewBuffer(raw), nil, false, false)
+	if _, err := fr2.readFrame(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt frame err = %v, want CRC rejection", err)
+	}
+
+	// An absurd length prefix must be rejected before allocation.
+	bad := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}
+	fr3 := newFramer(bytes.NewBuffer(bad), nil, false, false)
+	if _, err := fr3.readFrame(); err == nil || !strings.Contains(err.Error(), "length") {
+		t.Fatalf("oversized frame err = %v, want length rejection", err)
+	}
+}
+
+func TestStreamCodecSharesDictionary(t *testing.T) {
+	enc := wal.NewStreamEncoder()
+	dec := wal.NewStreamDecoder()
+	ts := []relation.Tuple{
+		paperex.SchedulerTuple(1, 1, paperex.StateS, 7),
+		paperex.SchedulerTuple(1, 2, paperex.StateR, 4),
+	}
+	chunk := enc.AppendChunk(nil, ts)
+	got, err := dec.ReadChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(ts[0]) || !got[1].Equal(ts[1]) {
+		t.Fatalf("chunk round trip: %v", got)
+	}
+	// A later commit references column names interned by the chunk: the
+	// decoder must resolve them from the shared dictionary.
+	c := wal.Commit{Seq: 9, Inserted: []relation.Tuple{paperex.SchedulerTuple(2, 1, paperex.StateS, 5)}}
+	cp := enc.AppendCommit(nil, c)
+	rc, err := dec.ReadCommit(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Seq != 9 || len(rc.Inserted) != 1 || !rc.Inserted[0].Equal(c.Inserted[0]) {
+		t.Fatalf("commit round trip: %+v", rc)
+	}
+}

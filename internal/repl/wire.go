@@ -1,0 +1,294 @@
+// Package repl is the log-shipping replication plane: it ships a durable
+// relation's acknowledged commit log to follower processes that serve
+// read-only replicas with the full lock-free MVCC query surface.
+//
+// A Publisher taps core.DurableRelation's acknowledged-delta stream
+// (core.SetCommitSink) and assigns each delta a dense replication
+// sequence number — one global stream regardless of how many per-shard
+// logs the primary writes, so a follower's state is always "the first k
+// records", never a partial interleaving. A Follower subscribes over any
+// ordered byte stream (net.Conn, or the in-process pipe transport in
+// pipe.go), bootstraps from a snapshot when it has no usable prefix,
+// replays the tail through the engine's copy-on-write publish path, and
+// reconnects with sequence-checked catch-up after a partition.
+//
+// # Wire protocol
+//
+// Every message travels in a frame identical in shape to a WAL record:
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// little-endian, CRC over the payload only. The first payload byte is
+// the message type:
+//
+//	0x10 hello      follower→publisher: version, resume sequence,
+//	                relation name, column signature
+//	0x11 snapBegin  publisher→follower: snapshot covers sequences ≤ seq;
+//	                tuple count follows
+//	0x12 snapChunk  one wal stream-encoded tuple chunk
+//	0x13 snapEnd    snapshot complete
+//	0x14 commit     head sequence (for lag), then one wal stream-encoded
+//	                commit record carrying its own sequence
+//	0x15 error      terminal refusal with a message
+//
+// Tuple payloads reuse the WAL's stream codec (wal.StreamEncoder /
+// StreamDecoder): per-connection incremental string interning shared by
+// snapshot chunks and commit records, reset on reconnect.
+//
+// # Consistency contract
+//
+// A follower's published state always equals the publisher's history
+// prefix records[1..applied] — applied atomically record by record via
+// the COW publish path, so a reader on the follower never observes a
+// torn delta, and sequence checking makes running ahead or skipping
+// impossible (a gap kills the session and catch-up restarts it from the
+// follower's own applied count). docs/REPLICATION.md states the
+// contract, the state machine, and the proof obligations; the
+// fault-injection harness (internal/faultinject/harness) discharges them
+// with a kill at every send/recv/apply/resubscribe step.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// Message-type bytes; the first payload byte of every frame.
+const (
+	msgHello     = 0x10
+	msgSnapBegin = 0x11
+	msgSnapChunk = 0x12
+	msgSnapEnd   = 0x13
+	msgCommit    = 0x14
+	msgError     = 0x15
+)
+
+// protocolVersion is carried in hello; either side refuses a mismatch.
+const protocolVersion = 1
+
+// maxFrame bounds a frame's payload. A length prefix beyond it means a
+// corrupt or hostile stream, not a large record; the session dies rather
+// than allocating.
+const maxFrame = 1 << 26
+
+const frameHdrSize = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a frame whose CRC or length prefix does not
+// verify: the stream is corrupt and the session must be abandoned (the
+// follower resubscribes; TCP does not deliver torn frames, so unlike a
+// log tail there is no benign torn case to discriminate).
+var ErrBadFrame = errors.New("repl: corrupt frame")
+
+// framer reads and writes CRC-checked frames on one connection. The
+// byte counter feeds obs.ReplBytes for the direction this endpoint is
+// accountable for: a publisher counts what it sends, a follower what it
+// receives. Not safe for concurrent use.
+type framer struct {
+	rw         io.ReadWriter
+	fi         *faultinject.Plane
+	met        *obs.Metrics
+	countRead  bool
+	countWrite bool
+	buf        []byte
+}
+
+func newFramer(rw io.ReadWriter, met *obs.Metrics, countRead, countWrite bool) *framer {
+	return &framer{rw: rw, fi: faultinject.Active(), met: met, countRead: countRead, countWrite: countWrite}
+}
+
+// writeFrame frames payload and writes it in one call. The injection
+// point fires before the write, modelling a send that never reached the
+// wire; an injected error (or panic, contained by the session) kills the
+// connection and the follower's catch-up takes over.
+func (f *framer) writeFrame(payload []byte) error {
+	if f.fi != nil {
+		if err := f.fi.Point("repl.send", true); err != nil {
+			return err
+		}
+	}
+	f.buf = f.buf[:0]
+	f.buf = binary.LittleEndian.AppendUint32(f.buf, uint32(len(payload)))
+	f.buf = binary.LittleEndian.AppendUint32(f.buf, crc32.Checksum(payload, castagnoli))
+	f.buf = append(f.buf, payload...)
+	if _, err := f.rw.Write(f.buf); err != nil {
+		return err
+	}
+	if f.met != nil && f.countWrite {
+		f.met.ReplBytes.Add(uint64(len(f.buf)))
+	}
+	return nil
+}
+
+// readFrame reads one frame and verifies its CRC. The injection point
+// fires after the frame arrived and before it is trusted, so a fault
+// here models a receive lost between wire and apply. The returned slice
+// is valid until the next readFrame.
+func (f *framer) readFrame() ([]byte, error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(f.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if plen == 0 || plen > maxFrame {
+		return nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, plen)
+	}
+	if cap(f.buf) < int(plen) {
+		f.buf = make([]byte, plen)
+	}
+	payload := f.buf[:plen]
+	if _, err := io.ReadFull(f.rw, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+	}
+	if f.fi != nil {
+		if err := f.fi.Point("repl.recv", true); err != nil {
+			return nil, err
+		}
+	}
+	if f.met != nil && f.countRead {
+		f.met.ReplBytes.Add(uint64(frameHdrSize + len(payload)))
+	}
+	return payload, nil
+}
+
+// hello is the subscription request.
+type hello struct {
+	version uint64
+	resume  uint64 // first sequence number wanted; applied+1
+	name    string
+	cols    []string // "name:type" per column, in declaration order
+}
+
+func appendHello(b []byte, h hello) []byte {
+	b = append(b, msgHello)
+	b = binary.AppendUvarint(b, h.version)
+	b = binary.AppendUvarint(b, h.resume)
+	b = appendString(b, h.name)
+	b = binary.AppendUvarint(b, uint64(len(h.cols)))
+	for _, c := range h.cols {
+		b = appendString(b, c)
+	}
+	return b
+}
+
+func parseHello(payload []byte) (hello, error) {
+	r := &wireReader{b: payload[1:]}
+	var h hello
+	var err error
+	if h.version, err = r.uvarint(); err != nil {
+		return h, err
+	}
+	if h.resume, err = r.uvarint(); err != nil {
+		return h, err
+	}
+	if h.name, err = r.str(); err != nil {
+		return h, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return h, err
+	}
+	h.cols = make([]string, n)
+	for i := range h.cols {
+		if h.cols[i], err = r.str(); err != nil {
+			return h, err
+		}
+	}
+	return h, r.done()
+}
+
+func appendSnapBegin(b []byte, seq, tuples uint64) []byte {
+	b = append(b, msgSnapBegin)
+	b = binary.AppendUvarint(b, seq)
+	return binary.AppendUvarint(b, tuples)
+}
+
+func parseSnapBegin(payload []byte) (seq, tuples uint64, err error) {
+	r := &wireReader{b: payload[1:]}
+	if seq, err = r.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if tuples, err = r.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	return seq, tuples, r.done()
+}
+
+func appendCommitMsg(b []byte, head uint64) []byte {
+	b = append(b, msgCommit)
+	return binary.AppendUvarint(b, head)
+}
+
+// parseCommitHead splits a commit message into the head sequence and the
+// wal-encoded commit payload that follows it.
+func parseCommitHead(payload []byte) (head uint64, rest []byte, err error) {
+	head, n := binary.Uvarint(payload[1:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated head sequence", ErrBadFrame)
+	}
+	return head, payload[1+n:], nil
+}
+
+func appendErrorMsg(b []byte, msg string) []byte {
+	return appendString(append(b, msgError), msg)
+}
+
+func parseErrorMsg(payload []byte) string {
+	r := &wireReader{b: payload[1:]}
+	s, err := r.str()
+	if err != nil {
+		return "unreadable error message"
+	}
+	return s
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// wireReader is a bounds-checked cursor over one payload.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrBadFrame)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) str() (string, error) {
+	ln, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if ln > uint64(len(r.b)-r.off) {
+		return "", fmt.Errorf("%w: string runs past payload end", ErrBadFrame)
+	}
+	s := string(r.b[r.off : r.off+int(ln)])
+	r.off += int(ln)
+	return s, nil
+}
+
+func (r *wireReader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(r.b)-r.off)
+	}
+	return nil
+}

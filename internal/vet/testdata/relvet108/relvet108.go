@@ -1,0 +1,75 @@
+// Package relvet108 is the unclosedfollower corpus.
+package relvet108
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/repl"
+)
+
+func trigger(spec *core.Spec, dial repl.Dialer) error {
+	f, err := repl.NewFollower(spec, dial, repl.FollowerOptions{}) // want relvet108
+	if err != nil {
+		return err
+	}
+	return f.WaitFor(1, 0)
+}
+
+func triggerQueryOnly(spec *core.Spec, dial repl.Dialer, pat relation.Tuple) ([]relation.Tuple, error) {
+	// Unlike relvet107's durable handles, a read-only follower still
+	// leaks: its session goroutine dials and applies until Close.
+	f, err := repl.NewFollower(spec, dial, repl.FollowerOptions{}) // want relvet108
+	if err != nil {
+		return nil, err
+	}
+	return f.Query(pat, nil)
+}
+
+func triggerMetricsOnly(spec *core.Spec, dial repl.Dialer) uint64 {
+	// Only observed, never closed — the goroutine still runs.
+	f, _ := repl.NewFollower(spec, dial, repl.FollowerOptions{}) // want relvet108
+	return f.Lag()
+}
+
+func nearMissDeferredClose(spec *core.Spec, dial repl.Dialer, pat relation.Tuple) ([]relation.Tuple, error) {
+	f, err := repl.NewFollower(spec, dial, repl.FollowerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			panic(cerr)
+		}
+	}()
+	return f.Query(pat, nil)
+}
+
+func nearMissDirectClose(spec *core.Spec, dial repl.Dialer) error {
+	f, err := repl.NewFollower(spec, dial, repl.FollowerOptions{})
+	if err != nil {
+		return err
+	}
+	if werr := f.WaitFor(1, 0); werr != nil {
+		return werr
+	}
+	return f.Close()
+}
+
+func nearMissEscapesReturn(spec *core.Spec, dial repl.Dialer) (*repl.Follower, error) {
+	// The caller receives the handle and owns its lifecycle.
+	return repl.NewFollower(spec, dial, repl.FollowerOptions{})
+}
+
+func nearMissEscapesArg(spec *core.Spec, dial repl.Dialer, hand func(*repl.Follower)) error {
+	f, err := repl.NewFollower(spec, dial, repl.FollowerOptions{})
+	if err != nil {
+		return err
+	}
+	hand(f)
+	return nil
+}
+
+func nearMissParameter(f *repl.Follower, pat relation.Tuple) ([]relation.Tuple, error) {
+	// Not created here: whoever created it closes it.
+	return f.Query(pat, nil)
+}

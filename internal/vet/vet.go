@@ -23,13 +23,14 @@ import (
 
 // The Go-plane codes.
 const (
-	CodeUncheckedMut    diag.Code = "relvet101" // mutation error discarded
-	CodeSwallowedPoison diag.Code = "relvet102" // empty ErrPoisoned/PanicError branch
-	CodeStaleResults    diag.Code = "relvet103" // query results read across a mutation
-	CodeOptionsMisuse   diag.Code = "relvet104" // options literal missing required fields
-	CodeDirtyCodegen    diag.Code = "relvet105" // generated code not gofmt/analyzer clean
-	CodeStaleSnapshot   diag.Code = "relvet106" // pinned snapshot handle read across its own mutation
-	CodeUnsyncedDurable diag.Code = "relvet107" // durable relation mutated, never closed or synced
+	CodeUncheckedMut     diag.Code = "relvet101" // mutation error discarded
+	CodeSwallowedPoison  diag.Code = "relvet102" // empty ErrPoisoned/PanicError branch
+	CodeStaleResults     diag.Code = "relvet103" // query results read across a mutation
+	CodeOptionsMisuse    diag.Code = "relvet104" // options literal missing required fields
+	CodeDirtyCodegen     diag.Code = "relvet105" // generated code not gofmt/analyzer clean
+	CodeStaleSnapshot    diag.Code = "relvet106" // pinned snapshot handle read across its own mutation
+	CodeUnsyncedDurable  diag.Code = "relvet107" // durable relation mutated, never closed or synced
+	CodeUnclosedFollower diag.Code = "relvet108" // replication follower bound, never closed
 )
 
 // Codes returns the Go-plane catalogue, in the same Info currency as the
@@ -57,12 +58,15 @@ func Codes() []lint.Info {
 		{Code: CodeUnsyncedDurable, Severity: diag.Warning,
 			Summary:   "durable relation mutated but never closed or synced in the function that opened it",
 			Grounding: "under SyncInterval/SyncOff a mutation is acknowledged before its WAL record reaches disk; only Close or Sync force the flush, so a handle abandoned after mutating can silently lose acknowledged commits on a crash"},
+		{Code: CodeUnclosedFollower, Severity: diag.Warning,
+			Summary:   "replication follower created but never closed in the function that created it",
+			Grounding: "repl.NewFollower starts a session goroutine that dials and redials until Close; a dropped handle leaks the goroutine and its connection, and keeps resubscribing to the publisher forever"},
 	}
 }
 
 // Analyzers returns the AST analyzers of the suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse, StaleSnapshot, UnsyncedDurable}
+	return []*analysis.Analyzer{UncheckedMut, SwallowedPoison, StaleResults, OptionsMisuse, StaleSnapshot, UnsyncedDurable, UnclosedFollower}
 }
 
 // relTypeNames are the engine types whose methods the analyzers treat as
@@ -538,6 +542,120 @@ func isDurableType(t types.Type) bool {
 	}
 	n, ok := t.(*types.Named)
 	return ok && n.Obj().Name() == "DurableRelation"
+}
+
+// UnclosedFollower (relvet108) flags a replication follower that a
+// function binds (from any call returning *repl.Follower — typically
+// repl.NewFollower) and then drops: no Close on the handle anywhere in
+// the function, including deferred calls and closures. Unlike relvet107
+// there is no mutation requirement — a follower runs its session
+// goroutine from the moment it is constructed, so even a handle that is
+// only ever queried (or never touched at all) leaks the goroutine and
+// its connection when abandoned. Handles that escape — returned, passed
+// to another function, stored — are the caller's responsibility and stay
+// silent, as are parameters the function did not create.
+var UnclosedFollower = &analysis.Analyzer{
+	Name:     "unclosedfollower",
+	Doc:      "flags replication followers created but never closed",
+	Code:     CodeUnclosedFollower,
+	Severity: diag.Warning,
+	Run: func(pass *analysis.Pass) {
+		forEachFuncBody(pass, func(body *ast.BlockStmt) {
+			info := pass.Pkg.Info
+			type folVar struct {
+				name    string
+				bindPos token.Pos
+				closed  bool // Close reachable in this body
+				escapes bool // handed off: lifecycle is someone else's
+			}
+			vars := map[types.Object]*folVar{}
+			var order []*folVar             // binding order, for deterministic reports
+			recvUse := map[token.Pos]bool{} // ident positions used as method receivers
+			lhsUse := map[token.Pos]bool{}  // ident positions written on an assignment LHS
+
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							lhsUse[id.Pos()] = true
+						}
+					}
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					if _, ok := n.Rhs[0].(*ast.CallExpr); !ok {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil && isFollowerType(obj.Type()) && vars[obj] == nil {
+							vars[obj] = &folVar{name: id.Name, bindPos: n.Pos()}
+							order = append(order, vars[obj])
+						}
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					v := vars[info.Uses[id]]
+					if v == nil {
+						return true
+					}
+					recvUse[id.Pos()] = true
+					if sel.Sel.Name == "Close" {
+						v.closed = true
+					}
+				}
+				return true
+			})
+
+			// Any remaining use of the handle — an argument, a return
+			// value, a plain assignment — hands it off.
+			ast.Inspect(body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || recvUse[id.Pos()] || lhsUse[id.Pos()] {
+					return true
+				}
+				if v := vars[info.Uses[id]]; v != nil {
+					v.escapes = true
+				}
+				return true
+			})
+
+			for _, v := range order {
+				if !v.closed && !v.escapes {
+					pass.Reportf(v.bindPos,
+						"follower %s is never closed: its session goroutine keeps dialing and applying until Close — call Close (or defer it) before the handle goes out of scope", v.name)
+				}
+			}
+		})
+	},
+}
+
+func isFollowerType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Follower" &&
+		n.Obj().Pkg() != nil && strings.HasSuffix(n.Obj().Pkg().Path(), "internal/repl")
 }
 
 // OptionsMisuse (relvet104) flags keyed options literals missing the

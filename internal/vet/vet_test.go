@@ -25,6 +25,7 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 		{"relvet104", vet.OptionsMisuse},
 		{"relvet106", vet.StaleSnapshot},
 		{"relvet107", vet.UnsyncedDurable},
+		{"relvet108", vet.UnclosedFollower},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -86,8 +87,8 @@ func runCorpus(t *testing.T, dir string, an *analysis.Analyzer) {
 // analyzers agree with it.
 func TestCatalogue(t *testing.T) {
 	infos := vet.Codes()
-	if len(infos) != 7 {
-		t.Fatalf("catalogue has %d codes, want 7 (relvet101–107)", len(infos))
+	if len(infos) != 8 {
+		t.Fatalf("catalogue has %d codes, want 8 (relvet101–108)", len(infos))
 	}
 	sev := map[diag.Code]diag.Severity{}
 	for _, i := range infos {
